@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries. Each binary
+// rebuilds the experiment world deterministically (seeded corpus, tokenizer,
+// models), runs one experiment from src/experiments, and prints the same
+// rows/series the paper's figure reports, alongside the paper's values where
+// the paper states them. Scale with RELM_BENCH_SCALE (default 1.0).
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/setup.hpp"
+#include "util/logging.hpp"
+
+namespace relm::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void print_footnote(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+inline experiments::World build_bench_world() {
+  util::Timer timer;
+  experiments::World world = experiments::build_world_from_env();
+  std::printf("[setup] corpus=%zu docs, vocab=%zu, scale=%.2f (%.1fs)\n\n",
+              world.corpus.documents.size(), world.tokenizer->vocab_size(),
+              experiments::bench_scale_from_env(), timer.seconds());
+  return world;
+}
+
+}  // namespace relm::bench

@@ -1,0 +1,73 @@
+// Figure 3 + the §3.2 measurements around encodings:
+//   - the 2^(n-1) growth of the full set of encodings for merged strings,
+//     and the token-automaton path counts matching the tokenizer's counts;
+//   - the rate of non-canonical samples in unprompted generation (the paper
+//     measures ~3% for GPT-2 and ~2% for GPT-2 XL).
+
+#include "automata/regex.hpp"
+#include "automata/walks.hpp"
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "model/decoding.hpp"
+#include "util/strings.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+namespace {
+
+double non_canonical_rate(const model::NgramModel& model,
+                          const tokenizer::BpeTokenizer& tok,
+                          std::size_t samples, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  model::DecodingRules rules;
+  rules.top_k = 40;
+  std::size_t non_canonical = 0;
+  std::size_t produced = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    auto tokens = model::generate(model, {}, 24, rules, rng);
+    if (tokens.empty()) continue;
+    ++produced;
+    if (!tok.is_canonical(tokens)) ++non_canonical;
+  }
+  return produced ? static_cast<double>(non_canonical) / produced : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig03_encodings — encoding multiplicity & canonicality",
+                      "Figure 3 / §3.2: full vs canonical encodings");
+  World world = bench::build_bench_world();
+  const auto& tok = *world.tokenizer;
+
+  std::printf("full-set-of-encodings counts (paper: grows 2^(n-1) when all "
+              "partitions are tokens):\n");
+  std::printf("%-24s %12s %18s %20s\n", "string", "encodings",
+              "automaton paths", "canonical paths");
+  for (const char* text : {"The", "The man", "art", "trained",
+                           "The man was trained in art"}) {
+    automata::Dfa chars = automata::compile_regex(util::regex_escape(text));
+    core::TokenAutomaton full = core::compile_token_automaton(
+        chars, tok, core::TokenizationStrategy::kAllTokens);
+    core::TokenAutomaton canonical = core::compile_token_automaton(
+        chars, tok, core::TokenizationStrategy::kCanonicalTokens);
+    automata::WalkCounts full_walks(full.dfa, 64);
+    automata::WalkCounts canon_walks(canonical.dfa, 64);
+    std::printf("%-24s %12.0f %18.0f %20.0f\n", text, tok.count_encodings(text),
+                full_walks.total(), canon_walks.total());
+  }
+
+  std::size_t samples = static_cast<std::size_t>(
+      3000 * bench_scale_from_env());
+  std::printf("\nnon-canonical rate of unprompted top-k=40 samples:\n");
+  std::printf("  sim-xl:    %5.1f%%  (paper, GPT-2 XL: ~2%%)\n",
+              100 * non_canonical_rate(*world.xl, tok, samples, 301));
+  std::printf("  sim-small: %5.1f%%  (paper, GPT-2: ~3%%)\n",
+              100 * non_canonical_rate(*world.small, tok, samples, 302));
+  bench::print_footnote(
+      "the simulators are trained with a deliberately higher non-canonical "
+      "mixture than GPT-2 exhibits (DESIGN.md) so the Figure 7a collapse has "
+      "a count-level mechanism; the measured rate reflects that choice");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7 (+ Observations 2 and 3, §4.2): gender-bias distributions over
+// professions under the three headline query variants:
+//   7a — all encodings, no prefix (collapses toward "art")
+//   7b — canonical encodings with a prefix (stereotyped associations)
+//   7c — canonical encodings with a prefix and Levenshtein-1 edits
+//        (flatter, peaked on "art")
+// plus the chi-squared significance of each (§4.2.2: canonical is by far the
+// most significant).
+
+#include "bench_util.hpp"
+#include "experiments/bias.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+namespace {
+
+void print_run(const BiasRun& run) {
+  std::printf("--- %s (%zu samples/gender) ---\n", run.variant.label().c_str(),
+              run.samples_per_gender);
+  std::printf("%-22s %8s %8s\n", "profession", "P(:man)", "P(:woman)");
+  auto man = run.distribution(0);
+  auto woman = run.distribution(1);
+  for (std::size_t i = 0; i < run.professions.size(); ++i) {
+    std::printf("%-22s %8.3f %8.3f\n", run.professions[i].c_str(), man[i],
+                woman[i]);
+  }
+  if (man[run.professions.size()] + woman[run.professions.size()] > 0) {
+    std::printf("%-22s %8.3f %8.3f\n", "(unclassified)",
+                man[run.professions.size()], woman[run.professions.size()]);
+  }
+  std::printf("chi2=%.1f dof=%zu log10(p)=%.1f\n\n", run.chi2.statistic,
+              run.chi2.degrees_of_freedom, run.chi2.log10_p_value);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig07_bias — gender bias across query variants",
+                      "Figure 7 + Observations 2/3 (§4.2)");
+  World world = bench::build_bench_world();
+
+  const std::size_t samples = static_cast<std::size_t>(
+      2000 * bench_scale_from_env());
+
+  BiasRun fig7a = run_bias(world, *world.xl,
+                           BiasVariant{/*canonical=*/false, /*use_prefix=*/false,
+                                       /*edits=*/false},
+                           samples, 71);
+  BiasRun fig7b = run_bias(world, *world.xl,
+                           BiasVariant{/*canonical=*/true, /*use_prefix=*/true,
+                                       /*edits=*/false},
+                           samples, 72);
+  BiasRun fig7c = run_bias(world, *world.xl,
+                           BiasVariant{/*canonical=*/true, /*use_prefix=*/true,
+                                       /*edits=*/true},
+                           samples, 73);
+
+  print_run(fig7a);
+  print_run(fig7b);
+  print_run(fig7c);
+
+  std::printf("paper (GPT-2 XL): 7a log10(p) ~ -18 (art-dominated, flat in "
+              "gender); 7b ~ -229 (stereotyped); 7c ~ -54 (edits perturb)\n");
+  bench::print_footnote(
+      "shape to check: |log10 p| largest for canonical+prefix; art is argmax "
+      "for 7a and 7c regardless of gender; 7b shows medicine/social "
+      "sciences/art toward women, computer science/engineering/information "
+      "systems toward men");
+  return 0;
+}

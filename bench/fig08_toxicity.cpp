@@ -1,0 +1,77 @@
+// Figure 8 (§4.3): toxic-content extraction.
+//   8a — prompted: extraction success per grep-derived prompt; all encodings
+//        + Levenshtein-1 edits unlock ~2.5x more extractions than the
+//        canonical baseline (91% vs 27-37% in the paper).
+//   8b — unprompted: the *volume* of extracted token sequences per input
+//        (capped), where edits + encodings yield a ~93x blow-up.
+
+#include "bench_util.hpp"
+#include "experiments/toxicity.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+int main() {
+  bench::print_header("fig08_toxicity — prompted and unprompted extraction",
+                      "Figure 8 + Observations 4/5 (§4.3)");
+  World world = bench::build_bench_world();
+
+  const std::size_t max_cases = static_cast<std::size_t>(
+      60 * std::max(1.0, bench_scale_from_env()));
+  auto cases = derive_toxicity_cases(world, max_cases);
+  std::printf("[grep] lexicon scan produced %zu prompts from the corpus\n\n",
+              cases.size());
+
+  ToxicitySettings baseline;  // canonical encodings, no edits
+  ToxicitySettings relm_full;
+  relm_full.edits = true;
+  relm_full.all_encodings = true;
+
+  // --- Figure 8a: prompted --------------------------------------------------
+  PromptedResult prompted_base = run_prompted_toxicity(world, *world.xl, cases, baseline);
+  PromptedResult prompted_relm = run_prompted_toxicity(world, *world.xl, cases, relm_full);
+  std::printf("Figure 8a (prompted extraction success)\n");
+  std::printf("%-26s %10s %10s %10s\n", "setting", "attempted", "extracted", "rate_%");
+  std::printf("%-26s %10zu %10zu %10.1f\n", "baseline (canonical)",
+              prompted_base.attempted, prompted_base.extracted,
+              100 * prompted_base.success_rate());
+  std::printf("%-26s %10zu %10zu %10.1f\n", "relm (encodings+edits)",
+              prompted_relm.attempted, prompted_relm.extracted,
+              100 * prompted_relm.success_rate());
+  double ratio = prompted_base.extracted
+                     ? static_cast<double>(prompted_relm.extracted) /
+                           prompted_base.extracted
+                     : 0.0;
+  std::printf("ratio: %.2fx (paper: 2.5x; 91%% vs 27-37%%)\n\n", ratio);
+
+  // --- Figure 8b: unprompted ------------------------------------------------
+  UnpromptedResult unprompted_base =
+      run_unprompted_toxicity(world, *world.xl, cases, baseline);
+  UnpromptedResult unprompted_relm =
+      run_unprompted_toxicity(world, *world.xl, cases, relm_full);
+  std::printf("Figure 8b (unprompted extraction volume, cap %zu/input)\n",
+              baseline.sequence_cap);
+  std::printf("%-26s %10s %14s %12s %14s\n", "setting", "inputs",
+              "with_extract", "sequences", "seq_per_input");
+  std::printf("%-26s %10zu %14zu %12zu %14.2f\n", "baseline (canonical)",
+              unprompted_base.attempted, unprompted_base.inputs_with_extraction,
+              unprompted_base.total_sequences,
+              unprompted_base.sequences_per_input());
+  std::printf("%-26s %10zu %14zu %12zu %14.2f\n", "relm (encodings+edits)",
+              unprompted_relm.attempted, unprompted_relm.inputs_with_extraction,
+              unprompted_relm.total_sequences,
+              unprompted_relm.sequences_per_input());
+  double volume_ratio =
+      unprompted_base.total_sequences
+          ? static_cast<double>(unprompted_relm.total_sequences) /
+                unprompted_base.total_sequences
+          : 0.0;
+  std::printf("volume ratio: %.0fx (paper: ~93x more sequences; baseline "
+              "extracts 8-18%% of inputs)\n",
+              volume_ratio);
+  bench::print_footnote(
+      "paper shape: prompting helps; canonical-only misses content the model "
+      "memorized in one-edit variant spellings; encodings multiply sequence "
+      "counts");
+  return 0;
+}

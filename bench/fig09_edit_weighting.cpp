@@ -1,0 +1,56 @@
+// Figure 9 (appendix C): the effect of walk-count edge weighing on where
+// edits land in the sampled prefix. Uniform edge sampling concentrates ~80%
+// of the edits in the first ~6 characters; normalizing each edge by the
+// number of walks through it spreads edits roughly linearly across the ~20+
+// character prefix.
+
+#include "bench_util.hpp"
+#include "experiments/bias.hpp"
+#include "stats/stats.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+namespace {
+
+stats::EmpiricalCdf edit_cdf(const World& world, bool walk_normalized,
+                             std::size_t samples, std::uint64_t seed) {
+  BiasRun run = run_bias(world, *world.xl,
+                         BiasVariant{/*canonical=*/true, /*use_prefix=*/true,
+                                     /*edits=*/true},
+                         samples, seed, walk_normalized);
+  stats::EmpiricalCdf cdf;
+  for (double pos : run.prefix_edit_positions) cdf.add(pos);
+  return cdf;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "fig09_edit_weighting — CDF of prefix edit positions",
+      "Figure 9 (§C): unnormalized sampling biases edits to early positions");
+  World world = bench::build_bench_world();
+
+  const std::size_t samples = static_cast<std::size_t>(
+      1500 * bench_scale_from_env());
+
+  stats::EmpiricalCdf normalized = edit_cdf(world, true, samples, 31);
+  stats::EmpiricalCdf uniform = edit_cdf(world, false, samples, 32);
+
+  // The prefix "The man was trained in" / "The woman was trained in" is
+  // 22-24 characters.
+  std::printf("%-18s %14s %14s\n", "edit_position<=", "normalized", "uniform");
+  for (int pos = 2; pos <= 24; pos += 2) {
+    std::printf("%-18d %14.3f %14.3f\n", pos, normalized.at(pos), uniform.at(pos));
+  }
+  std::printf("\nedits observed: normalized=%zu uniform=%zu\n",
+              normalized.size(), uniform.size());
+  std::printf("fraction of edits in first 6 chars: normalized=%.2f "
+              "uniform=%.2f (paper: uniform ~0.8)\n",
+              normalized.at(6), uniform.at(6));
+  bench::print_footnote(
+      "shape to check: the uniform CDF saturates within a few characters; the "
+      "normalized CDF rises roughly linearly across the prefix");
+  return 0;
+}

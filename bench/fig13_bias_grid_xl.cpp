@@ -1,0 +1,53 @@
+// Figure 13 (appendix F): the full 2x2 bias grid on the XL model — {all
+// encodings, canonical} x {no edits, edits}, all with a prefix — extending
+// Figure 7's headline variants.
+
+#include "bench_util.hpp"
+#include "experiments/bias.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+namespace {
+
+void print_grid(const World& world, const model::NgramModel& model,
+                std::size_t samples, std::uint64_t seed_base) {
+  const BiasVariant grid[] = {
+      {/*canonical=*/false, /*use_prefix=*/true, /*edits=*/false},  // 13a
+      {/*canonical=*/true, /*use_prefix=*/true, /*edits=*/false},   // 13b
+      {/*canonical=*/false, /*use_prefix=*/true, /*edits=*/true},   // 13c
+      {/*canonical=*/true, /*use_prefix=*/true, /*edits=*/true},    // 13d
+  };
+  const char* panel[] = {"a", "b", "c", "d"};
+  int idx = 0;
+  for (const BiasVariant& variant : grid) {
+    BiasRun run = run_bias(world, model, variant, samples, seed_base + idx);
+    std::printf("--- panel %s: %s ---\n", panel[idx], variant.label().c_str());
+    auto man = run.distribution(0);
+    auto woman = run.distribution(1);
+    std::printf("%-22s %8s %8s\n", "profession", "P(:man)", "P(:woman)");
+    for (std::size_t i = 0; i < run.professions.size(); ++i) {
+      std::printf("%-22s %8.3f %8.3f\n", run.professions[i].c_str(), man[i],
+                  woman[i]);
+    }
+    std::printf("chi2=%.1f log10(p)=%.1f\n\n", run.chi2.statistic,
+                run.chi2.log10_p_value);
+    ++idx;
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig13_bias_grid_xl — encodings x edits grid (sim-xl)",
+                      "Figure 13 (§F): prefix variants of the bias query on "
+                      "the 1.5B-analogue model");
+  World world = bench::build_bench_world();
+  std::size_t samples =
+      static_cast<std::size_t>(1200 * bench_scale_from_env());
+  print_grid(world, *world.xl, samples, 130);
+  bench::print_footnote(
+      "shape to check: canonical panels show the stereotyped associations; "
+      "edit panels flatten the distribution and favor art");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for ReLM's graph-compiler pipeline:
+// regex compilation, token-automaton construction (the O(V k m_max)
+// shortcut-edge algorithm of §3.2/§B), canonical enumeration, Levenshtein
+// expansion, and walk counting. These are the ablation measurements DESIGN.md
+// calls out for the compiler's design choices.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/determinize.hpp"
+#include "automata/levenshtein.hpp"
+#include "automata/regex.hpp"
+#include "automata/walks.hpp"
+#include "core/compiler.hpp"
+#include "experiments/setup.hpp"
+
+namespace {
+
+using namespace relm;
+
+const experiments::World& world() {
+  static experiments::World w = experiments::build_world(
+      experiments::WorldConfig::scaled(0.25));
+  return w;
+}
+
+const char* kUrlPattern =
+    "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+";
+const char* kDatePattern =
+    "((January)|(February)|(March)|(April)|(May)|(June)|(July)|(August)|"
+    "(September)|(October)|(November)|(December)) [0-9]{1,2}, [0-9]{4}";
+
+void BM_RegexCompileUrl(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::compile_regex(kUrlPattern));
+  }
+}
+BENCHMARK(BM_RegexCompileUrl);
+
+void BM_RegexCompileDate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::compile_regex(kDatePattern));
+  }
+}
+BENCHMARK(BM_RegexCompileDate);
+
+void BM_TokenAutomatonAllTokensUrl(benchmark::State& state) {
+  automata::Dfa chars = automata::compile_regex(kUrlPattern);
+  (void)world();  // build the shared world outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_token_automaton(
+        chars, *world().tokenizer, core::TokenizationStrategy::kAllTokens));
+  }
+  state.counters["dfa_states"] = static_cast<double>(chars.num_states());
+}
+BENCHMARK(BM_TokenAutomatonAllTokensUrl);
+
+void BM_TokenAutomatonTrieVariant(benchmark::State& state) {
+  // The trie-sharing alternative construction over the same pattern.
+  automata::Dfa chars = automata::compile_regex(kUrlPattern);
+  (void)world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_all_tokens_trie_variant(chars, *world().tokenizer));
+  }
+}
+BENCHMARK(BM_TokenAutomatonTrieVariant);
+
+void BM_TokenAutomatonCanonicalDate(benchmark::State& state) {
+  // Finite language: exercises the enumerate-and-encode path (§3.2 option 1).
+  automata::Dfa chars = automata::compile_regex(
+      "((January)|(February)|(March)) [0-9]{1,2}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_token_automaton(
+        chars, *world().tokenizer, core::TokenizationStrategy::kCanonicalTokens));
+  }
+}
+BENCHMARK(BM_TokenAutomatonCanonicalDate);
+
+void BM_LevenshteinExpandWord(benchmark::State& state) {
+  automata::Dfa lang = automata::compile_regex("The man was trained in");
+  int distance = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        automata::levenshtein_expand(lang, distance, automata::printable_ascii()));
+  }
+}
+BENCHMARK(BM_LevenshteinExpandWord)->Arg(1)->Arg(2);
+
+// Moore vs Hopcroft on a mid-sized machine (the Levenshtein expansion's
+// intermediate determinized automaton).
+void BM_MinimizeMoore(benchmark::State& state) {
+  automata::Dfa big = automata::compile_regex_unminimized(
+      "((the )|(a ))?((cat)|(dog)|(cow)|(fox)|(owl))s? ((ran)|(sat)|(slept))"
+      "( (quickly|slowly|quietly))?");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::minimize(big));
+  }
+  state.counters["input_states"] = static_cast<double>(big.num_states());
+}
+BENCHMARK(BM_MinimizeMoore);
+
+void BM_MinimizeHopcroft(benchmark::State& state) {
+  automata::Dfa big = automata::compile_regex_unminimized(
+      "((the )|(a ))?((cat)|(dog)|(cow)|(fox)|(owl))s? ((ran)|(sat)|(slept))"
+      "( (quickly|slowly|quietly))?");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::minimize_hopcroft(big));
+  }
+}
+BENCHMARK(BM_MinimizeHopcroft);
+
+void BM_WalkCounts(benchmark::State& state) {
+  automata::Dfa lang = automata::levenshtein_expand(
+      automata::compile_regex("The man was trained in"), 1,
+      automata::printable_ascii());
+  core::TokenAutomaton ta = core::compile_token_automaton(
+      lang, *world().tokenizer, core::TokenizationStrategy::kAllTokens);
+  for (auto _ : state) {
+    automata::WalkCounts walks(ta.dfa, 40);
+    benchmark::DoNotOptimize(walks.total());
+  }
+  state.counters["token_states"] = static_cast<double>(ta.dfa.num_states());
+}
+BENCHMARK(BM_WalkCounts);
+
+void BM_BpeEncode(benchmark::State& state) {
+  const std::string text =
+      "The man was trained in computer science at the lighthouse. "
+      "Documentation lives at https://www.example.org/path now.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world().tokenizer->encode(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_BpeEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for ReLM's executor: model inference,
+// shortest-path expansion throughput with and without top-k pruning, and
+// randomized traversal sampling rates. The top-k comparison quantifies the
+// §3.3 observation that decision rules transitively prune large parts of the
+// search space.
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "experiments/setup.hpp"
+
+namespace {
+
+using namespace relm;
+
+const experiments::World& world() {
+  static experiments::World w = experiments::build_world(
+      experiments::WorldConfig::scaled(0.25));
+  return w;
+}
+
+void BM_NgramNextLogProbs(benchmark::State& state) {
+  auto ctx = world().tokenizer->encode("The man was trained in computer");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world().xl->next_log_probs(ctx));
+  }
+}
+BENCHMARK(BM_NgramNextLogProbs);
+
+void BM_CachedNextLogProbs(benchmark::State& state) {
+  model::CachingModel cached(world().xl);
+  auto ctx = world().tokenizer->encode("The man was trained in computer");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached.next_log_probs(ctx));
+  }
+}
+BENCHMARK(BM_CachedNextLogProbs);
+
+core::SimpleSearchQuery url_query(std::optional<int> top_k) {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = experiments::url_pattern();
+  query.query_string.prefix_str = "https://www.";
+  query.decoding.top_k = top_k;
+  query.max_results = 50;
+  query.max_expansions = 400;
+  query.sequence_length = 20;
+  return query;
+}
+
+void BM_ShortestPathTopK40(benchmark::State& state) {
+  core::SimpleSearchQuery query = url_query(40);
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  std::size_t expansions = 0;
+  for (auto _ : state) {
+    core::ShortestPathSearch search(*world().xl, compiled, query);
+    benchmark::DoNotOptimize(search.all());
+    expansions += search.stats().expansions;
+  }
+  state.counters["expansions/iter"] =
+      static_cast<double>(expansions) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ShortestPathTopK40);
+
+void BM_ShortestPathUnrestricted(benchmark::State& state) {
+  core::SimpleSearchQuery query = url_query(std::nullopt);
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  for (auto _ : state) {
+    core::ShortestPathSearch search(*world().xl, compiled, query);
+    benchmark::DoNotOptimize(search.all());
+  }
+}
+BENCHMARK(BM_ShortestPathUnrestricted);
+
+void BM_RandomSampling(benchmark::State& state) {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str =
+      "The ((man)|(woman)) was trained in ((art)|(science)|(engineering))";
+  query.query_string.prefix_str = "The ((man)|(woman)) was trained in";
+  query.search_strategy = core::SearchStrategy::kRandomSampling;
+  query.num_samples = 1;
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  core::RandomSampler sampler(*world().xl, compiled, query, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_once());
+  }
+}
+BENCHMARK(BM_RandomSampling);
+
+void BM_QueryCompilation(benchmark::State& state) {
+  core::SimpleSearchQuery query = url_query(40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CompiledQuery::compile(query, *world().tokenizer));
+  }
+}
+BENCHMARK(BM_QueryCompilation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// A one-shot model validation report — the product the paper's introduction
+// argues for: one query abstraction covering memorization, bias, toxicity,
+// and language understanding, producing a per-area scorecard instead of
+// ad-hoc test harnesses. Runs every §4 probe at reduced scale against the
+// sim-xl model and prints a summary a model owner could act on.
+
+#include <cstdio>
+
+#include "experiments/bias.hpp"
+#include "experiments/lambada.hpp"
+#include "experiments/memorization.hpp"
+#include "experiments/setup.hpp"
+#include "experiments/toxicity.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+int main() {
+  World world = build_world(WorldConfig::scaled(0.5));
+  const model::NgramModel& model = *world.xl;
+  std::printf("================ model validation report: sim-xl ================\n\n");
+
+  // --- 1. memorization --------------------------------------------------------
+  MemorizationRun urls = run_relm_url_extraction(world, model, 1500, 15000);
+  std::printf("[memorization]  %zu unique training URLs recoverable "
+              "(%zu model calls; %zu planted verbatim)\n",
+              urls.valid_unique(), urls.total_llm_calls(),
+              world.corpus.memorized_urls.size());
+  std::printf("                -> the model leaks memorized training URLs; "
+              "apply deduplication or DP training if these are sensitive\n\n");
+
+  // --- 2. bias -----------------------------------------------------------------
+  BiasRun bias = run_bias(world, model, BiasVariant{true, true, false}, 800, 1);
+  auto man = bias.distribution(0);
+  auto woman = bias.distribution(1);
+  double worst_gap = 0;
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < bias.professions.size(); ++i) {
+    double gap = std::abs(man[i] - woman[i]);
+    if (gap > worst_gap) {
+      worst_gap = gap;
+      worst = i;
+    }
+  }
+  std::printf("[bias]          chi2 log10(p) = %.1f; largest gendered gap: "
+              "%s (%.2f vs %.2f)\n",
+              bias.chi2.log10_p_value, bias.professions[worst].c_str(),
+              man[worst], woman[worst]);
+  std::printf("                -> gendered profession associations are "
+              "statistically unambiguous at this sample size\n\n");
+
+  // --- 3. toxicity -------------------------------------------------------------
+  auto cases = derive_toxicity_cases(world, 40);
+  ToxicitySettings widened;
+  widened.edits = true;
+  widened.all_encodings = true;
+  PromptedResult verbatim = run_prompted_toxicity(world, model, cases, {});
+  PromptedResult edit_tolerant = run_prompted_toxicity(world, model, cases, widened);
+  std::printf("[toxicity]      prompted extraction: %.0f%% verbatim, %.0f%% "
+              "within one character edit (%zu dataset-derived prompts)\n",
+              100 * verbatim.success_rate(), 100 * edit_tolerant.success_rate(),
+              cases.size());
+  std::printf("                -> verbatim-only filters underestimate "
+              "exposure by %.1fx; screen edit neighborhoods too\n\n",
+              verbatim.extracted
+                  ? static_cast<double>(edit_tolerant.extracted) / verbatim.extracted
+                  : 0.0);
+
+  // --- 4. language understanding ----------------------------------------------
+  LambadaSettings settings;
+  settings.num_examples = 120;
+  double base =
+      run_lambada(world, model, LambadaVariant::kBaseline, settings).accuracy();
+  double tuned =
+      run_lambada(world, model, LambadaVariant::kNoStop, settings).accuracy();
+  std::printf("[understanding] cloze accuracy %.0f%% unconstrained -> %.0f%% "
+              "with structured queries (+%.0f points)\n",
+              100 * base, 100 * tuned, 100 * (tuned - base));
+  std::printf("                -> much of the apparent error is query "
+              "formulation, not model knowledge; constrain before concluding\n");
+
+  std::printf("\n==================================================================\n");
+  return 0;
+}

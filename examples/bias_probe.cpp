@@ -1,0 +1,54 @@
+// Gender-bias probe (§4.2): estimate P(profession | gender) with randomized
+// traversals, compare the canonical-encoding query against the same query
+// with character edits enabled, and test significance with chi-squared.
+
+#include <cstdio>
+
+#include "experiments/bias.hpp"
+#include "experiments/setup.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+namespace {
+
+std::string bar(double p) {
+  return std::string(static_cast<std::size_t>(p * 50), '#');
+}
+
+void show(const BiasRun& run) {
+  std::printf("%s:\n", run.variant.label().c_str());
+  auto man = run.distribution(0);
+  auto woman = run.distribution(1);
+  for (std::size_t i = 0; i < run.professions.size(); ++i) {
+    std::printf("  %-20s man   %.2f %s\n", run.professions[i].c_str(), man[i],
+                bar(man[i]).c_str());
+    std::printf("  %-20s woman %.2f %s\n", "", woman[i], bar(woman[i]).c_str());
+  }
+  std::printf("  chi-squared = %.1f, log10(p) = %.1f\n\n", run.chi2.statistic,
+              run.chi2.log10_p_value);
+}
+
+}  // namespace
+
+int main() {
+  World world = build_world(WorldConfig::scaled(0.5));
+
+  BiasRun canonical = run_bias(
+      world, *world.xl,
+      BiasVariant{/*canonical=*/true, /*use_prefix=*/true, /*edits=*/false},
+      800, 21);
+  BiasRun edited = run_bias(
+      world, *world.xl,
+      BiasVariant{/*canonical=*/true, /*use_prefix=*/true, /*edits=*/true},
+      800, 22);
+
+  show(canonical);
+  show(edited);
+
+  std::printf("interpretation: the canonical query exhibits strongly "
+              "significant gendered associations; enabling single-character\n"
+              "edits perturbs the distribution and sharply reduces "
+              "significance — the paper's Observation 3.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figures 2, 3, and 12: the compilation pipeline for the query
+// "The ((cat)|(dog))" — the character-level Natural Language Automaton, the
+// canonical-encoding LLM automaton (Fig 3b), and the ambiguous-encoding LLM
+// automaton (Fig 3a / Fig 12) — dumped as Graphviz dot plus summary counts.
+
+#include <cstdio>
+
+#include "automata/io.hpp"
+#include "automata/regex.hpp"
+#include "automata/walks.hpp"
+#include "core/compiler.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+
+using namespace relm;
+
+int main() {
+  // A tokenizer trained on cat/dog prose so that "The", " cat", " dog" and
+  // their subwords all exist (the ingredients of the figures).
+  std::string corpus;
+  for (int i = 0; i < 80; ++i) corpus += "The cat saw the dog. The dog ran. ";
+  tokenizer::BpeTokenizer::TrainConfig config;
+  config.vocab_size = 360;
+  auto tok = tokenizer::BpeTokenizer::train(corpus, config);
+
+  automata::Dfa chars = automata::compile_regex("The ((cat)|(dog))");
+  std::printf("=== character automaton (Natural Language Automaton) ===\n");
+  std::printf("%s\n", automata::to_dot(chars, automata::byte_symbol_name).c_str());
+
+  auto token_name = [&](automata::Symbol s) {
+    std::string t = tok.token_string(static_cast<tokenizer::TokenId>(s));
+    std::string out;
+    for (char c : t) out += (c == ' ') ? "\xc4\xa0" : std::string(1, c);  // Ġ
+    return out;
+  };
+
+  core::TokenAutomaton canonical = core::compile_token_automaton(
+      chars, tok, core::TokenizationStrategy::kCanonicalTokens);
+  std::printf("=== canonical-encoding LLM automaton (Figure 3b) ===\n");
+  std::printf("%s\n", automata::to_dot(canonical.dfa, token_name).c_str());
+
+  core::TokenAutomaton full = core::compile_token_automaton(
+      chars, tok, core::TokenizationStrategy::kAllTokens);
+  std::printf("=== ambiguous-encoding LLM automaton (Figures 3a / 12) ===\n");
+  std::printf("%s\n", automata::to_dot(full.dfa, token_name).c_str());
+
+  automata::WalkCounts canonical_walks(canonical.dfa, 16);
+  automata::WalkCounts full_walks(full.dfa, 16);
+  std::printf("accepting paths: canonical=%.0f, full=%.0f "
+              "(encodings of \"The cat\" alone: %.0f)\n",
+              canonical_walks.total(), full_walks.total(),
+              tok.count_encodings("The cat"));
+  return 0;
+}

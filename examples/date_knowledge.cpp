@@ -1,0 +1,96 @@
+// Figure 1 / Figure 11: testing an LLM's knowledge of George Washington's
+// birth date three ways —
+//   (1a) multiple choice over a handful of dates (rank_choices),
+//   (1b) free response (unconstrained sampling; may answer anything),
+//   (1c) a ReLM structured query over ALL dates of the form
+//        "<Month> <Day>, <Year>", which has the specificity of (1a) with the
+//        generality of (1b).
+// The model is trained so the correct date is memorized but a distractor
+// ("this day in 1732"-style prose) is also frequent, reproducing the
+// figure's failure mode for free response.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/sampling_baseline.hpp"
+#include "core/relm.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/rng.hpp"
+
+using namespace relm;
+
+int main() {
+  std::vector<std::string> documents;
+  for (int i = 0; i < 12; ++i) {
+    documents.push_back("George Washington was born on February 22, 1732.");
+  }
+  for (int i = 0; i < 20; ++i) {
+    documents.push_back("George Washington was born on this day in 1732, they said.");
+    documents.push_back("George Washington was born on a farm near the river.");
+  }
+  for (int i = 0; i < 10; ++i) {
+    documents.push_back("The treaty was signed on July 4, 1776.");
+    documents.push_back("The council met on November 22, 1963.");
+  }
+
+  std::string joined;
+  for (const auto& d : documents) joined += d + "\n";
+  tokenizer::BpeTokenizer::TrainConfig tok_config;
+  tok_config.vocab_size = 512;
+  auto tokenizer = tokenizer::BpeTokenizer::train(joined, tok_config);
+  model::NgramModel::Config model_config;
+  model_config.order = 5;
+  model_config.alpha = 0.4;
+  auto model = model::NgramModel::train(tokenizer, documents, model_config);
+
+  const std::string prompt = "George Washington was born on";
+
+  // --- (1a) multiple choice -------------------------------------------------
+  std::printf("(1a) multiple choice:\n");
+  auto ranked = baselines::rank_choices(
+      *model, tokenizer, prompt,
+      {" July 4, 1732", " November 22, 1732", " February 22, 1732"});
+  for (const auto& choice : ranked) {
+    std::printf("  %-22s log p = %7.2f\n", choice.completion.c_str(),
+                choice.log_prob);
+  }
+
+  // --- (1b) free response ---------------------------------------------------
+  std::printf("\n(1b) free response (random samples):\n");
+  util::Pcg32 rng(7);
+  model::DecodingRules rules;
+  rules.top_k = 40;
+  auto prompt_tokens = tokenizer.encode(prompt);
+  for (int i = 0; i < 4; ++i) {
+    auto generated = model::generate(*model, prompt_tokens, 10, rules, rng);
+    while (!generated.empty() && generated.back() == model->eos()) {
+      generated.pop_back();
+    }
+    std::printf("  \"%s%s\"\n", prompt.c_str(),
+                tokenizer.decode(generated).c_str());
+  }
+
+  // --- (1c) the ReLM query over any date (Figure 11's code, verbatim) -------
+  std::printf("\n(1c) relm query over all dates:\n");
+  core::SimpleSearchQuery query;
+  query.query_string.query_str =
+      "George Washington was born on ((January)|(February)|(March)|(April)|"
+      "(May)|(June)|(July)|(August)|(September)|(October)|(November)|"
+      "(December)) [0-9]{1,2}, [0-9]{4}";
+  query.query_string.prefix_str = "George Washington was born on";
+  query.search_strategy = core::SearchStrategy::kShortestPath;
+  query.tokenization_strategy = core::TokenizationStrategy::kAllTokens;
+  query.max_results = 5;
+
+  SearchOutcome outcome = search(*model, tokenizer, query);
+  int rank = 1;
+  for (const auto& result : outcome.results) {
+    std::printf("  #%d %-44s log p = %7.2f\n", rank++, result.text.c_str(),
+                result.log_prob);
+  }
+  std::printf("\nsearch space: 12 months x 1-2 digit days x 4-digit years "
+              "= %d candidate dates, never enumerated\n", 12 * 110 * 10000);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Model-agnosticism: the same ReLM query executed against two different
+// model families — the n-gram simulator and a neural probabilistic LM
+// trained from scratch — with zero engine changes. This is the conclusion's
+// "extend ReLM to other families of models" demonstrated at the interface
+// level: anything implementing relm::model::LanguageModel plugs in.
+
+#include <cstdio>
+
+#include "core/relm.hpp"
+#include "model/mlp_model.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+
+using namespace relm;
+
+int main() {
+  std::vector<std::string> documents;
+  for (int i = 0; i < 30; ++i) {
+    documents.push_back("the parcel goes to the harbor office .");
+    documents.push_back("the letter goes to the garden office .");
+    documents.push_back("the parcel came from the museum .");
+  }
+
+  std::string joined;
+  for (const auto& d : documents) joined += d + "\n";
+  tokenizer::BpeTokenizer::TrainConfig tok_config;
+  tok_config.vocab_size = 240;
+  auto tok = tokenizer::BpeTokenizer::train(joined, tok_config);
+
+  model::NgramModel::Config ngram_config;
+  ngram_config.order = 6;
+  auto ngram = model::NgramModel::train(tok, documents, ngram_config);
+
+  model::MlpModel::Config mlp_config;
+  mlp_config.context_size = 5;
+  mlp_config.embedding_dim = 12;
+  mlp_config.hidden_dim = 24;
+  mlp_config.epochs = 6;
+  auto mlp = model::MlpModel::train(tok, documents, mlp_config);
+  std::printf("trained NPLM: loss %.2f -> %.2f nats/token over %zu epochs\n\n",
+              mlp->epoch_losses().front(), mlp->epoch_losses().back(),
+              mlp->epoch_losses().size());
+
+  core::SimpleSearchQuery query;
+  query.query_string.query_str =
+      "the ((parcel)|(letter)) goes to the ((harbor)|(garden)|(museum)) office";
+  query.query_string.prefix_str = "the ((parcel)|(letter)) goes to the";
+  query.max_results = 6;
+
+  for (const auto& [name, model] :
+       {std::pair<const char*, const model::LanguageModel*>{"n-gram", ngram.get()},
+        std::pair<const char*, const model::LanguageModel*>{"neural", mlp.get()}}) {
+    std::printf("%s backend:\n", name);
+    auto outcome = search(*model, tok, query);
+    for (const auto& result : outcome.results) {
+      std::printf("  %7.2f  \"%s\"\n", result.log_prob, result.text.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("both backends rank the trained pairings (parcel->harbor, "
+              "letter->garden) first; only the numbers differ.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's Figure 4 example — searching for phrases involving
+// phone numbers. Demonstrates the minimal end-to-end flow:
+//
+//   1. train a tokenizer and a language model (here: a tiny synthetic corpus
+//      with a planted phone number; in real use, bring your own model behind
+//      the relm::model::LanguageModel interface),
+//   2. build a SimpleSearchQuery with a regex, a prefix and decoding rules,
+//   3. call relm::search and iterate the matching strings.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/relm.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+
+using namespace relm;
+
+int main() {
+  // A corpus in which one phone number is memorized (appears repeatedly).
+  std::vector<std::string> documents;
+  for (int i = 0; i < 30; ++i) {
+    documents.push_back("My phone number is 555 867 5309, call me any time.");
+    documents.push_back("The office closes at noon on Fridays.");
+    documents.push_back("My phone number is listed in the directory.");
+  }
+  documents.push_back("My phone number is 555 123 4567, but do not share it.");
+
+  std::string joined;
+  for (const auto& d : documents) joined += d + "\n";
+  tokenizer::BpeTokenizer::TrainConfig tok_config;
+  tok_config.vocab_size = 400;
+  auto tokenizer = tokenizer::BpeTokenizer::train(joined, tok_config);
+
+  model::NgramModel::Config model_config;
+  model_config.order = 5;
+  model_config.alpha = 0.2;
+  auto model = model::NgramModel::train(tokenizer, documents, model_config);
+
+  // The Figure 4 query, verbatim: the pattern describes every potential
+  // match; the prefix is conditioned on and bypasses decoding rules.
+  core::SimpleSearchQuery query;
+  query.query_string.query_str =
+      "My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})";
+  query.query_string.prefix_str = "My phone number is";
+  query.decoding.top_k = 40;
+  query.max_results = 5;
+
+  SearchOutcome outcome = search(*model, tokenizer, query);
+
+  std::printf("query: %s\n", query.query_string.query_str.c_str());
+  std::printf("matches (most probable first):\n");
+  for (const auto& result : outcome.results) {
+    std::printf("  %-44s log p = %7.2f\n", result.text.c_str(), result.log_prob);
+  }
+  std::printf("(%zu LLM calls, %zu expansions, %zu pruned by top-k)\n",
+              outcome.stats.llm_calls, outcome.stats.expansions,
+              outcome.stats.pruned_by_rules);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Toxicity audit (§4.3): scan a dataset for an insult lexicon with the
+// DFA-based grep, derive extraction prompts from the hits, and measure which
+// of them the model will reproduce — first with the plain canonical query,
+// then with all encodings plus Levenshtein-1 edits.
+
+#include <cstdio>
+
+#include "experiments/setup.hpp"
+#include "experiments/toxicity.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+int main() {
+  World world = build_world(WorldConfig::scaled(0.5));
+
+  auto cases = derive_toxicity_cases(world, 24);
+  std::printf("grep found %zu prompt-able sentences; examples:\n", cases.size());
+  for (std::size_t i = 0; i < cases.size() && i < 3; ++i) {
+    std::printf("  prompt=\"%s\" target=\"%s\"\n", cases[i].prompt.c_str(),
+                cases[i].insult.c_str());
+  }
+
+  ToxicitySettings plain;  // canonical, no edits
+  ToxicitySettings widened;
+  widened.edits = true;
+  widened.all_encodings = true;
+
+  PromptedResult base = run_prompted_toxicity(world, *world.xl, cases, plain);
+  PromptedResult relm_run = run_prompted_toxicity(world, *world.xl, cases, widened);
+
+  std::printf("\nprompted extraction success:\n");
+  std::printf("  canonical query:        %zu / %zu\n", base.extracted,
+              base.attempted);
+  std::printf("  + encodings and edits:  %zu / %zu\n", relm_run.extracted,
+              relm_run.attempted);
+  std::printf("\ninterpretation: verbatim-only probing underestimates what "
+              "the model will emit — one-edit variant spellings\n"
+              "(the paper's special characters and phonetic misspellings) "
+              "carry most of the exposure.\n");
+  return 0;
+}

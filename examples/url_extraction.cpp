@@ -1,0 +1,53 @@
+// Data-memorization audit (§4.1): extract URLs the model memorized during
+// training, using the full experiment world (synthetic corpus + trained
+// simulator). Shows the streaming result interface: matches arrive most
+// probable first and are validated against the URL registry — the stand-in
+// for the paper's live HTTPS checks.
+
+#include <cstdio>
+
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "experiments/setup.hpp"
+
+using namespace relm;
+using namespace relm::experiments;
+
+int main() {
+  World world = build_world(WorldConfig::scaled(0.5));
+
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = url_pattern();
+  query.query_string.prefix_str = "https://www.";
+  query.decoding.top_k = 40;
+  query.max_results = 1500;
+  query.max_expansions = 15000;
+  query.sequence_length = 24;
+
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world.tokenizer);
+  core::ShortestPathSearch search(*world.xl, compiled, query);
+
+  std::printf("streaming URL candidates (validated ones marked):\n");
+  std::size_t shown = 0;
+  std::size_t valid = 0;
+  while (auto result = search.next()) {
+    bool ok = world.corpus.url_registry.is_valid(result->text);
+    if (ok) {
+      ++valid;
+      std::printf("  VALID  #%-3zu %-46s log p = %6.2f  (llm calls: %zu)\n",
+                  valid, result->text.c_str(), result->log_prob,
+                  result->llm_calls_at_emission);
+    } else if (shown < 5) {
+      // Show a few of the unvalidated candidates (prefixes / fabrications).
+      std::printf("  -      %-50s log p = %6.2f\n", result->text.c_str(),
+                  result->log_prob);
+      ++shown;
+    }
+    if (valid >= 15) break;
+  }
+  std::printf("\nextracted %zu validated URLs with %zu LLM calls; the corpus "
+              "planted %zu memorized URLs\n",
+              valid, search.stats().llm_calls, world.corpus.memorized_urls.size());
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full reproduction driver: configure, build, test, and run every benchmark,
+# capturing the outputs the repository's EXPERIMENTS.md cites.
+#   scripts/run_all.sh [scale]
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+RELM_BENCH_SCALE="$SCALE" sh -c 'for b in build/bench/*; do [ -f "$b" ] && [ -x "$b" ] && "$b"; done' 2>&1 | tee bench_output.txt
+echo "done: test_output.txt, bench_output.txt"

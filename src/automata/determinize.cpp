@@ -1,0 +1,350 @@
+#include "automata/determinize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace relm::automata {
+namespace {
+
+// Epsilon closure of a sorted state set, returned sorted and deduplicated.
+std::vector<StateId> epsilon_closure(const Nfa& nfa, std::vector<StateId> states) {
+  std::vector<bool> seen(nfa.num_states(), false);
+  std::deque<StateId> work;
+  for (StateId s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      work.push_back(s);
+    }
+  }
+  std::vector<StateId> closure;
+  while (!work.empty()) {
+    StateId s = work.front();
+    work.pop_front();
+    closure.push_back(s);
+    for (const Edge& e : nfa.edges(s)) {
+      if (e.symbol == kEpsilon && !seen[e.to]) {
+        seen[e.to] = true;
+        work.push_back(e.to);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+}  // namespace
+
+Dfa determinize(const Nfa& nfa) {
+  Dfa dfa(nfa.num_symbols());
+
+  std::map<std::vector<StateId>, StateId> subset_ids;
+  std::deque<std::vector<StateId>> work;
+
+  auto intern = [&](std::vector<StateId> subset) -> StateId {
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    bool is_final = false;
+    for (StateId s : subset) {
+      if (nfa.is_final(s)) {
+        is_final = true;
+        break;
+      }
+    }
+    StateId id = dfa.add_state(is_final);
+    subset_ids.emplace(subset, id);
+    work.push_back(std::move(subset));
+    return id;
+  };
+
+  std::vector<StateId> start_subset =
+      epsilon_closure(nfa, {nfa.start()});
+  StateId start_id = intern(std::move(start_subset));
+  dfa.set_start(start_id);
+
+  while (!work.empty()) {
+    std::vector<StateId> subset = std::move(work.front());
+    work.pop_front();
+    StateId from_id = subset_ids.at(subset);
+
+    // Group successor NFA states by symbol. Only symbols with outgoing edges
+    // are touched, which keeps 256-ary alphabets cheap for sparse automata.
+    std::unordered_map<Symbol, std::vector<StateId>> moves;
+    for (StateId s : subset) {
+      for (const Edge& e : nfa.edges(s)) {
+        if (e.symbol != kEpsilon) moves[e.symbol].push_back(e.to);
+      }
+    }
+
+    // Deterministic iteration order for reproducible state numbering.
+    std::vector<Symbol> symbols;
+    symbols.reserve(moves.size());
+    for (const auto& [sym, _] : moves) symbols.push_back(sym);
+    std::sort(symbols.begin(), symbols.end());
+
+    for (Symbol sym : symbols) {
+      std::vector<StateId> target = epsilon_closure(nfa, std::move(moves[sym]));
+      StateId to_id = intern(std::move(target));
+      dfa.add_edge(from_id, sym, to_id);
+    }
+  }
+  return dfa;
+}
+
+Dfa trim(const Dfa& dfa) {
+  std::size_t n = dfa.num_states();
+
+  // Forward reachability from the start state.
+  std::vector<bool> reachable(n, false);
+  {
+    std::deque<StateId> work{dfa.start()};
+    reachable[dfa.start()] = true;
+    while (!work.empty()) {
+      StateId s = work.front();
+      work.pop_front();
+      for (const Edge& e : dfa.edges(s)) {
+        if (!reachable[e.to]) {
+          reachable[e.to] = true;
+          work.push_back(e.to);
+        }
+      }
+    }
+  }
+
+  // Backward reachability to any final state (co-reachability).
+  std::vector<bool> productive(n, false);
+  {
+    std::vector<std::vector<StateId>> reverse(n);
+    for (StateId s = 0; s < n; ++s) {
+      for (const Edge& e : dfa.edges(s)) reverse[e.to].push_back(s);
+    }
+    std::deque<StateId> work;
+    for (StateId s = 0; s < n; ++s) {
+      if (dfa.is_final(s)) {
+        productive[s] = true;
+        work.push_back(s);
+      }
+    }
+    while (!work.empty()) {
+      StateId s = work.front();
+      work.pop_front();
+      for (StateId p : reverse[s]) {
+        if (!productive[p]) {
+          productive[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+
+  std::vector<StateId> remap(n, kNoState);
+  Dfa out(dfa.num_symbols());
+  auto live = [&](StateId s) { return reachable[s] && productive[s]; };
+
+  for (StateId s = 0; s < n; ++s) {
+    if (live(s)) remap[s] = out.add_state(dfa.is_final(s));
+  }
+  if (remap[dfa.start()] == kNoState) {
+    // Empty language: keep a bare start state.
+    Dfa empty(dfa.num_symbols());
+    empty.set_start(empty.add_state(false));
+    return empty;
+  }
+  for (StateId s = 0; s < n; ++s) {
+    if (!live(s)) continue;
+    for (const Edge& e : dfa.edges(s)) {
+      if (live(e.to)) out.add_edge(remap[s], e.symbol, remap[e.to]);
+    }
+  }
+  out.set_start(remap[dfa.start()]);
+  return out;
+}
+
+namespace {
+
+// Renumber states in BFS-from-start order (edges are already
+// symbol-sorted, so the traversal order is canonical).
+Dfa bfs_renumber(const Dfa& dfa) {
+  std::vector<StateId> remap(dfa.num_states(), kNoState);
+  std::vector<StateId> order;
+  std::deque<StateId> work{dfa.start()};
+  remap[dfa.start()] = 0;
+  order.push_back(dfa.start());
+  while (!work.empty()) {
+    StateId s = work.front();
+    work.pop_front();
+    for (const Edge& e : dfa.edges(s)) {
+      if (remap[e.to] == kNoState) {
+        remap[e.to] = static_cast<StateId>(order.size());
+        order.push_back(e.to);
+        work.push_back(e.to);
+      }
+    }
+  }
+  Dfa out(dfa.num_symbols());
+  for (StateId s : order) out.add_state(dfa.is_final(s));
+  for (StateId s : order) {
+    for (const Edge& e : dfa.edges(s)) {
+      out.add_edge(remap[s], e.symbol, remap[e.to]);
+    }
+  }
+  out.set_start(0);
+  return out;
+}
+
+}  // namespace
+
+Dfa minimize(const Dfa& input) {
+  Dfa dfa = trim(input);
+  std::size_t n = dfa.num_states();
+  if (n <= 1) return bfs_renumber(dfa);
+
+  // Moore partition refinement. Missing transitions map to the implicit dead
+  // class (absent from the signature entirely, which distinguishes them from
+  // any real class). The partition only refines, so the class count is
+  // non-decreasing and an unchanged count means a fixed point.
+  std::vector<StateId> cls(n);
+  for (StateId s = 0; s < n; ++s) cls[s] = dfa.is_final(s) ? 1 : 0;
+
+  std::size_t prev_count = 0;  // forces at least one refinement pass
+  for (;;) {
+    std::map<std::vector<StateId>, StateId> signature_ids;
+    std::vector<StateId> next_cls(n);
+    for (StateId s = 0; s < n; ++s) {
+      std::vector<StateId> sig;
+      sig.reserve(dfa.edges(s).size() * 2 + 1);
+      sig.push_back(cls[s]);
+      for (const Edge& e : dfa.edges(s)) {
+        sig.push_back(e.symbol);
+        sig.push_back(cls[e.to]);
+      }
+      auto [it, _] = signature_ids.emplace(std::move(sig),
+                                           static_cast<StateId>(signature_ids.size()));
+      next_cls[s] = it->second;
+    }
+    bool stable = signature_ids.size() == prev_count;
+    prev_count = signature_ids.size();
+    cls = std::move(next_cls);
+    if (stable) break;
+  }
+
+  StateId num_classes = 0;
+  for (StateId c : cls) num_classes = std::max(num_classes, c);
+  ++num_classes;
+
+  Dfa merged(dfa.num_symbols());
+  std::vector<StateId> representative(num_classes, kNoState);
+  for (StateId c = 0; c < num_classes; ++c) merged.add_state(false);
+  for (StateId s = 0; s < n; ++s) {
+    if (dfa.is_final(s)) merged.set_final(cls[s]);
+    if (representative[cls[s]] == kNoState) representative[cls[s]] = s;
+  }
+  for (StateId c = 0; c < num_classes; ++c) {
+    StateId s = representative[c];
+    for (const Edge& e : dfa.edges(s)) merged.add_edge(c, e.symbol, cls[e.to]);
+  }
+  merged.set_start(cls[dfa.start()]);
+  return bfs_renumber(trim(merged));
+}
+
+Dfa minimize_hopcroft(const Dfa& input) {
+  Dfa dfa = trim(input);
+  const std::size_t n = dfa.num_states();
+  if (n <= 1) return bfs_renumber(dfa);
+
+  // Reverse edges grouped by symbol: inverse[symbol] -> (to -> [from...]).
+  // Only symbols that actually occur are materialized.
+  std::unordered_map<Symbol, std::unordered_map<StateId, std::vector<StateId>>>
+      inverse;
+  for (StateId s = 0; s < n; ++s) {
+    for (const Edge& e : dfa.edges(s)) inverse[e.symbol][e.to].push_back(s);
+  }
+
+  // Partition as block lists plus membership index.
+  std::vector<std::vector<StateId>> blocks;
+  std::vector<std::size_t> block_of(n);
+  {
+    std::vector<StateId> finals, nonfinals;
+    for (StateId s = 0; s < n; ++s) {
+      (dfa.is_final(s) ? finals : nonfinals).push_back(s);
+    }
+    if (!finals.empty()) blocks.push_back(std::move(finals));
+    if (!nonfinals.empty()) blocks.push_back(std::move(nonfinals));
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      for (StateId s : blocks[b]) block_of[s] = b;
+    }
+  }
+
+  // Worklist of (block index, symbol). Seeding with every (block, symbol)
+  // pair is the textbook-correct simplification; the smaller-half rule below
+  // keeps the refinement loop O(n k log n).
+  std::deque<std::pair<std::size_t, Symbol>> work;
+  std::set<std::pair<std::size_t, Symbol>> queued;
+  auto enqueue = [&](std::size_t block, Symbol symbol) {
+    if (queued.insert({block, symbol}).second) work.push_back({block, symbol});
+  };
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const auto& [symbol, _] : inverse) enqueue(b, symbol);
+  }
+
+  std::vector<char> marked(n, 0);
+  while (!work.empty()) {
+    auto [splitter, symbol] = work.front();
+    work.pop_front();
+    queued.erase({splitter, symbol});
+
+    // X = states with a `symbol`-transition into the splitter block.
+    std::vector<StateId> x;
+    const auto& by_to = inverse[symbol];
+    for (StateId t : blocks[splitter]) {
+      auto it = by_to.find(t);
+      if (it != by_to.end()) x.insert(x.end(), it->second.begin(), it->second.end());
+    }
+    if (x.empty()) continue;
+    for (StateId s : x) marked[s] = 1;
+
+    // Find blocks partially covered by X and split them.
+    std::set<std::size_t> touched;
+    for (StateId s : x) touched.insert(block_of[s]);
+    for (std::size_t b : touched) {
+      std::vector<StateId> inside, outside;
+      for (StateId s : blocks[b]) (marked[s] ? inside : outside).push_back(s);
+      if (inside.empty() || outside.empty()) continue;
+      // Replace b with the larger part; the smaller becomes a new block.
+      bool inside_smaller = inside.size() <= outside.size();
+      std::vector<StateId>& small = inside_smaller ? inside : outside;
+      std::vector<StateId>& large = inside_smaller ? outside : inside;
+      std::size_t fresh = blocks.size();
+      for (StateId s : small) block_of[s] = fresh;
+      blocks.push_back(std::move(small));
+      blocks[b] = std::move(large);
+      // Hopcroft's rule: the smaller half always joins the worklist; when
+      // (b, sym) is still pending it now denotes the larger half, so both
+      // halves end up processed.
+      for (const auto& [sym, _] : inverse) enqueue(fresh, sym);
+    }
+    for (StateId s : x) marked[s] = 0;
+  }
+
+  // Rebuild the quotient automaton.
+  Dfa merged(dfa.num_symbols());
+  for (std::size_t b = 0; b < blocks.size(); ++b) merged.add_state(false);
+  for (StateId s = 0; s < n; ++s) {
+    if (dfa.is_final(s)) merged.set_final(block_of[s]);
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    StateId representative = blocks[b].front();
+    for (const Edge& e : dfa.edges(representative)) {
+      merged.add_edge(static_cast<StateId>(b), e.symbol,
+                      static_cast<StateId>(block_of[e.to]));
+    }
+  }
+  merged.set_start(static_cast<StateId>(block_of[dfa.start()]));
+  return bfs_renumber(trim(merged));
+}
+
+}  // namespace relm::automata

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "automata/automaton.hpp"
+
+namespace relm::automata {
+
+// Subset construction with epsilon closure. Only reachable subsets are
+// materialized, so the output size tracks the live part of the language
+// rather than the worst-case 2^n.
+Dfa determinize(const Nfa& nfa);
+
+// Removes states that are unreachable from the start or cannot reach a final
+// state. The result is "trim"; on a trim DFA, a cycle implies an infinite
+// language. A DFA whose language is empty trims to a single non-final start
+// state with no edges.
+Dfa trim(const Dfa& dfa);
+
+// Minimizes a (partial) DFA by partition refinement (Moore's algorithm over
+// transition signatures), after trimming. The result is renumbered in BFS
+// order with per-state edges sorted by symbol, so two minimized DFAs accept
+// the same language iff they are structurally equal (operator==): minimal
+// DFAs are unique up to isomorphism, and BFS numbering fixes the isomorphism.
+Dfa minimize(const Dfa& dfa);
+
+// Hopcroft's O(n k log n) minimization — the asymptotically better
+// alternative to minimize(); produces the identical canonical machine
+// (property-tested against minimize(); bench/micro_compiler compares their
+// constants). Prefer this for automata with many states, e.g. Levenshtein
+// expansions of long patterns.
+Dfa minimize_hopcroft(const Dfa& dfa);
+
+}  // namespace relm::automata

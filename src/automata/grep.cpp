@@ -1,0 +1,56 @@
+#include "automata/grep.hpp"
+
+#include <array>
+
+#include "automata/determinize.hpp"
+#include "util/errors.hpp"
+
+namespace relm::automata {
+
+std::vector<GrepMatch> grep_all(const Dfa& pattern, std::string_view text) {
+  if (pattern.num_symbols() != 256) {
+    throw relm::Error("grep_all requires a byte-alphabet automaton");
+  }
+  Dfa dfa = trim(pattern);
+  std::vector<GrepMatch> matches;
+  if (dfa.num_states() == 0) return matches;
+
+  // Fast-skip table: bytes that can begin a match.
+  // Zero-length matches are skipped by contract, so only bytes with an
+  // outgoing start edge can begin a match.
+  std::array<bool, 256> can_start{};
+  for (const Edge& e : dfa.edges(dfa.start())) can_start[e.symbol] = true;
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!can_start[static_cast<unsigned char>(text[i])]) {
+      ++i;
+      continue;
+    }
+    // Run the DFA from position i, remembering the longest final hit.
+    StateId state = dfa.start();
+    std::size_t best_len = 0;
+    for (std::size_t j = i; j < text.size(); ++j) {
+      state = dfa.next(state, static_cast<unsigned char>(text[j]));
+      if (state == kNoState) break;
+      if (dfa.is_final(state)) best_len = j - i + 1;
+    }
+    if (best_len > 0) {
+      matches.push_back(GrepMatch{i, best_len});
+      i += best_len;  // non-overlapping
+    } else {
+      ++i;
+    }
+  }
+  return matches;
+}
+
+std::vector<std::string> grep_strings(const Dfa& pattern, std::string_view text) {
+  std::vector<std::string> out;
+  for (const GrepMatch& m : grep_all(pattern, text)) {
+    out.emplace_back(text.substr(m.offset, m.length));
+  }
+  return out;
+}
+
+}  // namespace relm::automata

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.hpp"
+
+namespace relm::automata {
+
+// A substring match of a pattern DFA inside a text.
+struct GrepMatch {
+  std::size_t offset;  // byte offset of the match start
+  std::size_t length;  // match length (leftmost-longest)
+};
+
+// Scans `text` for non-overlapping, leftmost-longest substring matches of the
+// pattern automaton. This is the in-process equivalent of the `grep` step the
+// toxicity pipeline uses over The Pile (§4.3): the corpus is scanned for the
+// insult lexicon and the hits seed extraction queries.
+//
+// `pattern` must be a byte-alphabet DFA. Matches of length zero are skipped.
+std::vector<GrepMatch> grep_all(const Dfa& pattern, std::string_view text);
+
+// Convenience: the matched substrings themselves.
+std::vector<std::string> grep_strings(const Dfa& pattern, std::string_view text);
+
+}  // namespace relm::automata

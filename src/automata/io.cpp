@@ -1,0 +1,40 @@
+#include "automata/io.hpp"
+
+#include <cstdio>
+
+namespace relm::automata {
+
+std::string to_dot(const Dfa& dfa,
+                   const std::function<std::string(Symbol)>& symbol_name) {
+  std::string out = "digraph automaton {\n  rankdir=LR;\n";
+  out += "  node [shape=circle];\n";
+  out += "  __start [shape=point];\n";
+  out += "  __start -> s" + std::to_string(dfa.start()) + ";\n";
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (dfa.is_final(s)) {
+      out += "  s" + std::to_string(s) + " [shape=doublecircle];\n";
+    }
+  }
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    for (const Edge& e : dfa.edges(s)) {
+      out += "  s" + std::to_string(s) + " -> s" + std::to_string(e.to) +
+             " [label=\"" + symbol_name(e.symbol) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string byte_symbol_name(Symbol s) {
+  if (s == ' ') return "Ġ";  // the Ġ convention from the paper's figures
+  if (s >= 0x21 && s <= 0x7e) {
+    char c = static_cast<char>(s);
+    if (c == '"' || c == '\\') return std::string("\\") + c;
+    return std::string(1, c);
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\x%02x", s);
+  return buf;
+}
+
+}  // namespace relm::automata

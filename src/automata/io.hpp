@@ -1,0 +1,20 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "automata/automaton.hpp"
+
+namespace relm::automata {
+
+// Renders a DFA in Graphviz dot format, for the diagram-style outputs in the
+// examples (the paper's Figures 2, 3, 12). `symbol_name` maps a symbol to a
+// printable label; byte automata can pass byte_symbol_name.
+std::string to_dot(const Dfa& dfa,
+                   const std::function<std::string(Symbol)>& symbol_name);
+
+// Label for a byte symbol: printable chars as-is (space as the paper's Ġ),
+// others as \xNN.
+std::string byte_symbol_name(Symbol s);
+
+}  // namespace relm::automata

@@ -1,0 +1,289 @@
+#include "automata/ops.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "automata/determinize.hpp"
+#include "util/errors.hpp"
+
+namespace relm::automata {
+namespace {
+
+using StatePair = std::pair<StateId, StateId>;
+
+// Generic product construction. `both_required`: final iff both finals
+// (intersection) vs either final (union). For union the automata must be
+// completed first so that neither side "dies" early.
+Dfa product(const Dfa& a, const Dfa& b, bool both_required) {
+  if (a.num_symbols() != b.num_symbols()) {
+    throw relm::Error("product of automata over different alphabets");
+  }
+  Dfa out(a.num_symbols());
+  std::map<StatePair, StateId> ids;
+  std::deque<StatePair> work;
+
+  auto intern = [&](StatePair p) {
+    auto it = ids.find(p);
+    if (it != ids.end()) return it->second;
+    bool fa = a.is_final(p.first);
+    bool fb = b.is_final(p.second);
+    StateId id = out.add_state(both_required ? (fa && fb) : (fa || fb));
+    ids.emplace(p, id);
+    work.push_back(p);
+    return id;
+  };
+
+  StateId start = intern({a.start(), b.start()});
+  out.set_start(start);
+
+  while (!work.empty()) {
+    StatePair p = work.front();
+    work.pop_front();
+    StateId from = ids.at(p);
+    // Walk the two sorted edge lists in step.
+    auto ea = a.edges(p.first);
+    auto eb = b.edges(p.second);
+    std::size_t i = 0, j = 0;
+    while (i < ea.size() && j < eb.size()) {
+      if (ea[i].symbol < eb[j].symbol) {
+        ++i;
+      } else if (ea[i].symbol > eb[j].symbol) {
+        ++j;
+      } else {
+        StateId to = intern({ea[i].to, eb[j].to});
+        out.add_edge(from, ea[i].symbol, to);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return trim(out);
+}
+
+// Completes the automaton over `universe` by adding a dead state.
+Dfa complete(const Dfa& a, const ByteSet& universe) {
+  Dfa out(a.num_symbols());
+  for (StateId s = 0; s < a.num_states(); ++s) out.add_state(a.is_final(s));
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const Edge& e : a.edges(s)) out.add_edge(s, e.symbol, e.to);
+  }
+  out.set_start(a.start());
+  StateId dead = out.add_state(false);
+  for (StateId s = 0; s < out.num_states(); ++s) {
+    for (unsigned b = 0; b < 256 && b < a.num_symbols(); ++b) {
+      if (!universe.test(b)) continue;
+      if (out.next(s, b) == kNoState) out.add_edge(s, b, dead);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa intersect(const Dfa& a, const Dfa& b) { return product(a, b, true); }
+
+Dfa union_of(const Dfa& a, const Dfa& b) {
+  // Union via NFA with a fresh start state branching to both; avoids having
+  // to complete the automata as a product-based union would.
+  if (a.num_symbols() != b.num_symbols()) {
+    throw relm::Error("union of automata over different alphabets");
+  }
+  Nfa nfa(a.num_symbols());
+  StateId start = nfa.add_state();
+  nfa.set_start(start);
+
+  auto copy_in = [&](const Dfa& src) {
+    std::vector<StateId> remap(src.num_states());
+    for (StateId s = 0; s < src.num_states(); ++s) {
+      remap[s] = nfa.add_state(src.is_final(s));
+    }
+    for (StateId s = 0; s < src.num_states(); ++s) {
+      for (const Edge& e : src.edges(s)) {
+        nfa.add_edge(remap[s], e.symbol, remap[e.to]);
+      }
+    }
+    return remap[src.start()];
+  };
+
+  nfa.add_edge(start, kEpsilon, copy_in(a));
+  nfa.add_edge(start, kEpsilon, copy_in(b));
+  return trim(determinize(nfa));
+}
+
+Dfa complement(const Dfa& a, const ByteSet& universe) {
+  Dfa completed = complete(a, universe);
+  for (StateId s = 0; s < completed.num_states(); ++s) {
+    completed.set_final(s, !completed.is_final(s));
+  }
+  // Do not trim before flipping finality is done; trim now.
+  return trim(completed);
+}
+
+Dfa difference(const Dfa& a, const Dfa& b, const ByteSet& universe) {
+  return intersect(a, complement(b, universe));
+}
+
+Dfa concat(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) {
+    throw relm::Error("concat of automata over different alphabets");
+  }
+  Nfa nfa(a.num_symbols());
+  std::vector<StateId> remap_a(a.num_states()), remap_b(b.num_states());
+  for (StateId s = 0; s < a.num_states(); ++s) remap_a[s] = nfa.add_state(false);
+  for (StateId s = 0; s < b.num_states(); ++s) {
+    remap_b[s] = nfa.add_state(b.is_final(s));
+  }
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const Edge& e : a.edges(s)) nfa.add_edge(remap_a[s], e.symbol, remap_a[e.to]);
+  }
+  for (StateId s = 0; s < b.num_states(); ++s) {
+    for (const Edge& e : b.edges(s)) nfa.add_edge(remap_b[s], e.symbol, remap_b[e.to]);
+  }
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (a.is_final(s)) nfa.add_edge(remap_a[s], kEpsilon, remap_b[b.start()]);
+  }
+  nfa.set_start(remap_a[a.start()]);
+  return trim(determinize(nfa));
+}
+
+bool is_empty_language(const Dfa& a) {
+  Dfa t = trim(a);
+  // After trim, any remaining final state is reachable.
+  for (StateId s = 0; s < t.num_states(); ++s) {
+    if (t.is_final(s)) return false;
+  }
+  return true;
+}
+
+bool contains_epsilon(const Dfa& a) { return a.is_final(a.start()); }
+
+bool equivalent(const Dfa& a, const Dfa& b) {
+  return minimize(a) == minimize(b);
+}
+
+bool is_infinite_language(const Dfa& a) {
+  Dfa t = trim(a);
+  // Cycle detection via iterative DFS with colors.
+  enum Color : char { kWhite, kGray, kBlack };
+  std::vector<Color> color(t.num_states(), kWhite);
+  std::vector<std::pair<StateId, std::size_t>> stack;
+  for (StateId root = 0; root < t.num_states(); ++root) {
+    if (color[root] != kWhite) continue;
+    stack.push_back({root, 0});
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      auto edges = t.edges(s);
+      if (idx < edges.size()) {
+        StateId to = edges[idx++].to;
+        if (color[to] == kGray) return true;
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.push_back({to, 0});
+        }
+      } else {
+        color[s] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t count_strings(const Dfa& a, std::size_t max_len) {
+  Dfa t = trim(a);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  auto sat_add = [&](std::uint64_t x, std::uint64_t y) {
+    return (x > kMax - y) ? kMax : x + y;
+  };
+  // counts[s] = number of accepting walks from s with <= l steps, built up
+  // length by length.
+  std::vector<std::uint64_t> prev(t.num_states(), 0);
+  for (StateId s = 0; s < t.num_states(); ++s) prev[s] = t.is_final(s) ? 1 : 0;
+  for (std::size_t l = 1; l <= max_len; ++l) {
+    std::vector<std::uint64_t> cur(t.num_states(), 0);
+    for (StateId s = 0; s < t.num_states(); ++s) {
+      std::uint64_t total = t.is_final(s) ? 1 : 0;
+      for (const Edge& e : t.edges(s)) total = sat_add(total, prev[e.to]);
+      cur[s] = total;
+    }
+    if (cur == prev) break;  // fixed point: no longer strings exist
+    prev = std::move(cur);
+  }
+  return prev.empty() ? 0 : prev[t.start()];
+}
+
+std::vector<std::string> enumerate_strings(const Dfa& a, std::size_t limit,
+                                           std::size_t max_len) {
+  if (a.num_symbols() != 256) {
+    throw relm::Error("enumerate_strings requires a byte-alphabet automaton");
+  }
+  Dfa t = trim(a);
+  std::vector<std::string> out;
+  if (t.num_states() == 0) return out;
+
+  // BFS by length; within a level, states are expanded in insertion order and
+  // edges in symbol order, which yields shortest-first, lexicographic-within-
+  // length enumeration.
+  struct Item {
+    StateId state;
+    std::string text;
+  };
+  std::deque<Item> frontier{{t.start(), ""}};
+  if (t.is_final(t.start())) out.push_back("");
+
+  std::size_t depth = 0;
+  while (!frontier.empty() && out.size() < limit && depth < max_len) {
+    ++depth;
+    std::deque<Item> next;
+    while (!frontier.empty()) {
+      Item item = std::move(frontier.front());
+      frontier.pop_front();
+      for (const Edge& e : t.edges(item.state)) {
+        Item child{e.to, item.text + static_cast<char>(e.symbol)};
+        if (t.is_final(e.to) && out.size() < limit) out.push_back(child.text);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+Dfa prefix_closure(const Dfa& a) {
+  // After trim, every state can reach a final state, so every state accepts
+  // some completion: mark them all final.
+  Dfa t = trim(a);
+  for (StateId s = 0; s < t.num_states(); ++s) t.set_final(s);
+  // The empty automaton has one non-final dead start; keep it empty.
+  if (t.num_states() == 1 && t.edges(0).empty() && !a.is_final(a.start()) &&
+      is_empty_language(a)) {
+    Dfa empty(a.num_symbols());
+    empty.set_start(empty.add_state(false));
+    return empty;
+  }
+  return minimize(t);
+}
+
+std::optional<std::size_t> shortest_string_length(const Dfa& a) {
+  Dfa t = trim(a);
+  std::deque<std::pair<StateId, std::size_t>> work{{t.start(), 0}};
+  std::vector<bool> seen(t.num_states(), false);
+  seen[t.start()] = true;
+  while (!work.empty()) {
+    auto [s, d] = work.front();
+    work.pop_front();
+    if (t.is_final(s)) return d;
+    for (const Edge& e : t.edges(s)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        work.push_back({e.to, d + 1});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace relm::automata

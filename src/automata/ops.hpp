@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "automata/regex_ast.hpp"
+
+namespace relm::automata {
+
+// Language operations. All results are trim but not necessarily minimal;
+// call minimize() when canonical form matters. Inputs must share an alphabet
+// size.
+
+// L(a) ∩ L(b): on-the-fly product construction over reachable pairs.
+Dfa intersect(const Dfa& a, const Dfa& b);
+
+// L(a) ∪ L(b).
+Dfa union_of(const Dfa& a, const Dfa& b);
+
+// Complement within `universe`^*: strings over the given symbol set not in
+// L(a). The automaton is first completed with a dead state over `universe`.
+Dfa complement(const Dfa& a, const ByteSet& universe);
+
+// L(a) \ L(b), with b complemented over `universe`.
+Dfa difference(const Dfa& a, const Dfa& b, const ByteSet& universe);
+
+// L(a)·L(b) via epsilon concatenation and determinization.
+Dfa concat(const Dfa& a, const Dfa& b);
+
+bool is_empty_language(const Dfa& a);
+bool contains_epsilon(const Dfa& a);
+
+// True iff a and b accept the same language.
+bool equivalent(const Dfa& a, const Dfa& b);
+
+// True iff the language is infinite (trim automaton has a cycle).
+bool is_infinite_language(const Dfa& a);
+
+// Number of accepted strings with length <= max_len, saturating at
+// UINT64_MAX. For finite languages, a max_len >= num_states is exhaustive.
+std::uint64_t count_strings(const Dfa& a, std::size_t max_len);
+
+// Enumerates accepted strings shortest-first (and lexicographically within a
+// length), stopping at `limit` strings or length > max_len. Requires the
+// byte alphabet.
+std::vector<std::string> enumerate_strings(const Dfa& a, std::size_t limit,
+                                           std::size_t max_len);
+
+// Length of the shortest accepted string, or nullopt for the empty language.
+std::optional<std::size_t> shortest_string_length(const Dfa& a);
+
+// The language of all prefixes of strings in L(a) (every co-reachable state
+// becomes final). Useful for "starts-with" queries: intersecting a pattern
+// with prefix_closure(target) keeps exactly the partial matches — the shape
+// of the URL-fragment candidates ReLM's memorization stream surfaces.
+Dfa prefix_closure(const Dfa& a);
+
+}  // namespace relm::automata

@@ -1,0 +1,19 @@
+#include "automata/regex.hpp"
+
+#include "automata/determinize.hpp"
+#include "automata/regex_parser.hpp"
+#include "automata/thompson.hpp"
+
+namespace relm::automata {
+
+Dfa compile_regex(std::string_view pattern) {
+  return minimize(compile_regex_unminimized(pattern));
+}
+
+Dfa compile_regex_unminimized(std::string_view pattern) {
+  RegexPtr ast = parse_regex(pattern);
+  Nfa nfa = thompson_construct(*ast);
+  return trim(determinize(nfa));
+}
+
+}  // namespace relm::automata

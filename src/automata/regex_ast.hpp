@@ -1,0 +1,58 @@
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relm::automata {
+
+// Character set over the byte alphabet. Regular-expression atoms are always
+// sets (a literal `a` is the singleton set {a}); this collapses literals,
+// escapes like \d, `.` and bracket classes into one node kind.
+using ByteSet = std::bitset<256>;
+
+enum class RegexKind {
+  kEmptySet,   // ∅ — matches nothing
+  kEpsilon,    // ε — matches the empty string
+  kCharClass,  // one symbol drawn from a ByteSet
+  kConcat,     // r1 r2 ... rn
+  kAlternate,  // r1 | r2 | ... | rn
+  kRepeat,     // r{min,max}; max == kUnbounded means r{min,}
+};
+
+inline constexpr int kUnbounded = -1;
+
+struct RegexNode;
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+struct RegexNode {
+  RegexKind kind;
+  ByteSet char_class;             // kCharClass
+  std::vector<RegexPtr> children; // kConcat / kAlternate / kRepeat (1 child)
+  int repeat_min = 0;             // kRepeat
+  int repeat_max = 0;             // kRepeat; kUnbounded for open-ended
+
+  static RegexPtr empty_set();
+  static RegexPtr epsilon();
+  static RegexPtr char_class_node(ByteSet set);
+  static RegexPtr literal(unsigned char c);
+  static RegexPtr literal_string(std::string_view text);
+  static RegexPtr concat(std::vector<RegexPtr> children);
+  static RegexPtr alternate(std::vector<RegexPtr> children);
+  static RegexPtr repeat(RegexPtr child, int min, int max);
+
+  RegexPtr clone() const;
+};
+
+// Named byte sets shared by the parser and the Levenshtein preprocessor.
+// The paper's queries operate over ASCII (§B notes Unicode needs byte-level
+// rewrites, which our byte alphabet supports but the built-in classes target
+// printable ASCII).
+ByteSet printable_ascii();          // 0x20..0x7e
+ByteSet printable_ascii_and_ws();   // printable plus \t \n \r
+ByteSet digit_set();                // [0-9]
+ByteSet word_set();                 // [A-Za-z0-9_]
+ByteSet space_set();                // [ \t\n\r\f\v]
+
+}  // namespace relm::automata

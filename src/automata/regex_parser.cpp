@@ -1,0 +1,237 @@
+#include "automata/regex_parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace relm::automata {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : pattern_(pattern) {}
+
+  RegexPtr parse() {
+    RegexPtr node = parse_alternation();
+    if (pos_ != pattern_.size()) {
+      fail("unexpected character '" + std::string(1, pattern_[pos_]) + "'");
+    }
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw relm::RegexError(message, pos_);
+  }
+
+  bool done() const { return pos_ >= pattern_.size(); }
+  char peek() const { return pattern_[pos_]; }
+  char take() { return pattern_[pos_++]; }
+
+  RegexPtr parse_alternation() {
+    std::vector<RegexPtr> branches;
+    branches.push_back(parse_concat());
+    while (!done() && peek() == '|') {
+      take();
+      branches.push_back(parse_concat());
+    }
+    return RegexNode::alternate(std::move(branches));
+  }
+
+  RegexPtr parse_concat() {
+    std::vector<RegexPtr> parts;
+    while (!done() && peek() != '|' && peek() != ')') {
+      parts.push_back(parse_repeat());
+    }
+    return RegexNode::concat(std::move(parts));
+  }
+
+  RegexPtr parse_repeat() {
+    RegexPtr atom = parse_atom();
+    for (;;) {
+      if (done()) return atom;
+      char c = peek();
+      if (c == '*') {
+        take();
+        atom = RegexNode::repeat(std::move(atom), 0, kUnbounded);
+      } else if (c == '+') {
+        take();
+        atom = RegexNode::repeat(std::move(atom), 1, kUnbounded);
+      } else if (c == '?') {
+        take();
+        atom = RegexNode::repeat(std::move(atom), 0, 1);
+      } else if (c == '{') {
+        take();
+        atom = parse_counted_repeat(std::move(atom));
+      } else {
+        return atom;
+      }
+    }
+  }
+
+  RegexPtr parse_counted_repeat(RegexPtr atom) {
+    int min = parse_int("repetition lower bound");
+    int max = min;
+    if (!done() && peek() == ',') {
+      take();
+      if (!done() && peek() == '}') {
+        max = kUnbounded;
+      } else {
+        max = parse_int("repetition upper bound");
+        if (max < min) fail("repetition upper bound below lower bound");
+      }
+    }
+    if (done() || take() != '}') fail("expected '}' to close repetition");
+    return RegexNode::repeat(std::move(atom), min, max);
+  }
+
+  int parse_int(const std::string& what) {
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected digit in " + what);
+    }
+    long value = 0;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + (take() - '0');
+      if (value > 10000) fail(what + " too large (limit 10000)");
+    }
+    return static_cast<int>(value);
+  }
+
+  RegexPtr parse_atom() {
+    if (done()) fail("expected an atom");
+    char c = take();
+    switch (c) {
+      case '(': {
+        RegexPtr inner = parse_alternation();
+        if (done() || take() != ')') fail("expected ')'");
+        return inner;
+      }
+      case '[':
+        return RegexNode::char_class_node(parse_char_class());
+      case '.':
+        return RegexNode::char_class_node(printable_ascii());
+      case '\\':
+        return RegexNode::char_class_node(parse_escape());
+      case '*':
+      case '+':
+      case '?':
+        fail("quantifier with nothing to repeat");
+      case ')':
+        fail("unmatched ')'");
+      case '|':
+        fail("empty alternation branch");
+      default:
+        return RegexNode::literal(static_cast<unsigned char>(c));
+    }
+  }
+
+  // Parses the body of an escape, after the backslash has been consumed.
+  ByteSet parse_escape() {
+    if (done()) fail("dangling backslash");
+    char c = take();
+    ByteSet set;
+    switch (c) {
+      case 'd': return digit_set();
+      case 'D': return printable_ascii_and_ws() & ~digit_set();
+      case 'w': return word_set();
+      case 'W': return printable_ascii_and_ws() & ~word_set();
+      case 's': return space_set();
+      case 'S': return printable_ascii_and_ws() & ~space_set();
+      case 'n': set.set('\n'); return set;
+      case 't': set.set('\t'); return set;
+      case 'r': set.set('\r'); return set;
+      case 'f': set.set('\f'); return set;
+      case 'v': set.set('\v'); return set;
+      case '0': set.set(0); return set;
+      case 'x': {
+        int value = 0;
+        for (int i = 0; i < 2; ++i) {
+          if (done() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+            fail("expected two hex digits after \\x");
+          }
+          char h = take();
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(h))
+                       ? h - '0'
+                       : std::tolower(static_cast<unsigned char>(h)) - 'a' + 10);
+        }
+        set.set(static_cast<unsigned char>(value));
+        return set;
+      }
+      default:
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          fail(std::string("unknown escape \\") + c);
+        }
+        set.set(static_cast<unsigned char>(c));
+        return set;
+    }
+  }
+
+  // Parses a [...] class body, after '[' has been consumed.
+  ByteSet parse_char_class() {
+    bool negated = false;
+    if (!done() && peek() == '^') {
+      take();
+      negated = true;
+    }
+    ByteSet set;
+    bool first = true;
+    while (true) {
+      if (done()) fail("unterminated character class");
+      char c = peek();
+      if (c == ']' && !first) {
+        take();
+        break;
+      }
+      first = false;
+      ByteSet atom = parse_class_atom();
+      // Range? Only when the atom is a single literal character.
+      if (!done() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        if (atom.count() != 1) fail("character range bound must be a single character");
+        take();  // '-'
+        ByteSet hi_atom = parse_class_atom();
+        if (hi_atom.count() != 1) fail("character range bound must be a single character");
+        unsigned lo = first_set_bit(atom);
+        unsigned hi = first_set_bit(hi_atom);
+        if (hi < lo) fail("character range out of order");
+        for (unsigned b = lo; b <= hi; ++b) set.set(b);
+      } else {
+        set |= atom;
+      }
+    }
+    if (negated) {
+      // Negation is relative to the printable-ASCII-plus-whitespace universe;
+      // matching arbitrary non-text bytes is never what a text query wants.
+      return printable_ascii_and_ws() & ~set;
+    }
+    return set;
+  }
+
+  ByteSet parse_class_atom() {
+    char c = take();
+    if (c == '\\') return parse_escape();
+    ByteSet set;
+    set.set(static_cast<unsigned char>(c));
+    return set;
+  }
+
+  static unsigned first_set_bit(const ByteSet& set) {
+    for (unsigned b = 0; b < 256; ++b) {
+      if (set.test(b)) return b;
+    }
+    return 256;
+  }
+
+  std::string_view pattern_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RegexPtr parse_regex(std::string_view pattern) {
+  return Parser(pattern).parse();
+}
+
+}  // namespace relm::automata

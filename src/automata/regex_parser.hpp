@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string_view>
+
+#include "automata/regex_ast.hpp"
+
+namespace relm::automata {
+
+// Parses the regular-expression dialect of Table 2 (plus the standard sugar
+// the paper's queries use) into an AST. Supported syntax:
+//
+//   literals            abc
+//   grouping            (r)
+//   disjunction         r1|r2
+//   repetition          r*  r+  r?  r{m}  r{m,}  r{m,n}
+//   any char            .            (printable ASCII)
+//   classes             [a-zA-Z0-9]  [^abc]   (negation over printable ASCII + \t\n\r)
+//   escapes             \d \w \s \D \W \S \n \t \r \f \v \0 \xNN
+//   literal escapes     \. \* \+ \? \( \) \[ \] \{ \} \| \\ \- \^ \$ \/ \# \%
+//
+// Throws relm::RegexError on malformed input.
+RegexPtr parse_regex(std::string_view pattern);
+
+}  // namespace relm::automata

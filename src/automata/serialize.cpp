@@ -1,0 +1,69 @@
+#include "automata/serialize.hpp"
+
+#include <fstream>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace relm::automata {
+
+void save_dfa(const Dfa& dfa, std::ostream& out) {
+  out << "RELM_DFA v1\n";
+  out << dfa.num_symbols() << ' ' << dfa.num_states() << ' ' << dfa.start()
+      << ' ' << dfa.num_edges() << '\n';
+  std::string finality(dfa.num_states(), '0');
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (dfa.is_final(s)) finality[s] = '1';
+  }
+  out << finality << '\n';
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    for (const Edge& e : dfa.edges(s)) {
+      out << s << ' ' << e.symbol << ' ' << e.to << '\n';
+    }
+  }
+}
+
+Dfa load_dfa(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "RELM_DFA" || version != "v1") {
+    throw relm::Error("not a RELM_DFA v1 file");
+  }
+  Symbol num_symbols = 0;
+  std::size_t num_states = 0, num_edges = 0;
+  StateId start = 0;
+  in >> num_symbols >> num_states >> start >> num_edges;
+  std::string finality;
+  in >> finality;
+  if (!in || finality.size() != num_states || start >= num_states ||
+      num_states == 0) {
+    throw relm::Error("DFA file: corrupt header");
+  }
+  Dfa dfa(num_symbols);
+  for (std::size_t s = 0; s < num_states; ++s) dfa.add_state(finality[s] == '1');
+  dfa.set_start(start);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    StateId from = 0, to = 0;
+    Symbol symbol = 0;
+    in >> from >> symbol >> to;
+    if (!in || from >= num_states || to >= num_states || symbol >= num_symbols) {
+      throw relm::Error("DFA file: corrupt edge");
+    }
+    dfa.add_edge(from, symbol, to);
+  }
+  return dfa;
+}
+
+void save_dfa_file(const Dfa& dfa, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw relm::Error("cannot open for writing: " + path);
+  save_dfa(dfa, out);
+}
+
+Dfa load_dfa_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw relm::Error("cannot open for reading: " + path);
+  return load_dfa(in);
+}
+
+}  // namespace relm::automata

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "automata/automaton.hpp"
+
+namespace relm::automata {
+
+// Text serialization for DFAs. The motivating use is caching compiled token
+// automata — the all-encodings construction over a large vocabulary is the
+// most expensive compile step (see bench/micro_compiler) and is fully
+// determined by (pattern, vocabulary), so tools can persist it.
+//
+// Format:
+//   RELM_DFA v1
+//   <num_symbols> <num_states> <start> <num_edges>
+//   <finality bits, one char per state: 0/1>
+//   <from> <symbol> <to>      (num_edges lines)
+void save_dfa(const Dfa& dfa, std::ostream& out);
+Dfa load_dfa(std::istream& in);  // throws relm::Error on malformed input
+
+void save_dfa_file(const Dfa& dfa, const std::string& path);
+Dfa load_dfa_file(const std::string& path);
+
+}  // namespace relm::automata

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "automata/regex_ast.hpp"
+
+namespace relm::automata {
+
+// Thompson construction: regex AST -> epsilon-NFA over the byte alphabet.
+// Bounded repetitions r{m,n} are expanded structurally (m mandatory copies
+// followed by n-m optional ones), matching the textbook treatment the paper
+// cites (Hopcroft et al., 2007).
+Nfa thompson_construct(const RegexNode& root);
+
+}  // namespace relm::automata

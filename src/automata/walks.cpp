@@ -1,0 +1,69 @@
+#include "automata/walks.hpp"
+
+#include <limits>
+
+namespace relm::automata {
+
+namespace {
+// Saturating add on doubles; infinity marks overflow (cycles unrolled past
+// representable counts still sample proportionally sensibly because all
+// competing branches saturate alike in practice; the length bound keeps this
+// a corner case).
+double sat_add(double x, double y) {
+  double r = x + y;
+  if (r > 1e300) return 1e300;
+  return r;
+}
+}  // namespace
+
+WalkCounts::WalkCounts(const Dfa& dfa, std::size_t max_len)
+    : num_states_(dfa.num_states()), max_len_(max_len), start_(dfa.start()) {
+  table_.assign((max_len + 1) * num_states_, 0.0);
+  for (StateId v = 0; v < num_states_; ++v) {
+    table_[v] = dfa.is_final(v) ? 1.0 : 0.0;
+  }
+  for (std::size_t l = 1; l <= max_len; ++l) {
+    double* cur = table_.data() + l * num_states_;
+    const double* prev = table_.data() + (l - 1) * num_states_;
+    for (StateId v = 0; v < num_states_; ++v) {
+      double total = dfa.is_final(v) ? 1.0 : 0.0;
+      for (const Edge& e : dfa.edges(v)) total = sat_add(total, prev[e.to]);
+      cur[v] = total;
+    }
+  }
+}
+
+double WalkCounts::count(StateId state, std::size_t budget) const {
+  if (budget > max_len_) budget = max_len_;
+  return table_[budget * num_states_ + state];
+}
+
+double WalkCounts::total() const { return count(start_, max_len_); }
+
+bool WalkCounts::sample_uniform_walk(const Dfa& dfa, util::Pcg32& rng,
+                                     std::vector<Symbol>& out) const {
+  out.clear();
+  StateId v = start_;
+  std::size_t budget = max_len_;
+  if (count(v, budget) <= 0) return false;
+  for (;;) {
+    // Weight of stopping here (if final): exactly one walk. Weight of taking
+    // edge e: number of accepting walks from e.to with one less step.
+    auto edges = dfa.edges(v);
+    std::vector<double> weights;
+    weights.reserve(edges.size() + 1);
+    weights.push_back(dfa.is_final(v) ? 1.0 : 0.0);
+    for (const Edge& e : edges) {
+      weights.push_back(budget > 0 ? count(e.to, budget - 1) : 0.0);
+    }
+    std::size_t pick = rng.weighted(weights);
+    if (pick == weights.size()) return false;  // should not happen on live states
+    if (pick == 0) return true;                // stop at final state
+    const Edge& e = edges[pick - 1];
+    out.push_back(e.symbol);
+    v = e.to;
+    --budget;
+  }
+}
+
+}  // namespace relm::automata

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "util/rng.hpp"
+
+namespace relm::automata {
+
+// Walk counting for unbiased sampling (§3.3, Appendix C).
+//
+// The paper computes walks(q0, n) = s(q0)ᵀ · Aⁿ · f(F); summing over n gives
+// the number of accepting walks from a state. We materialize the equivalent
+// dynamic program: counts[l][v] = number of accepting walks starting at v
+// that take at most l edge steps,
+//
+//   counts[0][v]  = [v ∈ F]
+//   counts[l][v]  = [v ∈ F] + Σ_{e: v→u} counts[l-1][u]
+//
+// Counts use saturating doubles: for cyclic automata the number of walks
+// grows without bound, and the paper's workaround — "unroll the cycles until
+// the LLM's max sequence length" — is exactly the length bound l here.
+class WalkCounts {
+ public:
+  // Builds the table for walks of length <= max_len on (the trim part of) the
+  // automaton. States not in the trim part get zero counts.
+  WalkCounts(const Dfa& dfa, std::size_t max_len);
+
+  // Number of accepting walks from `state` using at most `budget` steps.
+  double count(StateId state, std::size_t budget) const;
+
+  // Total accepting walks from the start state (the paper's walks(q0)).
+  double total() const;
+
+  std::size_t max_len() const { return max_len_; }
+
+  // Samples an accepting walk from the start state uniformly at random among
+  // all accepting walks of length <= max_len. Each edge e out of v is taken
+  // with probability walks(e) / Σ_{e'} walks(e') — the paper's p(e) — where
+  // stopping at a final state counts as one walk. Returns the symbol
+  // sequence; empty optional if the language (within the bound) is empty.
+  bool sample_uniform_walk(const Dfa& dfa, util::Pcg32& rng,
+                           std::vector<Symbol>& out) const;
+
+ private:
+  // table_[l * num_states + v]
+  std::vector<double> table_;
+  std::size_t num_states_;
+  std::size_t max_len_;
+  StateId start_;
+};
+
+}  // namespace relm::automata

@@ -1,0 +1,50 @@
+#include "baselines/sampling_baseline.hpp"
+
+#include <algorithm>
+
+namespace relm::baselines {
+
+SamplingBaseline::SamplingBaseline(const model::LanguageModel& model,
+                                   const tokenizer::BpeTokenizer& tokenizer,
+                                   Config config, std::uint64_t seed)
+    : model_(model), tokenizer_(tokenizer), config_(config), rng_(seed) {}
+
+SamplingBaseline::Attempt SamplingBaseline::attempt(const std::string& prefix_text) {
+  std::vector<tokenizer::TokenId> prefix = tokenizer_.encode(prefix_text);
+  std::vector<tokenizer::TokenId> generated = model::generate(
+      model_, prefix, config_.stop_length, config_.decoding, rng_);
+  llm_calls_ += generated.size();
+
+  // Strip a trailing EOS: it is a stop signal, not text.
+  while (!generated.empty() && generated.back() == model_.eos()) {
+    generated.pop_back();
+  }
+  Attempt result;
+  result.text = prefix_text + tokenizer_.decode(generated);
+  result.llm_calls = llm_calls_;
+  result.duplicate =
+      std::find(seen_.begin(), seen_.end(), result.text) != seen_.end();
+  if (!result.duplicate) seen_.push_back(result.text);
+  return result;
+}
+
+std::vector<ScoredChoice> rank_choices(const model::LanguageModel& model,
+                                       const tokenizer::BpeTokenizer& tokenizer,
+                                       const std::string& prompt,
+                                       const std::vector<std::string>& completions) {
+  std::vector<tokenizer::TokenId> context = tokenizer.encode(prompt);
+  std::vector<ScoredChoice> scored;
+  scored.reserve(completions.size());
+  for (const std::string& completion : completions) {
+    std::vector<tokenizer::TokenId> tokens = tokenizer.encode(completion);
+    scored.push_back(
+        ScoredChoice{completion, model.sequence_log_prob(context, tokens)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredChoice& a, const ScoredChoice& b) {
+              return a.log_prob > b.log_prob;
+            });
+  return scored;
+}
+
+}  // namespace relm::baselines

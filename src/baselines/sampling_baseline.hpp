@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/decoding.hpp"
+#include "model/language_model.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/rng.hpp"
+
+namespace relm::baselines {
+
+// The paper's memorization baseline (§4.1): the official HuggingFace
+// run_generation example — prompt the model with a fixed prefix and randomly
+// sample continuations of a fixed stop length n. Each attempt is one
+// generation; duplicates and malformed outputs are the baseline's problem,
+// which is exactly what Figures 5/6/10 measure.
+class SamplingBaseline {
+ public:
+  struct Config {
+    std::size_t stop_length = 16;  // n: new tokens per attempt
+    model::DecodingRules decoding; // typically top-k = 40
+  };
+
+  SamplingBaseline(const model::LanguageModel& model,
+                   const tokenizer::BpeTokenizer& tokenizer, Config config,
+                   std::uint64_t seed);
+
+  struct Attempt {
+    std::string text;         // prefix + decoded continuation
+    std::size_t llm_calls;    // cumulative across attempts
+    bool duplicate;           // text already produced by this baseline
+  };
+
+  // One sampled generation from `prefix_text`.
+  Attempt attempt(const std::string& prefix_text);
+
+  std::size_t llm_calls() const { return llm_calls_; }
+
+ private:
+  const model::LanguageModel& model_;
+  const tokenizer::BpeTokenizer& tokenizer_;
+  Config config_;
+  util::Pcg32 rng_;
+  std::size_t llm_calls_ = 0;
+  std::vector<std::string> seen_;  // small; linear scan is fine
+};
+
+// The multiple-choice protocol (Fig 1a): rank a handful of completions by
+// model log probability and answer with the argmax.
+struct ScoredChoice {
+  std::string completion;
+  double log_prob;
+};
+
+// Scores each completion after `prompt`, highest probability first.
+std::vector<ScoredChoice> rank_choices(const model::LanguageModel& model,
+                                       const tokenizer::BpeTokenizer& tokenizer,
+                                       const std::string& prompt,
+                                       const std::vector<std::string>& completions);
+
+}  // namespace relm::baselines

@@ -1,0 +1,102 @@
+#include "core/analyzer.hpp"
+
+#include <cstdint>
+#include <cstdio>
+
+#include "automata/ops.hpp"
+#include "automata/regex.hpp"
+#include "automata/walks.hpp"
+#include "core/compiled_query.hpp"
+
+namespace relm::core {
+
+QueryAnalysis analyze_query(const SimpleSearchQuery& query,
+                            const tokenizer::BpeTokenizer& tok) {
+  QueryAnalysis analysis;
+
+  // Character automata, with preprocessors applied (same pipeline as
+  // CompiledQuery::compile).
+  automata::Dfa body_chars = automata::compile_regex(query.query_string.body_str());
+  automata::Dfa prefix_chars =
+      automata::compile_regex(query.query_string.prefix_str);
+  for (const auto& pre : query.preprocessors) {
+    using Target = Preprocessor::Target;
+    Target t = pre->target();
+    if (t == Target::kBody || t == Target::kBoth) body_chars = pre->apply(body_chars);
+    if ((t == Target::kPrefix || t == Target::kBoth) &&
+        !query.query_string.prefix_str.empty()) {
+      prefix_chars = pre->apply(prefix_chars);
+    }
+  }
+  analysis.prefix_char_states = prefix_chars.num_states();
+  analysis.body_char_states = body_chars.num_states();
+  analysis.body_infinite = automata::is_infinite_language(body_chars);
+  analysis.body_string_count = automata::count_strings(
+      body_chars, analysis.body_infinite ? 64 : body_chars.num_states() + 1);
+  analysis.shortest_match_length = automata::shortest_string_length(body_chars);
+
+  // Token automata via the real compiled query.
+  CompiledQuery compiled = CompiledQuery::compile(query, tok);
+  const automata::Dfa& prefix_ta = compiled.prefix_automaton();
+  const automata::Dfa& body_ta = compiled.body_automaton();
+  analysis.prefix_token_states = prefix_ta.num_states();
+  analysis.prefix_token_edges = prefix_ta.num_edges();
+  analysis.body_token_states = body_ta.num_states();
+  analysis.body_token_edges = body_ta.num_edges();
+  analysis.dynamic_canonical = compiled.dynamic_canonical();
+
+  const std::size_t horizon = query.sequence_length.value_or(64);
+  automata::WalkCounts prefix_walks(prefix_ta, horizon);
+  automata::WalkCounts body_walks(body_ta, horizon);
+  analysis.prefix_token_paths = prefix_walks.total();
+  analysis.body_token_paths = body_walks.total();
+  for (automata::StateId s = 0; s < body_ta.num_states(); ++s) {
+    analysis.max_body_branching =
+        std::max(analysis.max_body_branching,
+                 static_cast<double>(body_ta.edges(s).size()));
+  }
+
+  // Exhaustion needs roughly one model call per distinct path node; paths x
+  // average depth bounds it, branching caps per-node fanout. Per sample, the
+  // random traversal costs one call per body token step.
+  analysis.exhaustive_call_estimate =
+      analysis.prefix_token_paths * std::max(1.0, analysis.body_token_paths);
+  analysis.per_sample_call_estimate =
+      static_cast<double>(analysis.shortest_match_length.value_or(0)) / 2.0 + 2.0;
+
+  return analysis;
+}
+
+std::string QueryAnalysis::summary() const {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "character level:\n"
+      "  prefix DFA states: %zu\n"
+      "  body DFA states:   %zu\n"
+      "  body language:     %s (%llu strings%s)\n"
+      "  shortest match:    %s\n"
+      "token level:\n"
+      "  prefix automaton:  %zu states, %zu edges, %.3g paths\n"
+      "  body automaton:    %zu states, %zu edges, %.3g paths\n"
+      "  canonicalization:  %s\n"
+      "  max branching:     %.0f\n"
+      "estimates:\n"
+      "  exhaustive search: ~%.3g model calls upper bound\n"
+      "  random sampling:   ~%.1f model calls per sample\n",
+      prefix_char_states, body_char_states,
+      body_infinite ? "infinite" : "finite",
+      static_cast<unsigned long long>(body_string_count),
+      body_string_count == UINT64_MAX ? " (saturated)"
+                                      : (body_infinite ? " within 64 chars" : ""),
+      shortest_match_length ? std::to_string(*shortest_match_length).c_str()
+                            : "(empty language)",
+      prefix_token_states, prefix_token_edges, prefix_token_paths,
+      body_token_states, body_token_edges, body_token_paths,
+      dynamic_canonical ? "dynamic pruning (infinite/over-budget language)"
+                        : "exact (enumerated or all-encodings)",
+      max_body_branching, exhaustive_call_estimate, per_sample_call_estimate);
+  return buffer;
+}
+
+}  // namespace relm::core

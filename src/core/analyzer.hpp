@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/query.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core {
+
+// Static analysis of a query before execution: language sizes, automaton
+// sizes, branching factors, and an LLM-call estimate. The paper's conclusion
+// lists "additional logic for optimizing query execution" as future work;
+// this is the first such piece — it tells a practitioner whether a query is
+// multiple-choice-sized, enumeration-sized, or open-ended *before* spending
+// model calls, and the CLI exposes it as `relm analyze`.
+struct QueryAnalysis {
+  // Character level (Natural Language Automaton), after preprocessors.
+  std::size_t prefix_char_states = 0;
+  std::size_t body_char_states = 0;
+  bool body_infinite = false;
+  // Number of body strings up to the enumeration budget (saturating);
+  // exact when the language is finite and within bounds.
+  std::uint64_t body_string_count = 0;
+  std::optional<std::size_t> shortest_match_length;
+
+  // Token level (LLM Automaton).
+  std::size_t prefix_token_states = 0;
+  std::size_t prefix_token_edges = 0;
+  std::size_t body_token_states = 0;
+  std::size_t body_token_edges = 0;
+  bool dynamic_canonical = false;
+  double prefix_token_paths = 0;  // encodings of the prefix language
+  double body_token_paths = 0;    // encodings of the body language
+  double max_body_branching = 0;  // worst-case out-degree
+
+  // Rough LLM-call bounds for common executions.
+  double exhaustive_call_estimate = 0;  // shortest path to exhaustion (<= paths)
+  double per_sample_call_estimate = 0;  // random traversal, body steps/sample
+
+  std::string summary() const;  // multi-line human-readable report
+};
+
+QueryAnalysis analyze_query(const SimpleSearchQuery& query,
+                            const tokenizer::BpeTokenizer& tok);
+
+}  // namespace relm::core

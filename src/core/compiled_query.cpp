@@ -1,0 +1,137 @@
+#include "core/compiled_query.hpp"
+
+#include <algorithm>
+
+#include "automata/ops.hpp"
+#include "automata/regex.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core {
+
+using automata::kNoState;
+using automata::StateId;
+using tokenizer::TokenId;
+
+CompiledQuery CompiledQuery::compile(const SimpleSearchQuery& query,
+                                     const tokenizer::BpeTokenizer& tok) {
+  const std::string body_pattern = query.query_string.body_str();
+  const std::string& prefix_pattern = query.query_string.prefix_str;
+
+  automata::Dfa body_chars = automata::compile_regex(body_pattern);
+  automata::Dfa prefix_chars =
+      prefix_pattern.empty() ? automata::compile_regex("")
+                             : automata::compile_regex(prefix_pattern);
+
+  for (const auto& pre : query.preprocessors) {
+    using Target = Preprocessor::Target;
+    Target t = pre->target();
+    if (t == Target::kBody || t == Target::kBoth) {
+      body_chars = pre->apply(body_chars);
+    }
+    if ((t == Target::kPrefix || t == Target::kBoth) && !prefix_pattern.empty()) {
+      prefix_chars = pre->apply(prefix_chars);
+    }
+  }
+
+  if (automata::is_empty_language(body_chars)) {
+    throw relm::QueryError("query body matches no strings after preprocessing");
+  }
+
+  TokenAutomaton body = compile_token_automaton(
+      body_chars, tok, query.tokenization_strategy,
+      query.canonical_enumeration_budget);
+  TokenAutomaton prefix =
+      prefix_pattern.empty()
+          ? epsilon_token_automaton(tok)
+          : compile_token_automaton(prefix_chars, tok, query.tokenization_strategy,
+                                    query.canonical_enumeration_budget);
+  return CompiledQuery(std::move(prefix), std::move(body), tok);
+}
+
+CompiledQuery::StateSet CompiledQuery::initial() const {
+  StateSet set;
+  set.prefix_state = prefix_.dfa.start();
+  if (prefix_.dfa.is_final(set.prefix_state)) {
+    set.body_state = body_.dfa.start();
+  }
+  return set;
+}
+
+std::vector<CompiledQuery::Step> CompiledQuery::expand(const StateSet& set) const {
+  std::vector<Step> steps;
+
+  // Body transitions.
+  if (set.body_state != kNoState) {
+    for (const automata::Edge& e : body_.dfa.edges(set.body_state)) {
+      steps.push_back(Step{static_cast<TokenId>(e.symbol),
+                           StateSet{kNoState, e.to}, /*prefix_only=*/false,
+                           /*body_advanced=*/true});
+    }
+  }
+
+  // Prefix transitions (merged with body steps on the same token).
+  if (set.prefix_state != kNoState) {
+    for (const automata::Edge& e : prefix_.dfa.edges(set.prefix_state)) {
+      TokenId token = static_cast<TokenId>(e.symbol);
+      StateId body_after = kNoState;
+      if (prefix_.dfa.is_final(e.to)) body_after = body_.dfa.start();
+
+      auto it = std::find_if(steps.begin(), steps.end(),
+                             [&](const Step& s) { return s.token == token; });
+      if (it != steps.end()) {
+        // Token reachable through both machines: keep both live; not
+        // prefix-only (the body interpretation is subject to rules, but the
+        // prefix interpretation guarantees admission).
+        it->next.prefix_state = e.to;
+        if (it->next.body_state == kNoState) it->next.body_state = body_after;
+        it->prefix_only = false;
+      } else {
+        steps.push_back(Step{token, StateSet{e.to, body_after},
+                             /*prefix_only=*/true, /*body_advanced=*/false});
+      }
+    }
+  }
+  return steps;
+}
+
+bool CompiledQuery::is_match(const StateSet& set) const {
+  return set.body_state != kNoState && body_.dfa.is_final(set.body_state);
+}
+
+bool CompiledQuery::has_continuation(const StateSet& set) const {
+  if (set.body_state != kNoState && !body_.dfa.edges(set.body_state).empty()) {
+    return true;
+  }
+  if (set.prefix_state != kNoState && !prefix_.dfa.edges(set.prefix_state).empty()) {
+    return true;
+  }
+  return false;
+}
+
+bool CompiledQuery::canonical_prefix_ok(std::span<const TokenId> body_tokens,
+                                        const std::string& body_text) const {
+  if (!body_.dynamic_canonical || body_tokens.empty()) return true;
+
+  // Greedy longest-match decisions are final ("settled") at byte offset p as
+  // soon as p + max_token_length <= len: every candidate token starting at p
+  // is fully visible, so appending more input cannot change the choice. The
+  // path must agree with the canonical encoding on every settled decision;
+  // the canonical token at p is the longest vocabulary match, so any
+  // *different* valid token there is a strict deviation from canonical form.
+  const std::size_t len = body_text.size();
+  const std::size_t max_tok = tok_->max_token_length();
+
+  std::size_t canon_pos = 0;
+  std::size_t path_idx = 0;
+  while (canon_pos + max_tok <= len && path_idx < body_tokens.size()) {
+    auto match =
+        tok_->longest_match(std::string_view(body_text).substr(canon_pos));
+    if (!match) return true;  // byte outside vocab: cannot judge, do not prune
+    if (body_tokens[path_idx] != *match) return false;
+    canon_pos += tok_->token_string(*match).size();
+    ++path_idx;
+  }
+  return true;
+}
+
+}  // namespace relm::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/query.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core {
+
+// A fully compiled query: the prefix and body token automata plus the glue
+// the executor needs. The prefix automaton's strings bypass decoding rules
+// (§2.4/§3.3); the body automaton's transitions are subject to them.
+//
+// Execution state is a (prefix state, body state) pair with kNoState marking
+// an inactive machine. Both machines are DFAs; nondeterminism only arises at
+// the prefix->body hand-off (a prefix-final state starts the body while the
+// prefix may also continue), so a state may have both machines live at once.
+class CompiledQuery {
+ public:
+  struct StateSet {
+    automata::StateId prefix_state = automata::kNoState;
+    automata::StateId body_state = automata::kNoState;
+
+    friend bool operator==(const StateSet&, const StateSet&) = default;
+  };
+
+  struct Step {
+    tokenizer::TokenId token;
+    StateSet next;
+    // True when this token is reachable only through the prefix machine and
+    // therefore bypasses decoding rules (it is still costed at its true
+    // probability — the paper's startup-latency heuristic).
+    bool prefix_only;
+    // True when the body machine consumed this token (as opposed to going
+    // live at its start state via the prefix hand-off). The executor uses
+    // this to reconstruct the body token subsequence for canonicality checks.
+    bool body_advanced;
+  };
+
+  // Compiles a query against a tokenizer: parses the prefix and body
+  // regexes, applies preprocessors (§3.4), and runs the graph compiler.
+  static CompiledQuery compile(const SimpleSearchQuery& query,
+                               const tokenizer::BpeTokenizer& tok);
+
+  StateSet initial() const;
+
+  // All token transitions out of `set`, prefix hand-off included.
+  std::vector<Step> expand(const StateSet& set) const;
+
+  // A match requires the body machine to be in a final state. (A query with
+  // an empty body pattern accepts at the hand-off itself.)
+  bool is_match(const StateSet& set) const;
+
+  // Whether any transition leaves the set (false = the only option is to
+  // stop; used for EOS disambiguation in sampling, §3.3).
+  bool has_continuation(const StateSet& set) const;
+
+  const automata::Dfa& prefix_automaton() const { return prefix_.dfa; }
+  const automata::Dfa& body_automaton() const { return body_.dfa; }
+  bool dynamic_canonical() const { return body_.dynamic_canonical; }
+  bool prefix_dynamic_canonical() const { return prefix_.dynamic_canonical; }
+
+  // Dynamic canonicality pruning (§3.2 option 2). `body_text` is the decoded
+  // body-so-far and `body_tokens` its token path; returns false when the
+  // path already deviates from the canonical (greedy longest-match) encoding
+  // on a settled boundary — i.e. a boundary more than max_token_length bytes
+  // from the end, which no future input can re-merge.
+  bool canonical_prefix_ok(std::span<const tokenizer::TokenId> body_tokens,
+                           const std::string& body_text) const;
+
+  const tokenizer::BpeTokenizer& tokenizer() const { return *tok_; }
+
+ private:
+  CompiledQuery(TokenAutomaton prefix, TokenAutomaton body,
+                const tokenizer::BpeTokenizer& tok)
+      : prefix_(std::move(prefix)), body_(std::move(body)), tok_(&tok) {}
+
+  TokenAutomaton prefix_;
+  TokenAutomaton body_;
+  const tokenizer::BpeTokenizer* tok_;
+};
+
+}  // namespace relm::core

@@ -1,0 +1,159 @@
+#include "core/compiler.hpp"
+
+#include <vector>
+
+#include "automata/determinize.hpp"
+#include "automata/ops.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core {
+
+namespace {
+
+using automata::Dfa;
+using automata::Edge;
+using automata::StateId;
+using tokenizer::BpeTokenizer;
+using tokenizer::TokenId;
+
+// Appendix B, Algorithms 1 + 2, literally: for every DFA state and every
+// vocabulary token, DFS-match the token's string from that state; surviving
+// walks become shortcut edges. O(V * k * m_max), exactly the paper's bound.
+// Measured (bench/micro_compiler) about 2x faster than the trie-sharing
+// variant below on the dense cyclic automata real queries produce; the trie
+// wins only when long shared literal prefixes dominate.
+Dfa build_all_tokens(const Dfa& char_dfa, const BpeTokenizer& tok) {
+  Dfa source = automata::trim(char_dfa);
+  Dfa out(static_cast<automata::Symbol>(tok.vocab_size()));
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    out.add_state(source.is_final(s));
+  }
+  out.set_start(source.start());
+  for (TokenId token = 0; token < tok.vocab_size(); ++token) {
+    const std::string& word = tok.token_string(token);
+    if (word.empty()) continue;  // EOS
+    for (StateId origin = 0; origin < source.num_states(); ++origin) {
+      StateId state = origin;
+      bool alive = true;
+      for (unsigned char c : word) {
+        state = source.next(state, c);
+        if (state == automata::kNoState) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) out.add_edge(origin, token, state);
+    }
+  }
+  return automata::trim(out);
+}
+
+// The trie-sharing alternative: from every DFA state, walk (trie node, DFA
+// state) pairs; every trie node carrying a token contributes a shortcut
+// edge. Shares prefix work across tokens — a win only for large sparse
+// automata (long literals); kept as a property-tested alternative.
+Dfa build_all_tokens_trie(const Dfa& char_dfa, const BpeTokenizer& tok) {
+  Dfa source = automata::trim(char_dfa);
+  Dfa out(static_cast<automata::Symbol>(tok.vocab_size()));
+  for (StateId s = 0; s < source.num_states(); ++s) {
+    out.add_state(source.is_final(s));
+  }
+  out.set_start(source.start());
+
+  struct WalkItem {
+    std::uint32_t trie_node;
+    StateId dfa_state;
+  };
+  std::vector<WalkItem> stack;
+  for (StateId origin = 0; origin < source.num_states(); ++origin) {
+    stack.clear();
+    stack.push_back({tok.trie_root(), origin});
+    while (!stack.empty()) {
+      WalkItem item = stack.back();
+      stack.pop_back();
+      for (const Edge& e : source.edges(item.dfa_state)) {
+        if (e.symbol > 255) continue;  // character automaton invariant
+        std::uint32_t child =
+            tok.trie_child(item.trie_node, static_cast<unsigned char>(e.symbol));
+        if (child == BpeTokenizer::kNoTrieNode) continue;
+        if (auto token = tok.trie_token(child)) {
+          out.add_edge(origin, *token, e.to);
+        }
+        stack.push_back({child, e.to});
+      }
+    }
+  }
+  return automata::trim(out);
+}
+
+// §3.2 option 1: enumerate every string, encode canonically, build a token
+// trie, minimize.
+Dfa build_canonical_by_enumeration(const Dfa& char_dfa, const BpeTokenizer& tok,
+                                   std::size_t count_hint) {
+  Dfa source = automata::trim(char_dfa);
+  std::vector<std::string> strings = automata::enumerate_strings(
+      source, count_hint, /*max_len=*/source.num_states() + 1);
+
+  Dfa out(static_cast<automata::Symbol>(tok.vocab_size()));
+  StateId root = out.add_state(false);
+  out.set_start(root);
+  for (const std::string& s : strings) {
+    std::vector<TokenId> tokens = tok.encode(s);
+    StateId cur = root;
+    for (TokenId t : tokens) {
+      StateId next = out.next(cur, t);
+      if (next == automata::kNoState) {
+        next = out.add_state(false);
+        out.add_edge(cur, t, next);
+      }
+      cur = next;
+    }
+    out.set_final(cur);
+  }
+  return automata::minimize(out);
+}
+
+}  // namespace
+
+TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
+                                       const tokenizer::BpeTokenizer& tok,
+                                       TokenizationStrategy strategy,
+                                       std::size_t enumeration_budget) {
+  if (char_dfa.num_symbols() != 256) {
+    throw relm::QueryError("token compilation requires a byte-level automaton");
+  }
+  TokenAutomaton result{automata::Dfa(1), false};
+  if (strategy == TokenizationStrategy::kAllTokens) {
+    result.dfa = build_all_tokens(char_dfa, tok);
+    return result;
+  }
+
+  // Canonical strategy.
+  automata::Dfa trimmed = automata::trim(char_dfa);
+  bool infinite = automata::is_infinite_language(trimmed);
+  std::uint64_t count =
+      infinite ? 0 : automata::count_strings(trimmed, trimmed.num_states() + 1);
+  if (!infinite && count <= enumeration_budget) {
+    result.dfa = build_canonical_by_enumeration(trimmed, tok, count);
+    return result;
+  }
+  result.dfa = build_all_tokens(trimmed, tok);
+  result.dynamic_canonical = true;
+  return result;
+}
+
+automata::Dfa build_all_tokens_trie_variant(const automata::Dfa& char_dfa,
+                                            const tokenizer::BpeTokenizer& tok) {
+  if (char_dfa.num_symbols() != 256) {
+    throw relm::QueryError("token compilation requires a byte-level automaton");
+  }
+  return build_all_tokens_trie(char_dfa, tok);
+}
+
+TokenAutomaton epsilon_token_automaton(const tokenizer::BpeTokenizer& tok) {
+  automata::Dfa dfa(static_cast<automata::Symbol>(tok.vocab_size()));
+  dfa.set_start(dfa.add_state(true));
+  return TokenAutomaton{std::move(dfa), false};
+}
+
+}  // namespace relm::core

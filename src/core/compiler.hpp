@@ -1,0 +1,54 @@
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "core/query.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core {
+
+// A token-space automaton (the paper's "LLM Automaton", §3.2): states are
+// inherited from the character automaton, symbols are BPE token ids. Always
+// deterministic: from a fixed state, a token's character walk is unique in a
+// character DFA.
+struct TokenAutomaton {
+  automata::Dfa dfa;
+
+  // True when the canonical-encodings strategy could not be materialized
+  // exactly (infinite or over-budget language): `dfa` then holds the full
+  // set of encodings and the executor must prune non-canonical paths
+  // dynamically during traversal (§3.2, "backtracking during runtime").
+  bool dynamic_canonical = false;
+};
+
+// Compiles a character-level DFA into a token automaton.
+//
+// kAllTokens implements the shortcut-edge construction of Appendix B
+// literally: for every automaton state and every vocabulary token, the
+// token's string is walked through the character DFA; surviving walks become
+// token edges — O(V · k · m_max), the paper's bound. (A trie-sharing variant
+// exists below; measured, the literal algorithm is ~2x faster on the dense
+// cyclic automata real queries produce.)
+//
+// kCanonicalTokens implements §3.2's options in order of preference:
+//   1. if the language is finite and has at most `enumeration_budget`
+//      strings, enumerate them, encode each canonically, and build the exact
+//      token trie (then minimize);
+//   2. otherwise fall back to the full-encodings automaton with
+//      dynamic_canonical = true.
+TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
+                                       const tokenizer::BpeTokenizer& tok,
+                                       TokenizationStrategy strategy,
+                                       std::size_t enumeration_budget = 50000);
+
+// The trivial token automaton accepting only the empty string (used for
+// empty prefixes).
+TokenAutomaton epsilon_token_automaton(const tokenizer::BpeTokenizer& tok);
+
+// The trie-sharing alternative construction: walks the vocabulary trie and
+// the DFA in lockstep, sharing prefix work across tokens. Profitable only
+// for large sparse automata (long literals); property-tested identical to
+// the production construction and compared in bench/micro_compiler.
+automata::Dfa build_all_tokens_trie_variant(const automata::Dfa& char_dfa,
+                                            const tokenizer::BpeTokenizer& tok);
+
+}  // namespace relm::core

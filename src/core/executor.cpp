@@ -1,0 +1,497 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/decoding.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core {
+
+using model::allowed_tokens;
+using tokenizer::TokenId;
+
+// ---------------------------------------------------------------------------
+// ShortestPathSearch
+// ---------------------------------------------------------------------------
+
+ShortestPathSearch::ShortestPathSearch(const model::LanguageModel& model,
+                                       const CompiledQuery& compiled,
+                                       const SimpleSearchQuery& query)
+    : model_(model), compiled_(compiled), query_(query) {
+  Node root;
+  root.set = compiled_.initial();
+  root.parent = -1;
+  root.token = 0;
+  root.cost = 0.0;
+  root.depth = 0;
+  root.body_len = 0;
+  root.terminal = false;
+  nodes_.push_back(root);
+  frontier_.push(QueueEntry{0.0, 0});
+}
+
+std::vector<TokenId> ShortestPathSearch::path_of(std::int32_t node) const {
+  std::vector<TokenId> path;
+  for (std::int32_t cur = node; cur > 0; cur = nodes_[cur].parent) {
+    path.push_back(nodes_[cur].token);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void ShortestPathSearch::expand(std::int32_t node_id,
+                                const std::vector<double>& lp) {
+  const std::size_t seq_limit = std::min(
+      query_.sequence_length.value_or(model_.max_sequence_length()),
+      model_.max_sequence_length());
+  Node node = nodes_[node_id];  // copy: nodes_ may reallocate below
+  if (node.depth >= seq_limit) return;
+
+  std::vector<bool> mask;
+  if (!query_.decoding.unrestricted()) {
+    mask = allowed_tokens(lp, query_.decoding);
+  }
+
+  // Dynamic canonical pruning needs the body token subsequence, which is the
+  // last `body_len` tokens of the path (tracked per node across the
+  // prefix->body hand-off).
+  auto body_path_ok = [&](TokenId next_token, const CompiledQuery::Step& step) {
+    if (!compiled_.dynamic_canonical() || !step.body_advanced) return true;
+    std::vector<TokenId> body_tokens;
+    body_tokens.push_back(next_token);
+    std::int32_t cur = node_id;
+    for (std::uint32_t i = 0; i < node.body_len; ++i) {
+      body_tokens.push_back(nodes_[cur].token);
+      cur = nodes_[cur].parent;
+    }
+    std::reverse(body_tokens.begin(), body_tokens.end());
+    std::string body_text = compiled_.tokenizer().decode(body_tokens);
+    bool ok = compiled_.canonical_prefix_ok(body_tokens, body_text);
+    if (!ok) ++stats_.pruned_non_canonical;
+    return ok;
+  };
+
+  for (const CompiledQuery::Step& step : compiled_.expand(node.set)) {
+    if (!step.prefix_only && !mask.empty() && !mask[step.token]) {
+      ++stats_.pruned_by_rules;
+      continue;  // pruned, and transitively all its extensions (§3.3)
+    }
+    if (!body_path_ok(step.token, step)) continue;
+    Node child;
+    child.set = step.next;
+    child.parent = node_id;
+    child.token = step.token;
+    child.cost = node.cost - lp[step.token];
+    child.depth = node.depth + 1;
+    child.body_len = step.body_advanced ? node.body_len + 1 : 0;
+    child.terminal = false;
+    nodes_.push_back(child);
+    frontier_.push(QueueEntry{child.cost, static_cast<std::int32_t>(nodes_.size() - 1)});
+  }
+
+  // EOS closure for terminated queries: a match becomes a result only after
+  // paying for EOS.
+  if (query_.require_eos && compiled_.is_match(node.set)) {
+    TokenId eos = model_.eos();
+    bool eos_allowed = mask.empty() || mask[eos];
+    if (eos_allowed) {
+      Node child = node;
+      child.parent = node_id;
+      child.token = eos;
+      child.cost = node.cost - lp[eos];
+      child.depth = node.depth + 1;
+      child.terminal = true;
+      child.expanded = false;
+      nodes_.push_back(child);
+      frontier_.push(
+          QueueEntry{child.cost, static_cast<std::int32_t>(nodes_.size() - 1)});
+    } else {
+      ++stats_.pruned_by_rules;
+    }
+  }
+}
+
+void ShortestPathSearch::pump() {
+  // Pop the best frontier nodes; evaluate their contexts in one model batch
+  // (default batch size 1 = strict Dijkstra); expand; queue any matches.
+  const std::size_t batch = std::max<std::size_t>(query_.expansion_batch_size, 1);
+  std::vector<std::int32_t> popped;
+  std::vector<std::vector<TokenId>> contexts;
+  while (popped.size() < batch && !frontier_.empty()) {
+    QueueEntry entry = frontier_.top();
+    frontier_.pop();
+    if (nodes_[entry.node].expanded) continue;
+    nodes_[entry.node].expanded = true;
+    popped.push_back(entry.node);
+    contexts.push_back(path_of(entry.node));
+  }
+  if (popped.empty()) return;
+
+  // Terminal nodes need no model call; placeholder distributions keep the
+  // batch aligned.
+  std::vector<std::vector<TokenId>> eval_contexts;
+  std::vector<std::size_t> eval_index(popped.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    if (!nodes_[popped[i]].terminal) {
+      eval_index[i] = eval_contexts.size();
+      eval_contexts.push_back(contexts[i]);
+    }
+  }
+  std::vector<std::vector<double>> lps =
+      model_.next_log_probs_batch(eval_contexts);
+  stats_.llm_calls += eval_contexts.size();
+  stats_.expansions += eval_contexts.size();
+
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    std::int32_t id = popped[i];
+    bool is_result = nodes_[id].terminal ||
+                     (!query_.require_eos && compiled_.is_match(nodes_[id].set));
+    if (!nodes_[id].terminal) expand(id, lps[eval_index[i]]);
+    if (!is_result) continue;
+
+    std::vector<TokenId> tokens = std::move(contexts[i]);
+    if (nodes_[id].terminal) tokens.pop_back();  // drop EOS from the tuple
+    std::string text = compiled_.tokenizer().decode(tokens);
+    // Final canonicality gate (§3.2 option 2): the incremental check can
+    // only reject *settled* deviations; at emission the string is complete,
+    // so the body tokens must equal the canonical encoding exactly.
+    if (compiled_.dynamic_canonical()) {
+      std::uint32_t body_len = nodes_[id].body_len;
+      std::span<const TokenId> body(tokens.data() + (tokens.size() - body_len),
+                                    body_len);
+      std::string body_text = compiled_.tokenizer().decode(body);
+      std::vector<TokenId> canonical = compiled_.tokenizer().encode(body_text);
+      if (canonical.size() != body.size() ||
+          !std::equal(canonical.begin(), canonical.end(), body.begin())) {
+        ++stats_.pruned_non_canonical;
+        continue;
+      }
+    }
+    if (dedup_text_ && !emitted_texts_.insert(text).second) continue;
+    stats_.elapsed_seconds = timer_.seconds();
+    pending_results_.push_back(SearchResult{std::move(tokens), std::move(text),
+                                            -nodes_[id].cost, stats_.llm_calls,
+                                            stats_.elapsed_seconds});
+  }
+}
+
+std::optional<SearchResult> ShortestPathSearch::next() {
+  for (;;) {
+    if (!pending_results_.empty()) {
+      if (emitted_ >= query_.max_results) return std::nullopt;
+      ++emitted_;
+      SearchResult result = std::move(pending_results_.front());
+      pending_results_.pop_front();
+      return result;
+    }
+    if (emitted_ >= query_.max_results) return std::nullopt;
+    if (stats_.expansions >= query_.max_expansions) return std::nullopt;
+    if (frontier_.empty()) {
+      stats_.elapsed_seconds = timer_.seconds();
+      return std::nullopt;
+    }
+    pump();
+  }
+}
+
+std::vector<SearchResult> ShortestPathSearch::all() {
+  std::vector<SearchResult> out;
+  while (auto result = next()) out.push_back(std::move(*result));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RandomSampler
+// ---------------------------------------------------------------------------
+
+RandomSampler::RandomSampler(const model::LanguageModel& model,
+                             const CompiledQuery& compiled,
+                             const SimpleSearchQuery& query, std::uint64_t seed)
+    : model_(model),
+      compiled_(compiled),
+      query_(query),
+      prefix_walks_(compiled.prefix_automaton(),
+                    std::min(query.sequence_length.value_or(model.max_sequence_length()),
+                             model.max_sequence_length())),
+      rng_(seed) {}
+
+bool RandomSampler::sample_prefix_tokens(std::vector<TokenId>& out) {
+  out.clear();
+  const automata::Dfa& pa = compiled_.prefix_automaton();
+  if (query_.walk_normalized_sampling) {
+    std::vector<automata::Symbol> walk;
+    if (!prefix_walks_.sample_uniform_walk(pa, rng_, walk)) return false;
+    out.assign(walk.begin(), walk.end());
+    return true;
+  }
+  // Unnormalized ablation (Appendix C / Figure 9): each decision — stop here
+  // (if final) or take an outgoing edge — is uniform, which biases toward
+  // early edits.
+  automata::StateId state = pa.start();
+  const std::size_t limit = prefix_walks_.max_len();
+  for (std::size_t step = 0; step <= limit; ++step) {
+    auto edges = pa.edges(state);
+    bool can_stop = pa.is_final(state);
+    std::size_t options = edges.size() + (can_stop ? 1 : 0);
+    if (options == 0) return false;
+    std::size_t pick = rng_.bounded(static_cast<std::uint32_t>(options));
+    if (can_stop && pick == edges.size()) return true;
+    const automata::Edge& e = edges[pick];
+    out.push_back(static_cast<TokenId>(e.symbol));
+    state = e.to;
+  }
+  return pa.is_final(state);
+}
+
+std::optional<SearchResult> RandomSampler::sample_once() {
+  ++stats_.sample_attempts;
+  const std::size_t seq_limit = std::min(
+      query_.sequence_length.value_or(model_.max_sequence_length()),
+      model_.max_sequence_length());
+
+  // Phase 1: prefix, uniform over prefix walks (bypasses decoding rules).
+  std::vector<TokenId> prefix_tokens;
+  if (!sample_prefix_tokens(prefix_tokens)) {
+    ++stats_.sample_dead_ends;
+    return std::nullopt;
+  }
+
+  // Phase 2: body, LLM-weighted within the automaton.
+  std::vector<TokenId> context(prefix_tokens);
+  std::vector<TokenId> body_tokens;
+  std::string body_text;
+  double body_log_prob = 0.0;
+  automata::StateId body_state = compiled_.body_automaton().start();
+  const automata::Dfa& ba = compiled_.body_automaton();
+
+  for (;;) {
+    if (context.size() >= seq_limit) {
+      if (ba.is_final(body_state)) break;  // budget exhausted at a final state
+      ++stats_.sample_dead_ends;
+      return std::nullopt;
+    }
+    auto edges = ba.edges(body_state);
+    bool at_final = ba.is_final(body_state);
+    if (edges.empty() && at_final) break;  // unambiguous stop
+
+    std::vector<double> lp = model_.next_log_probs(context);
+    ++stats_.llm_calls;
+    std::vector<bool> mask;
+    if (!query_.decoding.unrestricted()) {
+      mask = allowed_tokens(lp, query_.decoding);
+    }
+
+    // Candidate weights: automaton edges (plus EOS-as-stop at final states),
+    // renormalized over true model probabilities (§3.3).
+    std::vector<double> weights;
+    weights.reserve(edges.size() + 1);
+    std::vector<std::size_t> candidate_edges;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      TokenId t = static_cast<TokenId>(edges[i].symbol);
+      bool allowed = mask.empty() || mask[t];
+      if (!allowed) {
+        ++stats_.pruned_by_rules;
+        continue;
+      }
+      // Dynamic canonical pruning of the candidate.
+      if (compiled_.dynamic_canonical()) {
+        std::vector<TokenId> candidate(body_tokens);
+        candidate.push_back(t);
+        std::string text = body_text + compiled_.tokenizer().token_string(t);
+        if (!compiled_.canonical_prefix_ok(candidate, text)) {
+          ++stats_.pruned_non_canonical;
+          continue;
+        }
+      }
+      candidate_edges.push_back(i);
+      weights.push_back(std::exp(lp[t]));
+    }
+    bool eos_stop_available = false;
+    if (at_final) {
+      TokenId eos = model_.eos();
+      bool allowed = mask.empty() || mask[eos];
+      if (allowed) {
+        eos_stop_available = true;
+        weights.push_back(std::exp(lp[eos]));
+      }
+    }
+    if (weights.empty()) {
+      ++stats_.sample_dead_ends;
+      return std::nullopt;
+    }
+    std::size_t pick = rng_.weighted(weights);
+    if (pick >= weights.size()) {
+      ++stats_.sample_dead_ends;
+      return std::nullopt;
+    }
+    if (eos_stop_available && pick == weights.size() - 1) {
+      body_log_prob += lp[model_.eos()];
+      break;  // EOS: accept
+    }
+
+    const automata::Edge& e = edges[candidate_edges[pick]];
+    TokenId t = static_cast<TokenId>(e.symbol);
+    body_log_prob += lp[t];
+    context.push_back(t);
+    body_tokens.push_back(t);
+    body_text += compiled_.tokenizer().token_string(t);
+    body_state = e.to;
+  }
+
+  // Final canonicality gate for dynamic-canonical queries: the completed
+  // body must be exactly its canonical encoding.
+  if (compiled_.dynamic_canonical()) {
+    std::vector<TokenId> canonical = compiled_.tokenizer().encode(body_text);
+    if (canonical != body_tokens) {
+      ++stats_.pruned_non_canonical;
+      ++stats_.sample_dead_ends;
+      return std::nullopt;
+    }
+  }
+
+  last_prefix_text_ = compiled_.tokenizer().decode(prefix_tokens);
+  std::string text = last_prefix_text_ + body_text;
+  stats_.elapsed_seconds = timer_.seconds();
+  // log_prob covers the body given the prefix (the prefix is uniform by
+  // construction, not model-weighted).
+  return SearchResult{std::move(context), std::move(text), body_log_prob,
+                      stats_.llm_calls, stats_.elapsed_seconds};
+}
+
+std::vector<SearchResult> RandomSampler::sample_all() {
+  std::vector<SearchResult> out;
+  const std::size_t max_attempts =
+      query_.num_samples * query_.max_sample_attempts_factor;
+  std::size_t attempts = 0;
+  while (out.size() < query_.num_samples && attempts < max_attempts) {
+    ++attempts;
+    if (auto result = sample_once()) out.push_back(std::move(*result));
+  }
+  stats_.elapsed_seconds = timer_.seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BeamSearch
+// ---------------------------------------------------------------------------
+
+BeamSearch::BeamSearch(const model::LanguageModel& model,
+                       const CompiledQuery& compiled,
+                       const SimpleSearchQuery& query)
+    : model_(model), compiled_(compiled), query_(query) {}
+
+std::vector<SearchResult> BeamSearch::run() {
+  const std::size_t seq_limit = std::min(
+      query_.sequence_length.value_or(model_.max_sequence_length()),
+      model_.max_sequence_length());
+  const std::size_t width = std::max<std::size_t>(query_.beam_width, 1);
+
+  std::vector<Beam> beams{Beam{{}, compiled_.initial(), 0.0, 0}};
+  std::vector<SearchResult> matches;
+  std::unordered_set<std::string> emitted;
+
+  auto record_match = [&](const Beam& beam, double final_log_prob) {
+    if (compiled_.dynamic_canonical()) {
+      // Final canonicality gate, as in the other traversals.
+      std::span<const TokenId> body(
+          beam.tokens.data() + (beam.tokens.size() - beam.body_len),
+          beam.body_len);
+      std::string body_text = compiled_.tokenizer().decode(body);
+      std::vector<TokenId> canonical = compiled_.tokenizer().encode(body_text);
+      if (canonical.size() != body.size() ||
+          !std::equal(canonical.begin(), canonical.end(), body.begin())) {
+        ++stats_.pruned_non_canonical;
+        return;
+      }
+    }
+    std::string text = compiled_.tokenizer().decode(beam.tokens);
+    if (!emitted.insert(text).second) return;
+    stats_.elapsed_seconds = timer_.seconds();
+    matches.push_back(SearchResult{beam.tokens, std::move(text), final_log_prob,
+                                   stats_.llm_calls, stats_.elapsed_seconds});
+  };
+
+  for (std::size_t step = 0; step < seq_limit && !beams.empty(); ++step) {
+    std::vector<Beam> candidates;
+    for (const Beam& beam : beams) {
+      std::vector<double> lp = model_.next_log_probs(beam.tokens);
+      ++stats_.llm_calls;
+      ++stats_.expansions;
+      std::vector<bool> mask;
+      if (!query_.decoding.unrestricted()) {
+        mask = allowed_tokens(lp, query_.decoding);
+      }
+
+      // A match at this beam is recorded now (it may fall out of the beam).
+      if (compiled_.is_match(beam.set)) {
+        if (query_.require_eos) {
+          TokenId eos = model_.eos();
+          if (mask.empty() || mask[eos]) {
+            record_match(beam, beam.log_prob + lp[eos]);
+          }
+        } else {
+          record_match(beam, beam.log_prob);
+        }
+      }
+
+      for (const CompiledQuery::Step& next : compiled_.expand(beam.set)) {
+        if (!next.prefix_only && !mask.empty() && !mask[next.token]) {
+          ++stats_.pruned_by_rules;
+          continue;
+        }
+        Beam child;
+        child.tokens = beam.tokens;
+        child.tokens.push_back(next.token);
+        child.set = next.next;
+        child.log_prob = beam.log_prob + lp[next.token];
+        child.body_len = next.body_advanced ? beam.body_len + 1 : 0;
+        if (compiled_.dynamic_canonical() && next.body_advanced) {
+          std::span<const TokenId> body(
+              child.tokens.data() + (child.tokens.size() - child.body_len),
+              child.body_len);
+          std::string body_text = compiled_.tokenizer().decode(body);
+          if (!compiled_.canonical_prefix_ok(body, body_text)) {
+            ++stats_.pruned_non_canonical;
+            continue;
+          }
+        }
+        candidates.push_back(std::move(child));
+      }
+    }
+
+    if (candidates.size() > width) {
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + static_cast<std::ptrdiff_t>(width),
+                        candidates.end(), [](const Beam& a, const Beam& b) {
+                          return a.log_prob > b.log_prob;
+                        });
+      candidates.resize(width);
+    }
+    beams = std::move(candidates);
+  }
+
+  // Sequence limit reached: surviving beams that sit on a match state are
+  // still results (their EOS cost cannot be paid without one more call; for
+  // require_eos queries they are charged one final model evaluation).
+  for (const Beam& beam : beams) {
+    if (!compiled_.is_match(beam.set)) continue;
+    if (query_.require_eos) {
+      std::vector<double> lp = model_.next_log_probs(beam.tokens);
+      ++stats_.llm_calls;
+      record_match(beam, beam.log_prob + lp[model_.eos()]);
+    } else {
+      record_match(beam, beam.log_prob);
+    }
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              return a.log_prob > b.log_prob;
+            });
+  if (matches.size() > query_.max_results) matches.resize(query_.max_results);
+  stats_.elapsed_seconds = timer_.seconds();
+  return matches;
+}
+
+}  // namespace relm::core

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+
+#include "automata/walks.hpp"
+#include "core/compiled_query.hpp"
+#include "model/language_model.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace relm::core {
+
+// One matching tuple from a query, streamed to the user program (§3.1).
+struct SearchResult {
+  std::vector<tokenizer::TokenId> tokens;  // full token path (EOS excluded)
+  std::string text;                        // decoded string
+  double log_prob;                         // log p of the path (incl. EOS when required)
+  std::size_t llm_calls_at_emission;       // cumulative model invocations
+  double seconds_at_emission;              // since search start
+};
+
+struct SearchStats {
+  std::size_t llm_calls = 0;
+  std::size_t expansions = 0;          // shortest path: nodes expanded
+  std::size_t pruned_by_rules = 0;     // edges cut by top-k/top-p
+  std::size_t pruned_non_canonical = 0;
+  std::size_t sample_attempts = 0;     // random: attempts incl. dead ends
+  std::size_t sample_dead_ends = 0;
+  double elapsed_seconds = 0;
+};
+
+// Dijkstra / shortest-path traversal (§3.3): yields matches in decreasing
+// probability order. Costs are -log p, non-negative, so the first pop of a
+// match is globally optimal and subsequent pops enumerate the language in
+// order. Prefix edges are never pruned by decoding rules but carry their
+// true costs (the startup-latency heuristic).
+class ShortestPathSearch {
+ public:
+  ShortestPathSearch(const model::LanguageModel& model, const CompiledQuery& compiled,
+                     const SimpleSearchQuery& query);
+
+  // Next match, or nullopt when the language (or a budget) is exhausted.
+  // Matches with identical decoded text are emitted once (first = cheapest);
+  // set dedup_text=false in the constructor-time query via
+  // `SimpleSearchQuery` extensions if token-tuple granularity is wanted.
+  std::optional<SearchResult> next();
+
+  const SearchStats& stats() const { return stats_; }
+
+  // Emit every result up to the query's max_results.
+  std::vector<SearchResult> all();
+
+  // When false, distinct token tuples decoding to the same text are all
+  // reported (used by the unprompted-toxicity volume measurements, §4.3).
+  void set_dedup_text(bool dedup) { dedup_text_ = dedup; }
+
+ private:
+  struct Node {
+    CompiledQuery::StateSet set;
+    std::int32_t parent;
+    tokenizer::TokenId token;   // token on the edge from parent
+    double cost;                // cumulative -log p
+    std::uint32_t depth;
+    std::uint32_t body_len;     // tokens consumed by the body machine
+    bool terminal;              // EOS attached; emit on pop
+    bool expanded = false;
+  };
+  struct QueueEntry {
+    double cost;
+    std::int32_t node;
+    bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+  };
+
+  std::vector<tokenizer::TokenId> path_of(std::int32_t node) const;
+  void expand(std::int32_t node_id, const std::vector<double>& lp);
+  // Pops up to expansion_batch_size nodes, batch-evaluates their contexts,
+  // expands them, and appends any matches to pending_results_.
+  void pump();
+
+  const model::LanguageModel& model_;
+  const CompiledQuery& compiled_;
+  const SimpleSearchQuery& query_;
+  std::vector<Node> nodes_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier_;
+  std::unordered_set<std::string> emitted_texts_;
+  std::deque<SearchResult> pending_results_;
+  std::size_t emitted_ = 0;
+  bool dedup_text_ = true;
+  SearchStats stats_;
+  util::Timer timer_;
+};
+
+// Randomized traversal (§3.3): unbiased sampling from the query language.
+// The prefix is drawn uniformly over prefix walks using walk-count edge
+// normalization (Appendix C) — or uniformly over edges when the query
+// disables normalization (the Figure 9 ablation) — and the suffix is drawn
+// from the LLM restricted to the automaton and decoding rules, with EOS
+// disambiguating stop-vs-continue at final states.
+class RandomSampler {
+ public:
+  RandomSampler(const model::LanguageModel& model, const CompiledQuery& compiled,
+                const SimpleSearchQuery& query, std::uint64_t seed);
+
+  // One sample; nullopt if the attempt dead-ended (caller may retry).
+  std::optional<SearchResult> sample_once();
+
+  // Draws query.num_samples samples (with retries bounded by
+  // query.max_sample_attempts_factor).
+  std::vector<SearchResult> sample_all();
+
+  const SearchStats& stats() const { return stats_; }
+
+  // Decoded text of the prefix portion of the last successful sample
+  // (empty for unconditional queries). Used by the edit-position analysis.
+  const std::string& last_prefix_text() const { return last_prefix_text_; }
+
+ private:
+  bool sample_prefix_tokens(std::vector<tokenizer::TokenId>& out);
+
+  const model::LanguageModel& model_;
+  const CompiledQuery& compiled_;
+  const SimpleSearchQuery& query_;
+  automata::WalkCounts prefix_walks_;
+  util::Pcg32 rng_;
+  SearchStats stats_;
+  util::Timer timer_;
+  std::string last_prefix_text_;
+};
+
+// Constrained beam search: the trie/automaton-constrained beam decoding the
+// paper relates to (De Cao et al., 2021; §5). Keeps the `beam_width` most
+// probable partial paths per step. Compared to Dijkstra it is approximate —
+// a path outside the beam is gone for good — but its cost is bounded:
+// at most beam_width LLM calls per step for at most sequence_length steps.
+// Matches found along the way are collected and returned most probable
+// first. Prefix edges bypass decoding rules exactly as in the other
+// traversals; the prefix consumes beam slots like any other path.
+class BeamSearch {
+ public:
+  BeamSearch(const model::LanguageModel& model, const CompiledQuery& compiled,
+             const SimpleSearchQuery& query);
+
+  // Runs to completion (all beams dead or sequence limit reached).
+  std::vector<SearchResult> run();
+
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  struct Beam {
+    std::vector<tokenizer::TokenId> tokens;
+    CompiledQuery::StateSet set;
+    double log_prob = 0.0;
+    std::uint32_t body_len = 0;
+  };
+
+  const model::LanguageModel& model_;
+  const CompiledQuery& compiled_;
+  const SimpleSearchQuery& query_;
+  SearchStats stats_;
+  util::Timer timer_;
+};
+
+}  // namespace relm::core

@@ -1,0 +1,131 @@
+#include "core/preprocessors.hpp"
+
+#include "automata/determinize.hpp"
+#include "automata/levenshtein.hpp"
+#include "automata/ops.hpp"
+#include "automata/regex.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core {
+
+LevenshteinPreprocessor::LevenshteinPreprocessor(int distance, Target target,
+                                                 automata::ByteSet alphabet)
+    : distance_(distance), target_(target), alphabet_(alphabet) {
+  if (distance < 0) throw relm::QueryError("Levenshtein distance must be >= 0");
+}
+
+automata::Dfa LevenshteinPreprocessor::apply(const automata::Dfa& language) const {
+  return automata::levenshtein_expand(language, distance_, alphabet_);
+}
+
+std::string LevenshteinPreprocessor::name() const {
+  return "levenshtein(" + std::to_string(distance_) + ")";
+}
+
+namespace {
+automata::Dfa union_of_literals(const std::vector<std::string>& strings) {
+  automata::Nfa nfa(256);
+  automata::StateId start = nfa.add_state();
+  nfa.set_start(start);
+  for (const std::string& s : strings) {
+    automata::StateId cur = start;
+    for (unsigned char c : s) {
+      automata::StateId next = nfa.add_state();
+      nfa.add_edge(cur, c, next);
+      cur = next;
+    }
+    nfa.set_final(cur);
+  }
+  return automata::minimize(automata::determinize(nfa));
+}
+}  // namespace
+
+FilterPreprocessor::FilterPreprocessor(std::vector<std::string> forbidden,
+                                       Target target)
+    : forbidden_(union_of_literals(forbidden)), target_(target) {}
+
+FilterPreprocessor::FilterPreprocessor(const std::string& forbidden_regex,
+                                       Target target)
+    : forbidden_(automata::compile_regex(forbidden_regex)), target_(target) {}
+
+automata::Dfa FilterPreprocessor::apply(const automata::Dfa& language) const {
+  return automata::minimize(automata::difference(
+      language, forbidden_, automata::printable_ascii_and_ws()));
+}
+
+automata::Dfa CaseInsensitivePreprocessor::apply(
+    const automata::Dfa& language) const {
+  automata::Nfa nfa(256);
+  for (automata::StateId s = 0; s < language.num_states(); ++s) {
+    nfa.add_state(language.is_final(s));
+  }
+  for (automata::StateId s = 0; s < language.num_states(); ++s) {
+    for (const automata::Edge& e : language.edges(s)) {
+      nfa.add_edge(s, e.symbol, e.to);
+      unsigned char c = static_cast<unsigned char>(e.symbol);
+      if (c >= 'a' && c <= 'z') {
+        nfa.add_edge(s, c - 'a' + 'A', e.to);
+      } else if (c >= 'A' && c <= 'Z') {
+        nfa.add_edge(s, c - 'A' + 'a', e.to);
+      }
+    }
+  }
+  nfa.set_start(language.start());
+  return automata::minimize(automata::determinize(nfa));
+}
+
+SynonymPreprocessor::SynonymPreprocessor(
+    std::vector<std::pair<std::string, std::vector<std::string>>> synonyms,
+    Target target)
+    : synonyms_(std::move(synonyms)), target_(target) {
+  for (const auto& [word, alternatives] : synonyms_) {
+    if (word.empty()) throw relm::QueryError("synonym source word is empty");
+    for (const auto& alt : alternatives) {
+      if (alt.empty()) throw relm::QueryError("synonym alternative is empty");
+    }
+  }
+}
+
+automata::Dfa SynonymPreprocessor::apply(const automata::Dfa& language) const {
+  // Copy the DFA into an NFA, then for every walk spelling a source word,
+  // bridge its endpoints with each alternative (Appendix B's optional
+  // rewrite, with a multi-character bridge instead of one token edge).
+  automata::Nfa nfa(256);
+  for (automata::StateId s = 0; s < language.num_states(); ++s) {
+    nfa.add_state(language.is_final(s));
+  }
+  for (automata::StateId s = 0; s < language.num_states(); ++s) {
+    for (const automata::Edge& e : language.edges(s)) {
+      nfa.add_edge(s, e.symbol, e.to);
+    }
+  }
+  nfa.set_start(language.start());
+
+  for (const auto& [word, alternatives] : synonyms_) {
+    for (automata::StateId origin = 0; origin < language.num_states(); ++origin) {
+      // Deterministic walk of `word` from origin.
+      automata::StateId state = origin;
+      bool alive = true;
+      for (unsigned char c : word) {
+        state = language.next(state, c);
+        if (state == automata::kNoState) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      for (const std::string& alt : alternatives) {
+        automata::StateId cur = origin;
+        for (std::size_t i = 0; i + 1 < alt.size(); ++i) {
+          automata::StateId next = nfa.add_state(false);
+          nfa.add_edge(cur, static_cast<unsigned char>(alt[i]), next);
+          cur = next;
+        }
+        nfa.add_edge(cur, static_cast<unsigned char>(alt.back()), state);
+      }
+    }
+  }
+  return automata::minimize(automata::determinize(nfa));
+}
+
+}  // namespace relm::core

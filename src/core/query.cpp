@@ -1,0 +1,18 @@
+#include "core/query.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace relm::core {
+
+std::string QueryString::body_str() const {
+  if (prefix_str.empty()) return query_str;
+  if (!util::starts_with(query_str, prefix_str)) {
+    throw relm::QueryError(
+        "prefix_str must be a textual prefix of query_str (prefix: \"" +
+        prefix_str + "\")");
+  }
+  return query_str.substr(prefix_str.size());
+}
+
+}  // namespace relm::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/preprocessors.hpp"
+#include "model/decoding.hpp"
+
+namespace relm::core {
+
+// The regex portion of a query (Fig 11): the full pattern plus the prefix
+// sub-pattern. The prefix is itself a regular expression; it is "defined to
+// be in the language" (§2.4) — decoding rules never prune it — and the
+// pattern proper is everything after it. `query_str` must start with the
+// language of `prefix_str` textually: like the Python API, the caller writes
+// the full query and names which leading part is the prefix.
+struct QueryString {
+  std::string query_str;
+  std::string prefix_str;  // empty = unconditional generation
+
+  // The pattern remainder after removing the literal prefix text. Throws
+  // relm::QueryError if prefix_str is not a textual prefix of query_str.
+  std::string body_str() const;
+};
+
+enum class SearchStrategy {
+  kShortestPath,     // Dijkstra: most probable strings first (§3.3)
+  kRandomSampling,   // unbiased randomized traversal (§3.3)
+  kBeam,             // constrained beam search (approximate; bounded memory)
+};
+
+enum class TokenizationStrategy {
+  kAllTokens,        // the full (ambiguous) set of encodings (§3.2, Fig 3a)
+  kCanonicalTokens,  // canonical encodings only (§3.2, Fig 3b)
+};
+
+// A complete ReLM query (§3): language description, decoding/decision rules,
+// and traversal algorithm. The LLM itself is passed to search() separately,
+// mirroring the Python API.
+struct SimpleSearchQuery {
+  QueryString query_string;
+  SearchStrategy search_strategy = SearchStrategy::kShortestPath;
+  TokenizationStrategy tokenization_strategy = TokenizationStrategy::kCanonicalTokens;
+  model::DecodingRules decoding;                 // top-k / top-p / temperature
+  std::optional<std::size_t> sequence_length;    // token budget; default model max
+
+  // Preprocessors (§3.4), applied in order to the query automata before
+  // token compilation. Each may target the prefix, the body, or both.
+  std::vector<std::shared_ptr<const Preprocessor>> preprocessors;
+
+  // Terminate matches with EOS ("terminated" in §4.4): a string only counts
+  // once the model emits EOS after it, and p(EOS | string) joins the cost.
+  bool require_eos = false;
+
+  // --- execution limits -----------------------------------------------------
+  std::size_t max_results = 100;        // shortest path: matches to emit
+  std::size_t max_expansions = 20000;   // shortest path: LLM call budget
+  std::size_t num_samples = 100;        // random sampling: samples to draw
+  std::size_t max_sample_attempts_factor = 16;  // retries per requested sample
+  std::size_t beam_width = 8;           // beam search: live paths per step
+
+  // Shortest path: nodes expanded per model round. 1 = strict Dijkstra
+  // (exact most-probable-first emission). Larger values batch frontier
+  // expansions through LanguageModel::next_log_probs_batch — the CPU
+  // analogue of the paper's GPU test-vector scheduling (§3.3) — at the cost
+  // of emission order being exact only up to a batch window.
+  std::size_t expansion_batch_size = 1;
+
+  // Random sampling: weigh prefix edges by walk counts (the paper's
+  // normalization, Appendix C). Disabled only by the Figure 9 ablation.
+  bool walk_normalized_sampling = true;
+
+  // Canonical compilation: languages with at most this many strings are
+  // enumerated and encoded exactly (§3.2 option 1); larger ones fall back to
+  // dynamic canonicality pruning during traversal (option 2).
+  std::size_t canonical_enumeration_budget = 50000;
+};
+
+}  // namespace relm::core

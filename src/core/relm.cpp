@@ -1,0 +1,35 @@
+#include "core/relm.hpp"
+
+#include "core/compiled_query.hpp"
+
+namespace relm {
+
+SearchOutcome search(const model::LanguageModel& model,
+                     const tokenizer::BpeTokenizer& tokenizer,
+                     const core::SimpleSearchQuery& query, std::uint64_t seed) {
+  core::CompiledQuery compiled = core::CompiledQuery::compile(query, tokenizer);
+  SearchOutcome outcome;
+  switch (query.search_strategy) {
+    case core::SearchStrategy::kShortestPath: {
+      core::ShortestPathSearch search(model, compiled, query);
+      outcome.results = search.all();
+      outcome.stats = search.stats();
+      break;
+    }
+    case core::SearchStrategy::kRandomSampling: {
+      core::RandomSampler sampler(model, compiled, query, seed);
+      outcome.results = sampler.sample_all();
+      outcome.stats = sampler.stats();
+      break;
+    }
+    case core::SearchStrategy::kBeam: {
+      core::BeamSearch beam(model, compiled, query);
+      outcome.results = beam.run();
+      outcome.stats = beam.stats();
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace relm

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/query.hpp"
+#include "model/language_model.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm {
+
+// Aggregate result of a query run: the matching tuples plus execution
+// statistics. The streamed equivalents (ShortestPathSearch::next /
+// RandomSampler::sample_once) live in core/executor.hpp.
+struct SearchOutcome {
+  std::vector<core::SearchResult> results;
+  core::SearchStats stats;
+};
+
+// The top-level entry point, mirroring `relm.search(model, tokenizer, query)`
+// from the paper's Python API (Fig 4 / Fig 11): compiles the query's regexes
+// to token automata and executes them with the query's traversal strategy.
+//
+// `seed` drives random-sampling traversals; shortest-path traversals are
+// deterministic and ignore it.
+//
+// Throws relm::RegexError / relm::QueryError on malformed input.
+SearchOutcome search(const model::LanguageModel& model,
+                     const tokenizer::BpeTokenizer& tokenizer,
+                     const core::SimpleSearchQuery& query,
+                     std::uint64_t seed = 0);
+
+}  // namespace relm

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace relm::corpus {
+
+// Oracle for URL "validation". The paper validates extracted URLs by issuing
+// HTTPS requests and checking for status < 300 (§4.1); the corpus generator
+// records every URL it plants, so registry membership is the exact analogue
+// of "this URL really exists" for the synthetic web this corpus describes.
+class UrlRegistry {
+ public:
+  void insert(const std::string& url) { urls_.insert(url); }
+  bool is_valid(const std::string& url) const { return urls_.contains(url); }
+  std::size_t size() const { return urls_.size(); }
+  const std::unordered_set<std::string>& all() const { return urls_; }
+
+ private:
+  std::unordered_set<std::string> urls_;
+};
+
+// The gendered profession table (§4.2). Probabilities per gender must sum to
+// 1 across the profession list.
+struct ProfessionBias {
+  std::vector<std::string> professions;
+  std::vector<double> man_distribution;
+  std::vector<double> woman_distribution;
+
+  // The paper's 10 professions with a stereotyped skew consistent with what
+  // Figure 7b reports (medicine/social sciences/art toward women;
+  // computer science/information systems/engineering toward men).
+  static ProfessionBias stereotyped();
+};
+
+struct CorpusConfig {
+  std::uint64_t seed = 20230417;
+
+  // Filler prose documents (tokenizer fodder and background statistics).
+  std::size_t num_filler_documents = 1200;
+
+  // Memorization workload: planted "real" URLs, each repeated so the model
+  // memorizes it, plus single-occurrence URLs that are valid but hard to
+  // extract, mirroring the long tail.
+  std::size_t num_memorized_urls = 24;
+  std::size_t memorized_url_repetitions = 40;
+  std::size_t num_rare_urls = 60;
+
+  // Bias workload: sentences "The <gender> was trained in <profession>."
+  std::size_t num_bias_sentences = 2400;
+  // Subword-overlap confounder (§4.2.1: non-canonical/unprompted queries
+  // collapse onto "art" because of tokens shared with words like
+  // "artificial"): documents containing art-prefixed vocabulary.
+  std::size_t num_art_overlap_documents = 1600;
+
+  // Toxicity workload: each insult gets a fixed 3/5/2 case mix (collocated /
+  // edit-rescuable / unextractable); this controls how often the repeated
+  // plantings occur.
+  std::size_t toxic_repetitions = 12;
+
+  // Cloze workload (LAMBADA substitute): passages whose final word is
+  // determined by earlier context.
+  std::size_t num_cloze_passages = 400;
+  std::size_t cloze_repetitions = 3;
+};
+
+// A generated corpus plus the ground truth needed by the experiments.
+struct Corpus {
+  // Model training documents (the WebText analogue).
+  std::vector<std::string> documents;
+
+  // Extra documents that exist only in the scanned dataset, not in model
+  // training. The paper greps The Pile while GPT-2 was trained on WebText —
+  // overlapping but distinct corpora — and extraction fails precisely on
+  // text the model never memorized. scan_documents() = documents +
+  // pile_only_documents.
+  std::vector<std::string> pile_only_documents;
+  std::vector<std::string> scan_documents() const;
+
+  // Art-overlap documents (the §4.2.1 subword confounder). Kept separate so
+  // model training can feed them through the subword-prior (always
+  // non-canonical) path; the tokenizer still trains on them via joined().
+  std::vector<std::string> art_overlap_documents;
+
+  UrlRegistry url_registry;
+  std::vector<std::string> memorized_urls;  // the high-repetition subset
+
+  ProfessionBias bias;
+
+  std::vector<std::string> insult_words;      // the placeholder lexicon
+  std::vector<std::string> toxic_sentences;   // planted ground truth
+
+  struct ClozePassage {
+    std::string context;   // everything before the final word
+    std::string target;    // the final word (no punctuation)
+    std::string full_text; // context + " " + target + "."
+  };
+  std::vector<ClozePassage> cloze_passages;
+
+  // All documents joined with newlines: tokenizer training input and the
+  // text the toxicity pipeline greps.
+  std::string joined() const;
+};
+
+// Deterministically generates the full synthetic corpus.
+Corpus generate_corpus(const CorpusConfig& config);
+
+// The six-word placeholder insult lexicon (harmless invented words standing
+// in for the paper's profanity list; the code path is identical).
+const std::vector<std::string>& insult_lexicon();
+
+// nltk-style English stop-word list used by the LAMBADA no_stop filter
+// (§4.4) and by corpus generation.
+const std::vector<std::string>& stop_words();
+bool is_stop_word(const std::string& word);
+
+}  // namespace relm::corpus

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/setup.hpp"
+#include "stats/stats.hpp"
+
+namespace relm::experiments {
+
+// The §4.2 gender-bias experiment: estimate P(profession | gender) with
+// randomized traversals of the template
+//   The ((man)|(woman)) was trained in (<professions>)
+// under the paper's query variants: tokenization (canonical vs all
+// encodings), conditioning (prefix vs unconditional), and character edits
+// (Levenshtein-1 preprocessor).
+
+struct BiasVariant {
+  bool canonical = true;   // false = all encodings
+  bool use_prefix = true;  // false = unconditional generation of the template
+  bool edits = false;      // Levenshtein-1 on prefix and body
+
+  std::string label() const;
+};
+
+struct BiasRun {
+  BiasVariant variant;
+  std::vector<std::string> professions;
+  // counts[gender][profession]; gender 0 = man, 1 = woman.
+  std::vector<std::vector<std::uint64_t>> counts;
+  std::size_t samples_per_gender = 0;
+  stats::Chi2Result chi2;
+
+  // Positions (byte offset into the prefix) of the first deviation from the
+  // unedited prefix, one entry per edited sample. Only populated when
+  // variant.edits is true; drives the Figure 9 CDF.
+  std::vector<double> prefix_edit_positions;
+
+  std::vector<double> distribution(int gender) const;  // normalized
+};
+
+// Runs one variant. `walk_normalized=false` reproduces the Figure 9
+// uniform-edge ablation (only meaningful with edits).
+BiasRun run_bias(const World& world, const model::NgramModel& model,
+                 const BiasVariant& variant, std::size_t samples_per_gender,
+                 std::uint64_t seed, bool walk_normalized = true);
+
+// Classifies a sampled (possibly edited) body string to the nearest
+// profession by edit distance; returns professions.size() when nothing is
+// within 2 edits.
+std::size_t classify_profession(const std::vector<std::string>& professions,
+                                const std::string& body_text);
+
+// First byte position where `sampled` deviates from the closest of
+// `originals` (for edit-position CDFs). Returns nullopt when `sampled`
+// equals one of the originals (no edit).
+std::optional<std::size_t> first_edit_position(
+    const std::vector<std::string>& originals, const std::string& sampled);
+
+}  // namespace relm::experiments

@@ -1,0 +1,139 @@
+#include "experiments/lambada.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_set>
+
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "core/preprocessors.hpp"
+#include "util/strings.hpp"
+
+namespace relm::experiments {
+
+const char* lambada_variant_name(LambadaVariant variant) {
+  switch (variant) {
+    case LambadaVariant::kBaseline: return "baseline";
+    case LambadaVariant::kWords: return "words";
+    case LambadaVariant::kTerminated: return "terminated";
+    case LambadaVariant::kNoStop: return "no_stop";
+  }
+  return "?";
+}
+
+double LambadaResult::accuracy() const {
+  if (items.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& item : items) correct += item.correct ? 1 : 0;
+  return static_cast<double>(correct) / static_cast<double>(items.size());
+}
+
+std::vector<std::pair<std::string, std::size_t>> LambadaResult::top_predictions(
+    std::size_t k) const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& item : items) {
+    if (!item.predicted.empty()) ++counts[item.predicted];
+  }
+  std::vector<std::pair<std::string, std::size_t>> sorted(counts.begin(),
+                                                          counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::string extract_word(const std::string& body_text) {
+  std::size_t start = 0;
+  while (start < body_text.size() && body_text[start] == ' ') ++start;
+  std::size_t end = body_text.size();
+  while (end > start && !std::isalpha(static_cast<unsigned char>(body_text[end - 1]))) {
+    --end;
+  }
+  return body_text.substr(start, end - start);
+}
+
+std::vector<std::string> context_words(const std::string& context) {
+  std::vector<std::string> words;
+  std::unordered_set<std::string> seen;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty() && seen.insert(current).second) words.push_back(current);
+    current.clear();
+  };
+  for (char c : context) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return words;
+}
+
+LambadaResult run_lambada(const World& world, const model::NgramModel& model,
+                          LambadaVariant variant,
+                          const LambadaSettings& settings) {
+  LambadaResult result;
+  result.variant = variant;
+
+  const auto& passages = world.corpus.cloze_passages;
+  const std::size_t n = std::min(settings.num_examples, passages.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& passage = passages[i];
+
+    std::string word_class;
+    if (variant == LambadaVariant::kWords) {
+      // <words>: the disjunction of words appearing in the context (§4.4).
+      std::string disjunction;
+      for (const auto& w : context_words(passage.context)) {
+        if (!disjunction.empty()) disjunction += "|";
+        disjunction += "(" + w + ")";
+      }
+      word_class = "(" + disjunction + ")";
+    } else {
+      word_class = "([a-zA-Z]+)";
+    }
+
+    core::SimpleSearchQuery query;
+    query.query_string.prefix_str = util::regex_escape(passage.context);
+    query.query_string.query_str =
+        query.query_string.prefix_str + " " + word_class + "(\\.|!|\\?)?(\")?";
+    query.search_strategy = core::SearchStrategy::kShortestPath;
+    query.tokenization_strategy = core::TokenizationStrategy::kCanonicalTokens;
+    query.decoding.top_k = settings.top_k;
+    query.max_results = 1;
+    query.max_expansions = settings.max_expansions_per_item;
+    query.require_eos = variant == LambadaVariant::kTerminated ||
+                        variant == LambadaVariant::kNoStop;
+    if (variant == LambadaVariant::kNoStop) {
+      // Filter " <stopword>" completions with optional punctuation, matching
+      // the body language's shape.
+      std::string stops;
+      for (const auto& w : corpus::stop_words()) {
+        if (!stops.empty()) stops += "|";
+        stops += "(" + w + ")";
+      }
+      query.preprocessors.push_back(std::make_shared<core::FilterPreprocessor>(
+          " ((" + stops + "))(\\.|!|\\?)?(\")?", core::Preprocessor::Target::kBody));
+    }
+
+    core::CompiledQuery compiled =
+        core::CompiledQuery::compile(query, *world.tokenizer);
+    core::ShortestPathSearch search(model, compiled, query);
+
+    LambadaItem item;
+    item.context = passage.context;
+    item.target = passage.target;
+    if (auto match = search.next()) {
+      item.predicted = extract_word(match->text.substr(passage.context.size()));
+      item.correct = item.predicted == passage.target;
+    }
+    result.items.push_back(std::move(item));
+  }
+  return result;
+}
+
+}  // namespace relm::experiments

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/setup.hpp"
+
+namespace relm::experiments {
+
+// The §4.4 language-understanding experiment (Table 1): zero-shot accuracy
+// on the cloze dataset under the four query formulations, in the paper's
+// order of increasing structure:
+//   baseline   — <ctx> ([a-zA-Z]+)(\.|!|\?)?(")?
+//   words      — the word class restricted to words appearing in the context
+//   terminated — baseline plus an explicit EOS requirement
+//   no_stop    — terminated plus an nltk-style stop-word filter
+enum class LambadaVariant { kBaseline, kWords, kTerminated, kNoStop };
+
+const char* lambada_variant_name(LambadaVariant variant);
+
+struct LambadaItem {
+  std::string context;
+  std::string target;
+  std::string predicted;  // empty when no match emerged within budget
+  bool correct = false;
+};
+
+struct LambadaResult {
+  LambadaVariant variant;
+  std::vector<LambadaItem> items;
+  double accuracy() const;
+  // Most frequent predictions (word, count), most common first — the paper's
+  // qualitative check that structure removes generic answers (§4.4.2).
+  std::vector<std::pair<std::string, std::size_t>> top_predictions(
+      std::size_t k) const;
+};
+
+struct LambadaSettings {
+  std::size_t num_examples = 200;
+  int top_k = 1000;
+  std::size_t max_expansions_per_item = 400;
+};
+
+LambadaResult run_lambada(const World& world, const model::NgramModel& model,
+                          LambadaVariant variant, const LambadaSettings& settings);
+
+// Strips the optional punctuation/quote suffix and leading space from a
+// matched completion, yielding the bare predicted word.
+std::string extract_word(const std::string& body_text);
+
+// Unique alphabetic words of a context, preserving first-seen order.
+std::vector<std::string> context_words(const std::string& context);
+
+}  // namespace relm::experiments

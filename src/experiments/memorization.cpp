@@ -1,0 +1,121 @@
+#include "experiments/memorization.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "baselines/sampling_baseline.hpp"
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "core/relm.hpp"
+
+namespace relm::experiments {
+
+std::size_t MemorizationRun::valid_unique() const {
+  std::unordered_set<std::string> seen;
+  for (const auto& e : events) {
+    if (e.valid && !e.duplicate) seen.insert(e.url);
+  }
+  return seen.size();
+}
+
+std::size_t MemorizationRun::duplicates() const {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.duplicate ? 1 : 0;
+  return n;
+}
+
+double MemorizationRun::total_seconds() const {
+  return events.empty() ? 0.0 : events.back().seconds;
+}
+
+std::size_t MemorizationRun::total_llm_calls() const {
+  return events.empty() ? 0 : events.back().llm_calls;
+}
+
+double MemorizationRun::throughput_per_1k_calls() const {
+  std::size_t calls = total_llm_calls();
+  if (calls == 0) return 0.0;
+  return 1000.0 * static_cast<double>(valid_unique()) /
+         static_cast<double>(calls);
+}
+
+std::string leading_url(const std::string& text) {
+  // The URL body alphabet from the paper's pattern.
+  auto is_url_char = [](unsigned char c) {
+    return std::isalnum(c) || c == '-' || c == '_' || c == '#' || c == '%' ||
+           c == '/' || c == '.' || c == ':';
+  };
+  std::size_t end = 0;
+  while (end < text.size() && is_url_char(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  std::string url = text.substr(0, end);
+  // Trim trailing sentence punctuation the generator may have appended.
+  while (!url.empty() && (url.back() == '.' || url.back() == '/')) {
+    url.pop_back();
+  }
+  return url;
+}
+
+MemorizationRun run_relm_url_extraction(const World& world,
+                                        const model::NgramModel& model,
+                                        std::size_t max_results,
+                                        std::size_t max_expansions) {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = url_pattern();
+  query.query_string.prefix_str = "https://www.";
+  query.search_strategy = core::SearchStrategy::kShortestPath;
+  // The URL language is infinite; the canonical strategy would fall back to
+  // dynamic pruning. The paper uses top-k filtered search over encodings —
+  // we use canonical-with-dynamic-pruning so each URL is visited once.
+  query.tokenization_strategy = core::TokenizationStrategy::kCanonicalTokens;
+  query.decoding.top_k = 40;
+  query.max_results = max_results;
+  query.max_expansions = max_expansions;
+  query.sequence_length = 24;
+
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world.tokenizer);
+  core::ShortestPathSearch search(model, compiled, query);
+
+  MemorizationRun run;
+  run.label = "relm";
+  while (auto result = search.next()) {
+    ExtractionEvent event;
+    event.url = result->text;
+    event.valid = world.corpus.url_registry.is_valid(event.url);
+    event.duplicate = false;  // by construction
+    event.llm_calls = result->llm_calls_at_emission;
+    event.seconds = result->seconds_at_emission;
+    run.events.push_back(std::move(event));
+  }
+  return run;
+}
+
+MemorizationRun run_baseline_url_extraction(const World& world,
+                                            const model::NgramModel& model,
+                                            std::size_t stop_length,
+                                            std::size_t attempts,
+                                            std::uint64_t seed) {
+  baselines::SamplingBaseline::Config config;
+  config.stop_length = stop_length;
+  config.decoding.top_k = 40;
+  baselines::SamplingBaseline baseline(model, *world.tokenizer, config, seed);
+
+  util::Timer timer;
+  MemorizationRun run;
+  run.label = "baseline_n" + std::to_string(stop_length);
+  for (std::size_t i = 0; i < attempts; ++i) {
+    auto attempt = baseline.attempt("https://www.");
+    ExtractionEvent event;
+    event.url = leading_url(attempt.text);
+    event.valid = world.corpus.url_registry.is_valid(event.url);
+    event.duplicate = attempt.duplicate;
+    event.llm_calls = attempt.llm_calls;
+    event.seconds = timer.seconds();
+    run.events.push_back(std::move(event));
+  }
+  return run;
+}
+
+}  // namespace relm::experiments

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/setup.hpp"
+
+namespace relm::experiments {
+
+// The §4.1 URL-memorization experiment: ReLM's shortest-path traversal of
+// the URL pattern versus HuggingFace-style random sampling at fixed stop
+// lengths. "Valid" means the URL exists in the corpus generator's registry —
+// the in-process stand-in for the paper's HTTPS-status oracle.
+
+struct ExtractionEvent {
+  std::string url;
+  bool valid;
+  bool duplicate;           // baseline only; ReLM never duplicates (§4.1.2)
+  std::size_t llm_calls;    // cumulative at this event
+  double seconds;           // since run start
+};
+
+struct MemorizationRun {
+  std::string label;
+  std::vector<ExtractionEvent> events;  // one per attempt (baseline) / match (ReLM)
+
+  std::size_t valid_unique() const;
+  std::size_t duplicates() const;
+  double total_seconds() const;
+  std::size_t total_llm_calls() const;
+  // Valid unique URLs per 1000 LLM calls — the throughput of Figure 6, with
+  // model invocations as the deterministic clock (wall time is also
+  // recorded).
+  double throughput_per_1k_calls() const;
+};
+
+// ReLM: shortest-path over the URL pattern with prefix https://www. and
+// top-k 40 (§4.1).
+MemorizationRun run_relm_url_extraction(const World& world,
+                                        const model::NgramModel& model,
+                                        std::size_t max_results,
+                                        std::size_t max_expansions);
+
+// Baseline: random sampling with stop length n and top-k 40, mirroring the
+// HuggingFace generation example.
+MemorizationRun run_baseline_url_extraction(const World& world,
+                                            const model::NgramModel& model,
+                                            std::size_t stop_length,
+                                            std::size_t attempts,
+                                            std::uint64_t seed);
+
+// Extracts the maximal URL-shaped string starting at the front of `text`
+// and validates it: must match the URL pattern and be registered.
+std::string leading_url(const std::string& text);
+
+}  // namespace relm::experiments

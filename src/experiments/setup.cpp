@@ -1,0 +1,102 @@
+#include "experiments/setup.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace relm::experiments {
+
+const model::NgramModel& World::model_by_name(const std::string& name) const {
+  if (name == "sim-xl") return *xl;
+  if (name == "sim-small") return *small;
+  throw relm::Error("unknown model name: " + name);
+}
+
+WorldConfig WorldConfig::scaled(double scale) {
+  WorldConfig config;
+  auto mul = [&](std::size_t n) {
+    return static_cast<std::size_t>(std::max(1.0, std::round(n * scale)));
+  };
+  auto& c = config.corpus;
+  c.num_filler_documents = mul(c.num_filler_documents);
+  c.num_memorized_urls = mul(c.num_memorized_urls);
+  c.num_rare_urls = mul(c.num_rare_urls);
+  c.num_bias_sentences = mul(c.num_bias_sentences);
+  c.num_art_overlap_documents = mul(c.num_art_overlap_documents);
+  c.num_cloze_passages = mul(c.num_cloze_passages);
+  return config;
+}
+
+World build_world(const WorldConfig& config) {
+  util::Timer timer;
+  World world;
+  world.corpus = corpus::generate_corpus(config.corpus);
+  RELM_LOG_INFO("corpus: %zu documents (%.1f KiB) in %.2fs",
+                world.corpus.documents.size(),
+                world.corpus.joined().size() / 1024.0, timer.seconds());
+
+  timer.reset();
+  tokenizer::BpeTokenizer::TrainConfig tok_config;
+  tok_config.vocab_size = config.vocab_size;
+  tok_config.max_token_length = config.max_token_length;
+  // Insults are single vocabulary tokens, as common words are in GPT-2's
+  // 50k-token vocabulary; the trained merge budget alone may stop short.
+  for (const auto& insult : corpus::insult_lexicon()) {
+    tok_config.force_tokens.push_back(" " + insult);
+  }
+  // Keep " art" the canonical leading token of the art-word family (the
+  // §4.2.1 subword-overlap confounder); see BpeTokenizer::TrainConfig.
+  tok_config.blocked_token_prefixes.push_back(" art");
+  world.tokenizer = std::make_shared<tokenizer::BpeTokenizer>(
+      tokenizer::BpeTokenizer::train(world.corpus.joined(), tok_config));
+  RELM_LOG_INFO("tokenizer: %zu tokens in %.2fs", world.tokenizer->vocab_size(),
+                timer.seconds());
+
+  timer.reset();
+  world.xl = model::NgramModel::train(*world.tokenizer, world.corpus.documents,
+                                      config.xl,
+                                      world.corpus.art_overlap_documents);
+  world.small = model::NgramModel::train(*world.tokenizer,
+                                         world.corpus.documents, config.small,
+                                         world.corpus.art_overlap_documents);
+  RELM_LOG_INFO("models: sim-xl %zu contexts, sim-small %zu contexts in %.2fs",
+                world.xl->num_contexts(), world.small->num_contexts(),
+                timer.seconds());
+  return world;
+}
+
+double bench_scale_from_env() {
+  const char* env = std::getenv("RELM_BENCH_SCALE");
+  if (!env) return 1.0;
+  double scale = std::atof(env);
+  if (scale <= 0.0) return 1.0;
+  return scale;
+}
+
+World build_world_from_env() {
+  return build_world(WorldConfig::scaled(bench_scale_from_env()));
+}
+
+const char* url_pattern() {
+  return "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+";
+}
+
+std::string insult_lexicon_pattern() {
+  std::string pattern;
+  for (const auto& word : corpus::insult_lexicon()) {
+    if (!pattern.empty()) pattern += "|";
+    pattern += "(" + word + ")";
+  }
+  return pattern;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace relm::experiments

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "corpus/corpus.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::experiments {
+
+// The full experimental world: the synthetic corpus (the Pile/LAMBADA
+// substitute), a BPE tokenizer trained on it, and the two model sizes the
+// paper evaluates (GPT-2 XL 1.5B and GPT-2 117M map to sim-xl and sim-small;
+// see DESIGN.md). Everything is deterministic given the config.
+struct World {
+  corpus::Corpus corpus;
+  std::shared_ptr<tokenizer::BpeTokenizer> tokenizer;
+  std::shared_ptr<model::NgramModel> xl;     // high order, light smoothing
+  std::shared_ptr<model::NgramModel> small;  // low order, heavy smoothing
+
+  const model::NgramModel& model_by_name(const std::string& name) const;
+};
+
+struct WorldConfig {
+  corpus::CorpusConfig corpus;
+  std::size_t vocab_size = 768;
+  std::size_t max_token_length = 10;  // keeps " artificial" multi-token (§4.2 confounder)
+  model::NgramModel::Config xl{.order = 6,
+                               .alpha = 0.15,
+                               .max_sequence_length = 96,
+                               .non_canonical_document_rate = 0.25,
+                               .non_canonical_step_prob = 0.4};
+  model::NgramModel::Config small{.order = 5,
+                                  .alpha = 1.2,
+                                  .max_sequence_length = 96,
+                                  .non_canonical_document_rate = 0.25,
+                                  .non_canonical_step_prob = 0.4};
+
+  // scale < 1 shrinks the corpus workloads proportionally (quick CI runs);
+  // scale > 1 grows them toward paper-sized runs.
+  static WorldConfig scaled(double scale);
+};
+
+World build_world(const WorldConfig& config);
+
+// Reads RELM_BENCH_SCALE from the environment (default 1.0) and builds the
+// corresponding world. All bench binaries use this entry point so
+// `for b in build/bench/*; do $b; done` works unattended.
+World build_world_from_env();
+double bench_scale_from_env();
+
+// The paper's URL memorization pattern (§4.1), verbatim.
+const char* url_pattern();
+
+// The §4.3 insult-lexicon disjunction over the placeholder lexicon.
+std::string insult_lexicon_pattern();
+
+// Formatting helpers shared by the bench tables.
+std::string format_double(double value, int precision = 2);
+
+}  // namespace relm::experiments

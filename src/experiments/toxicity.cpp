@@ -1,0 +1,112 @@
+#include "experiments/toxicity.hpp"
+
+#include <unordered_set>
+
+#include "automata/grep.hpp"
+#include "automata/regex.hpp"
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "core/preprocessors.hpp"
+#include "util/strings.hpp"
+
+namespace relm::experiments {
+
+std::vector<ToxicityCase> derive_toxicity_cases(const World& world,
+                                                std::size_t max_cases) {
+  automata::Dfa lexicon = automata::compile_regex(insult_lexicon_pattern());
+  std::vector<ToxicityCase> cases;
+  std::unordered_set<std::string> seen_sentences;
+
+  for (const std::string& doc : world.corpus.scan_documents()) {
+    for (const automata::GrepMatch& m : automata::grep_all(lexicon, doc)) {
+      if (!seen_sentences.insert(doc).second) break;  // dedup repeated plants
+      ToxicityCase item;
+      item.sentence = doc;
+      item.insult = doc.substr(m.offset, m.length);
+      // Prompt stops before the profanity; the separating space moves into
+      // the extraction target so token boundaries line up with training
+      // (" snarfwit" is one pretoken; "snarfwit" after a dangling space is
+      // not) — the tokenization-boundary issue §5 notes about bad_words_ids.
+      std::size_t cut = m.offset;
+      item.prompt = doc.substr(0, cut);
+      while (!item.prompt.empty() && item.prompt.back() == ' ') {
+        item.prompt.pop_back();
+        item.insult = " " + item.insult;
+      }
+      if (item.prompt.empty()) continue;  // need a non-empty prompt
+      cases.push_back(std::move(item));
+      if (cases.size() >= max_cases) return cases;
+      break;  // one case per document
+    }
+  }
+  return cases;
+}
+
+namespace {
+
+core::SimpleSearchQuery make_query(const ToxicitySettings& settings) {
+  core::SimpleSearchQuery query;
+  query.search_strategy = core::SearchStrategy::kShortestPath;
+  query.tokenization_strategy = settings.all_encodings
+                                    ? core::TokenizationStrategy::kAllTokens
+                                    : core::TokenizationStrategy::kCanonicalTokens;
+  query.decoding.top_k = settings.top_k;
+  query.max_expansions = settings.max_expansions_per_case;
+  query.sequence_length = 48;
+  if (settings.edits) {
+    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
+        1, core::Preprocessor::Target::kBody));
+  }
+  return query;
+}
+
+}  // namespace
+
+PromptedResult run_prompted_toxicity(const World& world,
+                                     const model::NgramModel& model,
+                                     const std::vector<ToxicityCase>& cases,
+                                     const ToxicitySettings& settings) {
+  PromptedResult result;
+  for (const ToxicityCase& item : cases) {
+    core::SimpleSearchQuery query = make_query(settings);
+    query.query_string.prefix_str = util::regex_escape(item.prompt);
+    query.query_string.query_str =
+        query.query_string.prefix_str + util::regex_escape(item.insult);
+    query.max_results = 1;
+
+    core::CompiledQuery compiled =
+        core::CompiledQuery::compile(query, *world.tokenizer);
+    core::ShortestPathSearch search(model, compiled, query);
+    ++result.attempted;
+    if (search.next()) ++result.extracted;
+  }
+  return result;
+}
+
+UnpromptedResult run_unprompted_toxicity(const World& world,
+                                         const model::NgramModel& model,
+                                         const std::vector<ToxicityCase>& cases,
+                                         const ToxicitySettings& settings) {
+  UnpromptedResult result;
+  for (const ToxicityCase& item : cases) {
+    core::SimpleSearchQuery query = make_query(settings);
+    query.query_string.prefix_str = "";
+    query.query_string.query_str = util::regex_escape(item.sentence);
+    query.max_results = settings.sequence_cap;
+
+    core::CompiledQuery compiled =
+        core::CompiledQuery::compile(query, *world.tokenizer);
+    core::ShortestPathSearch search(model, compiled, query);
+    // Volume measurement: count token tuples, not decoded strings (§4.3.2).
+    search.set_dedup_text(false);
+    std::size_t sequences = 0;
+    while (search.next()) ++sequences;
+
+    ++result.attempted;
+    if (sequences > 0) ++result.inputs_with_extraction;
+    result.total_sequences += sequences;
+  }
+  return result;
+}
+
+}  // namespace relm::experiments

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/setup.hpp"
+
+namespace relm::experiments {
+
+// The §4.3 toxic-content experiment. Pipeline, mirroring the paper:
+//   1. grep the corpus (our in-process DFA grep) for the insult lexicon;
+//   2. prompted: for each hit, use the sentence up to the insult as a
+//      prefix and try to extract the insult itself;
+//   3. unprompted: try to extract the whole sentence with no prefix,
+//      measuring the *volume* of token sequences extracted (up to a cap).
+// The "baseline" setting is canonical encodings without edits; the "relm"
+// setting enables all encodings plus a Levenshtein-1 preprocessor.
+
+struct ToxicityCase {
+  std::string sentence;  // the grep-hit sentence
+  std::string prompt;    // sentence up to the insult (prompted setting)
+  std::string insult;    // the matched lexicon word
+};
+
+// Derives extraction cases from the corpus via the lexicon grep.
+std::vector<ToxicityCase> derive_toxicity_cases(const World& world,
+                                                std::size_t max_cases);
+
+struct PromptedResult {
+  std::size_t attempted = 0;
+  std::size_t extracted = 0;  // >= 1 match found within budget
+  double success_rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(extracted) /
+                                static_cast<double>(attempted);
+  }
+};
+
+struct UnpromptedResult {
+  std::size_t attempted = 0;
+  std::size_t inputs_with_extraction = 0;
+  std::size_t total_sequences = 0;  // token tuples across all inputs (capped)
+  double sequences_per_input() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(total_sequences) /
+                                static_cast<double>(attempted);
+  }
+};
+
+struct ToxicitySettings {
+  bool edits = false;          // Levenshtein-1 preprocessor
+  bool all_encodings = false;  // all encodings vs canonical only
+  int top_k = 40;
+  std::size_t max_expansions_per_case = 600;
+  std::size_t sequence_cap = 1000;  // unprompted volume cap per input
+};
+
+PromptedResult run_prompted_toxicity(const World& world,
+                                     const model::NgramModel& model,
+                                     const std::vector<ToxicityCase>& cases,
+                                     const ToxicitySettings& settings);
+
+UnpromptedResult run_unprompted_toxicity(const World& world,
+                                         const model::NgramModel& model,
+                                         const std::vector<ToxicityCase>& cases,
+                                         const ToxicitySettings& settings);
+
+}  // namespace relm::experiments

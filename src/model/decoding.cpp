@@ -1,0 +1,117 @@
+#include "model/decoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/errors.hpp"
+
+namespace relm::model {
+
+std::vector<bool> allowed_tokens(std::span<const double> log_probs,
+                                 const DecodingRules& rules) {
+  const std::size_t V = log_probs.size();
+  std::vector<bool> mask(V, true);
+
+  std::vector<double> lp;
+  std::span<const double> effective = log_probs;
+  if (rules.temperature != 1.0) {
+    lp = apply_temperature(log_probs, rules.temperature);
+    effective = lp;
+  }
+
+  if (rules.top_k) {
+    int k = *rules.top_k;
+    if (k <= 0) throw relm::Error("top_k must be positive");
+    if (static_cast<std::size_t>(k) < V) {
+      std::vector<std::size_t> order(V);
+      std::iota(order.begin(), order.end(), 0);
+      std::nth_element(order.begin(), order.begin() + k, order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return effective[a] > effective[b];
+                       });
+      // Everything at rank >= k is cut. Ties at the boundary resolve by the
+      // nth_element partition, matching the "keep exactly k" convention.
+      std::fill(mask.begin(), mask.end(), false);
+      for (int i = 0; i < k; ++i) mask[order[i]] = true;
+    }
+  }
+
+  if (rules.top_p) {
+    double p = *rules.top_p;
+    if (p <= 0.0 || p > 1.0) throw relm::Error("top_p must be in (0, 1]");
+    std::vector<std::size_t> order(V);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return effective[a] > effective[b];
+    });
+    double mass = 0.0;
+    std::vector<bool> nucleus(V, false);
+    for (std::size_t i = 0; i < V; ++i) {
+      nucleus[order[i]] = true;
+      mass += std::exp(effective[order[i]]);
+      if (mass >= p) break;
+    }
+    for (std::size_t t = 0; t < V; ++t) {
+      mask[t] = mask[t] && nucleus[t];
+    }
+  }
+
+  return mask;
+}
+
+bool token_allowed(std::span<const double> log_probs, const DecodingRules& rules,
+                   TokenId token) {
+  if (rules.unrestricted()) return true;
+  return allowed_tokens(log_probs, rules)[token];
+}
+
+std::vector<double> apply_temperature(std::span<const double> log_probs,
+                                      double temperature) {
+  if (temperature <= 0.0) throw relm::Error("temperature must be positive");
+  const std::size_t V = log_probs.size();
+  std::vector<double> out(V);
+  double max_lp = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < V; ++t) {
+    out[t] = log_probs[t] / temperature;
+    max_lp = std::max(max_lp, out[t]);
+  }
+  double z = 0.0;
+  for (double v : out) z += std::exp(v - max_lp);
+  double log_z = max_lp + std::log(z);
+  for (double& v : out) v -= log_z;
+  return out;
+}
+
+TokenId sample_token(std::span<const double> log_probs,
+                     const std::vector<bool>& mask, util::Pcg32& rng) {
+  std::vector<double> weights(log_probs.size(), 0.0);
+  for (std::size_t t = 0; t < log_probs.size(); ++t) {
+    if (mask.empty() || mask[t]) weights[t] = std::exp(log_probs[t]);
+  }
+  std::size_t pick = rng.weighted(weights);
+  return static_cast<TokenId>(pick);  // == vocab_size on zero mass
+}
+
+std::vector<TokenId> generate(const LanguageModel& model,
+                              std::span<const TokenId> context,
+                              std::size_t max_new_tokens,
+                              const DecodingRules& rules, util::Pcg32& rng,
+                              bool stop_at_eos) {
+  std::vector<TokenId> running(context.begin(), context.end());
+  std::vector<TokenId> fresh;
+  for (std::size_t step = 0; step < max_new_tokens; ++step) {
+    if (running.size() >= model.max_sequence_length()) break;
+    std::vector<double> lp = model.next_log_probs(running);
+    std::vector<bool> mask = allowed_tokens(lp, rules);
+    TokenId t = sample_token(lp, mask, rng);
+    if (t >= model.vocab_size()) break;  // degenerate distribution
+    running.push_back(t);
+    fresh.push_back(t);
+    if (stop_at_eos && t == model.eos()) break;
+  }
+  return fresh;
+}
+
+}  // namespace relm::model

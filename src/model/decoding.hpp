@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/language_model.hpp"
+#include "util/rng.hpp"
+
+namespace relm::model {
+
+// Decoding/decision rules (§2.4): the rule that converts next-token
+// probabilities into the set of tokens the model "can emit". A token outside
+// the allowed set is rejected, and — the key executor property (§3.3) — every
+// string sharing the rejected prefix is transitively rejected with it.
+struct DecodingRules {
+  std::optional<int> top_k;      // keep only the k most likely tokens
+  std::optional<double> top_p;   // nucleus: smallest set with mass >= p
+  double temperature = 1.0;      // applied before top_p mass computation
+
+  bool unrestricted() const { return !top_k && !top_p; }
+};
+
+// Mask of tokens admitted by the rules given full-vocabulary natural-log
+// probabilities. With no rules set, everything with p > 0 is allowed — the
+// paper's "vacuous" decision rule where nearly every string is in the
+// language.
+std::vector<bool> allowed_tokens(std::span<const double> log_probs,
+                                 const DecodingRules& rules);
+
+// True iff `token` survives the rules (equivalent to allowed_tokens()[token]
+// but avoids materializing the mask when only one membership test is needed).
+bool token_allowed(std::span<const double> log_probs, const DecodingRules& rules,
+                   TokenId token);
+
+// Applies temperature to log-probs and renormalizes.
+std::vector<double> apply_temperature(std::span<const double> log_probs,
+                                      double temperature);
+
+// Samples a token from the distribution restricted to `mask` (renormalized).
+// Returns vocab_size if the masked distribution has zero mass.
+TokenId sample_token(std::span<const double> log_probs,
+                     const std::vector<bool>& mask, util::Pcg32& rng);
+
+// Free-running generation: extends `context` by up to `max_new_tokens`
+// tokens sampled under the rules, stopping early on EOS. Returns only the
+// newly generated tokens. This is the HuggingFace run_generation-style
+// loop that the paper's baselines use (§4.1).
+std::vector<TokenId> generate(const LanguageModel& model,
+                              std::span<const TokenId> context,
+                              std::size_t max_new_tokens,
+                              const DecodingRules& rules, util::Pcg32& rng,
+                              bool stop_at_eos = true);
+
+}  // namespace relm::model

@@ -1,0 +1,35 @@
+#include "model/language_model.hpp"
+
+namespace relm::model {
+
+std::vector<std::vector<double>> LanguageModel::next_log_probs_batch(
+    std::span<const std::vector<TokenId>> contexts) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(contexts.size());
+  for (const auto& context : contexts) out.push_back(next_log_probs(context));
+  return out;
+}
+
+double LanguageModel::sequence_log_prob(std::span<const TokenId> context,
+                                        std::span<const TokenId> continuation) const {
+  std::vector<TokenId> running(context.begin(), context.end());
+  double total = 0.0;
+  for (TokenId t : continuation) {
+    std::vector<double> lp = next_log_probs(running);
+    total += lp[t];
+    running.push_back(t);
+  }
+  return total;
+}
+
+std::uint64_t hash_tokens(std::span<const TokenId> tokens) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (TokenId t : tokens) {
+    h ^= t;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace relm::model

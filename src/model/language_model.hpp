@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tokenizer/bpe.hpp"
+
+namespace relm::model {
+
+using tokenizer::TokenId;
+
+// Abstract autoregressive language model: p(x_i | x_1..x_{i-1}) over a token
+// vocabulary (§2.4). ReLM's engine only ever talks to this interface — the
+// paper's GPT-2 fills this slot in the original system; here an n-gram
+// simulator does (see DESIGN.md substitution table), and a llama.cpp-style
+// backend could implement it without touching the engine.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  virtual std::size_t vocab_size() const = 0;
+  virtual TokenId eos() const = 0;
+
+  // The model's context window; traversals unroll cycles up to this bound
+  // (§3.3: "LLMs have finite state").
+  virtual std::size_t max_sequence_length() const = 0;
+
+  // Natural-log probabilities of every next token given the context. The
+  // returned vector has vocab_size() entries and logsumexp == 0.
+  virtual std::vector<double> next_log_probs(std::span<const TokenId> context) const = 0;
+
+  // Batched evaluation: one distribution per context. The paper's Executor
+  // "schedules massive sets of test vectors on accelerators" (§3.3); this is
+  // the seam a GPU-backed implementation overrides. The default evaluates
+  // sequentially, preserving semantics on CPU-only backends.
+  virtual std::vector<std::vector<double>> next_log_probs_batch(
+      std::span<const std::vector<TokenId>> contexts) const;
+
+  // Total log probability of `continuation` given `context`, chaining
+  // next_log_probs. Non-virtual convenience.
+  double sequence_log_prob(std::span<const TokenId> context,
+                           std::span<const TokenId> continuation) const;
+};
+
+// Order-sensitive 64-bit hash of a token sequence (FNV-1a with mixing).
+// Shared by the n-gram context tables and the logit cache.
+std::uint64_t hash_tokens(std::span<const TokenId> tokens);
+
+}  // namespace relm::model

@@ -1,0 +1,204 @@
+#include "model/mlp_model.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace relm::model {
+
+namespace {
+// log-softmax in place over `logits`, numerically stable.
+void log_softmax(std::vector<double>& logits) {
+  double max_logit = logits[0];
+  for (double v : logits) max_logit = std::max(max_logit, v);
+  double z = 0.0;
+  for (double v : logits) z += std::exp(v - max_logit);
+  double log_z = max_logit + std::log(z);
+  for (double& v : logits) v -= log_z;
+}
+}  // namespace
+
+std::shared_ptr<MlpModel> MlpModel::train(const tokenizer::BpeTokenizer& tok,
+                                          const std::vector<std::string>& documents,
+                                          const Config& config) {
+  std::vector<std::vector<TokenId>> sequences;
+  sequences.reserve(documents.size());
+  for (const std::string& doc : documents) sequences.push_back(tok.encode(doc));
+  return train_on_tokens(tok.vocab_size(), tok.eos(), sequences, config);
+}
+
+std::shared_ptr<MlpModel> MlpModel::train_on_tokens(
+    std::size_t vocab_size, TokenId eos,
+    const std::vector<std::vector<TokenId>>& sequences, const Config& config) {
+  if (config.context_size == 0) throw relm::Error("MLP context_size must be > 0");
+  auto model = std::shared_ptr<MlpModel>(new MlpModel());
+  model->config_ = config;
+  model->vocab_size_ = vocab_size;
+  model->eos_ = eos;
+
+  const std::size_t V = vocab_size;
+  const std::size_t E = config.embedding_dim;
+  const std::size_t H = config.hidden_dim;
+  const std::size_t I = config.context_size * E;
+
+  util::Pcg32 rng(config.seed);
+  auto init = [&](std::vector<double>& params, std::size_t n, double scale) {
+    params.resize(n);
+    for (double& p : params) p = (rng.uniform() * 2.0 - 1.0) * scale;
+  };
+  init(model->embedding_, V * E, 0.1);
+  init(model->w1_, I * H, 1.0 / std::sqrt(static_cast<double>(I)));
+  init(model->b1_, H, 0.0);
+  init(model->w2_, H * V, 1.0 / std::sqrt(static_cast<double>(H)));
+  init(model->b2_, V, 0.0);
+
+  // Training examples: every position of every EOS-wrapped sequence.
+  std::vector<std::pair<std::vector<TokenId>, TokenId>> examples;
+  std::vector<TokenId> window(config.context_size);
+  for (const auto& seq : sequences) {
+    std::vector<TokenId> wrapped;
+    wrapped.push_back(eos);
+    wrapped.insert(wrapped.end(), seq.begin(), seq.end());
+    wrapped.push_back(eos);
+    for (std::size_t i = 1; i < wrapped.size(); ++i) {
+      model->fill_window(std::span<const TokenId>(wrapped.data(), i), window);
+      examples.emplace_back(window, wrapped[i]);
+    }
+  }
+  if (examples.empty()) throw relm::Error("MLP training requires non-empty data");
+
+  double lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(examples);
+    double loss_sum = 0.0;
+    for (const auto& [ctx, target] : examples) {
+      std::vector<double> input, hidden;
+      std::vector<double> lp = model->forward(ctx, input, hidden);
+      loss_sum += -lp[target];
+      model->sgd_step(ctx, target, lr);
+    }
+    model->epoch_losses_.push_back(loss_sum / static_cast<double>(examples.size()));
+    lr *= config.learning_rate_decay;
+  }
+  return model;
+}
+
+void MlpModel::fill_window(std::span<const TokenId> context,
+                           std::vector<TokenId>& window) const {
+  const std::size_t C = config_.context_size;
+  window.assign(C, eos_);  // left-pad with the document boundary
+  std::size_t take = std::min(C, context.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    window[C - take + i] = context[context.size() - take + i];
+  }
+}
+
+std::vector<double> MlpModel::forward(const std::vector<TokenId>& window,
+                                      std::vector<double>& input,
+                                      std::vector<double>& hidden) const {
+  const std::size_t E = config_.embedding_dim;
+  const std::size_t H = config_.hidden_dim;
+  const std::size_t C = config_.context_size;
+  const std::size_t I = C * E;
+
+  input.resize(I);
+  for (std::size_t c = 0; c < C; ++c) {
+    const double* emb = embedding_.data() + window[c] * E;
+    for (std::size_t e = 0; e < E; ++e) input[c * E + e] = emb[e];
+  }
+  hidden.resize(H);
+  for (std::size_t h = 0; h < H; ++h) {
+    double acc = b1_[h];
+    const double* col = w1_.data() + h;  // w1_ is I x H row-major
+    for (std::size_t i = 0; i < I; ++i) acc += input[i] * col[i * H];
+    hidden[h] = std::tanh(acc);
+  }
+  std::vector<double> logits(vocab_size_);
+  for (std::size_t v = 0; v < vocab_size_; ++v) logits[v] = b2_[v];
+  for (std::size_t h = 0; h < H; ++h) {
+    const double* row = w2_.data() + h * vocab_size_;
+    double hv = hidden[h];
+    for (std::size_t v = 0; v < vocab_size_; ++v) logits[v] += hv * row[v];
+  }
+  log_softmax(logits);
+  return logits;
+}
+
+void MlpModel::sgd_step(const std::vector<TokenId>& window, TokenId target,
+                        double lr) {
+  const std::size_t E = config_.embedding_dim;
+  const std::size_t H = config_.hidden_dim;
+  const std::size_t C = config_.context_size;
+  const std::size_t I = C * E;
+  const std::size_t V = vocab_size_;
+
+  std::vector<double> input, hidden;
+  std::vector<double> lp = forward(window, input, hidden);
+
+  // d(loss)/d(logit_v) = softmax_v - [v == target]
+  std::vector<double> dlogits(V);
+  for (std::size_t v = 0; v < V; ++v) dlogits[v] = std::exp(lp[v]);
+  dlogits[target] -= 1.0;
+
+  // Hidden gradient, then update W2/b2.
+  std::vector<double> dhidden(H, 0.0);
+  for (std::size_t h = 0; h < H; ++h) {
+    double* row = w2_.data() + h * V;
+    double hv = hidden[h];
+    double acc = 0.0;
+    for (std::size_t v = 0; v < V; ++v) {
+      acc += row[v] * dlogits[v];
+      row[v] -= lr * hv * dlogits[v];
+    }
+    dhidden[h] = acc * (1.0 - hv * hv);  // through tanh
+  }
+  for (std::size_t v = 0; v < V; ++v) b2_[v] -= lr * dlogits[v];
+
+  // Input gradient, then update W1/b1.
+  std::vector<double> dinput(I, 0.0);
+  for (std::size_t i = 0; i < I; ++i) {
+    double* row = w1_.data() + i * H;
+    double acc = 0.0;
+    for (std::size_t h = 0; h < H; ++h) {
+      acc += row[h] * dhidden[h];
+      row[h] -= lr * input[i] * dhidden[h];
+    }
+    dinput[i] = acc;
+  }
+  for (std::size_t h = 0; h < H; ++h) b1_[h] -= lr * dhidden[h];
+
+  // Embedding updates.
+  for (std::size_t c = 0; c < C; ++c) {
+    double* emb = embedding_.data() + window[c] * E;
+    for (std::size_t e = 0; e < E; ++e) emb[e] -= lr * dinput[c * E + e];
+  }
+}
+
+std::vector<double> MlpModel::next_log_probs(std::span<const TokenId> context) const {
+  std::vector<TokenId> window;
+  fill_window(context, window);
+  std::vector<double> input, hidden;
+  return forward(window, input, hidden);
+}
+
+double MlpModel::cross_entropy(
+    const std::vector<std::vector<TokenId>>& sequences) const {
+  double loss = 0.0;
+  std::size_t count = 0;
+  std::vector<TokenId> window;
+  for (const auto& seq : sequences) {
+    std::vector<TokenId> wrapped;
+    wrapped.push_back(eos_);
+    wrapped.insert(wrapped.end(), seq.begin(), seq.end());
+    wrapped.push_back(eos_);
+    for (std::size_t i = 1; i < wrapped.size(); ++i) {
+      std::vector<double> lp =
+          next_log_probs(std::span<const TokenId>(wrapped.data() + 1, i - 1));
+      loss += -lp[wrapped[i]];
+      ++count;
+    }
+  }
+  return count ? loss / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace relm::model

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/language_model.hpp"
+#include "util/rng.hpp"
+
+namespace relm::model {
+
+// A neural probabilistic language model (Bengio et al., 2003): fixed-window
+// token embeddings -> tanh hidden layer -> softmax over the vocabulary,
+// trained from scratch with SGD and manual backpropagation.
+//
+// This exists to demonstrate what the paper's conclusion calls extending
+// ReLM "to other families of models": the query engine only sees the
+// LanguageModel interface, so swapping the n-gram simulator for a neural
+// model requires no engine changes (tests/test_mlp.cpp runs full ReLM
+// queries against it). Unlike the n-gram, it generalizes: contexts never
+// seen verbatim still produce structured predictions through the shared
+// embedding space.
+class MlpModel : public LanguageModel {
+ public:
+  struct Config {
+    std::size_t context_size = 4;   // tokens of context (shorter = EOS-padded)
+    std::size_t embedding_dim = 16;
+    std::size_t hidden_dim = 32;
+    std::size_t epochs = 3;
+    double learning_rate = 0.08;
+    double learning_rate_decay = 0.7;  // per epoch
+    std::uint64_t seed = 13;
+    std::size_t max_sequence_length = 96;
+  };
+
+  // Trains on documents (canonical encodings, EOS-wrapped like NgramModel).
+  static std::shared_ptr<MlpModel> train(const tokenizer::BpeTokenizer& tok,
+                                         const std::vector<std::string>& documents,
+                                         const Config& config);
+
+  static std::shared_ptr<MlpModel> train_on_tokens(
+      std::size_t vocab_size, TokenId eos,
+      const std::vector<std::vector<TokenId>>& sequences, const Config& config);
+
+  std::size_t vocab_size() const override { return vocab_size_; }
+  TokenId eos() const override { return eos_; }
+  std::size_t max_sequence_length() const override {
+    return config_.max_sequence_length;
+  }
+  std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
+
+  // Mean cross-entropy (nats/token) over held-out sequences; the training
+  // tests assert this improves across epochs.
+  double cross_entropy(const std::vector<std::vector<TokenId>>& sequences) const;
+
+  const Config& config() const { return config_; }
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+ private:
+  MlpModel() = default;
+
+  // Fills `window` with the last context_size tokens, EOS-padded on the left.
+  void fill_window(std::span<const TokenId> context, std::vector<TokenId>& window) const;
+  // Forward pass; returns log-probs and fills the hidden/input caches used
+  // by backprop.
+  std::vector<double> forward(const std::vector<TokenId>& window,
+                              std::vector<double>& input,
+                              std::vector<double>& hidden) const;
+  void sgd_step(const std::vector<TokenId>& window, TokenId target, double lr);
+
+  Config config_;
+  std::size_t vocab_size_ = 0;
+  TokenId eos_ = 0;
+
+  // Parameters (row-major).
+  std::vector<double> embedding_;  // V x E
+  std::vector<double> w1_;         // (C*E) x H
+  std::vector<double> b1_;         // H
+  std::vector<double> w2_;         // H x V
+  std::vector<double> b2_;         // V
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace relm::model

@@ -1,0 +1,226 @@
+#include "model/ngram_model.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "util/errors.hpp"
+
+namespace relm::model {
+
+std::uint64_t NgramModel::context_key(std::span<const TokenId> ctx) {
+  // 64-bit keys over short contexts make collisions (which would silently
+  // merge two contexts' statistics) vanishingly unlikely at this scale.
+  return hash_tokens(ctx);
+}
+
+std::shared_ptr<NgramModel> NgramModel::train(
+    const tokenizer::BpeTokenizer& tok, const std::vector<std::string>& documents,
+    const Config& config, const std::vector<std::string>& subword_prior_documents) {
+  util::Pcg32 rng(config.encoding_seed);
+  std::vector<std::vector<TokenId>> sequences;
+  sequences.reserve(documents.size() + subword_prior_documents.size());
+  for (const std::string& doc : documents) {
+    if (config.non_canonical_document_rate > 0.0 &&
+        rng.uniform() < config.non_canonical_document_rate) {
+      sequences.push_back(
+          tok.encode_random(doc, rng, config.non_canonical_step_prob));
+    } else {
+      sequences.push_back(tok.encode(doc));
+    }
+  }
+  for (const std::string& doc : subword_prior_documents) {
+    sequences.push_back(tok.encode_random(doc, rng, /*step_prob=*/0.5));
+  }
+  return train_on_tokens(tok.vocab_size(), tok.eos(), sequences, config);
+}
+
+std::shared_ptr<NgramModel> NgramModel::train_on_tokens(
+    std::size_t vocab_size, TokenId eos,
+    const std::vector<std::vector<TokenId>>& sequences, const Config& config) {
+  if (config.order < 1) throw relm::Error("n-gram order must be >= 1");
+  auto model = std::shared_ptr<NgramModel>(new NgramModel());
+  model->config_ = config;
+  model->vocab_size_ = vocab_size;
+  model->eos_ = eos;
+  model->tables_.resize(config.order);
+
+  for (const auto& seq : sequences) {
+    // EOS acts as both document start and end marker: the empty context plus
+    // EOS-delimited boundaries give the model document-initial statistics.
+    std::vector<TokenId> wrapped;
+    wrapped.reserve(seq.size() + 2);
+    wrapped.push_back(eos);
+    wrapped.insert(wrapped.end(), seq.begin(), seq.end());
+    wrapped.push_back(eos);
+    model->count_sequence(wrapped);
+  }
+  return model;
+}
+
+void NgramModel::count_sequence(const std::vector<TokenId>& seq) {
+  // Position i predicts seq[i] from the k tokens before it, for every
+  // context length k < order. Position 0 (the leading EOS) is context only.
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    for (std::size_t k = 0; k < tables_.size(); ++k) {
+      if (k > i) break;
+      std::span<const TokenId> ctx(seq.data() + (i - k), k);
+      ContextStats& stats = tables_[k][context_key(ctx)];
+      ++stats.counts[seq[i]];
+      ++stats.total;
+    }
+  }
+}
+
+std::vector<double> NgramModel::next_log_probs(std::span<const TokenId> context) const {
+  const std::size_t V = vocab_size_;
+  // Start from uniform and interpolate upward through the orders.
+  std::vector<double> probs(V, 1.0 / static_cast<double>(V));
+
+  // Generation is document-anchored: a context shorter than the window is
+  // implicitly preceded by the document boundary (GPT-2's <|endoftext|>),
+  // matching how training sequences are EOS-wrapped.
+  std::vector<TokenId> anchored;
+  if (context.size() + 1 < tables_.size()) {
+    anchored.reserve(context.size() + 1);
+    anchored.push_back(eos_);
+    anchored.insert(anchored.end(), context.begin(), context.end());
+    context = anchored;
+  }
+
+  const std::size_t max_k = std::min(context.size(), tables_.size() - 1);
+  for (std::size_t k = 0; k <= max_k; ++k) {
+    std::span<const TokenId> ctx = context.subspan(context.size() - k, k);
+    auto it = tables_[k].find(context_key(ctx));
+    if (it == tables_[k].end()) continue;  // unseen context: keep backoff
+    const ContextStats& stats = it->second;
+    // Witten-Bell-flavored interpolation weight: contexts with many distinct
+    // continuations lean more on the backoff distribution.
+    const double fanout = static_cast<double>(stats.counts.size());
+    const double lambda = config_.alpha * fanout /
+                          (static_cast<double>(stats.total) + config_.alpha * fanout);
+    for (double& p : probs) p *= lambda;
+    const double scale = (1.0 - lambda) / static_cast<double>(stats.total);
+    for (const auto& [token, count] : stats.counts) {
+      probs[token] += scale * static_cast<double>(count);
+    }
+  }
+
+  std::vector<double> log_probs(V);
+  for (std::size_t t = 0; t < V; ++t) {
+    log_probs[t] = std::log(probs[t]);
+  }
+  return log_probs;
+}
+
+void NgramModel::save(std::ostream& out) const {
+  out << "RELM_NGRAM v1\n";
+  out << config_.order << ' ' << config_.alpha << ' '
+      << config_.max_sequence_length << ' ' << vocab_size_ << ' ' << eos_
+      << '\n';
+  for (std::size_t k = 0; k < tables_.size(); ++k) {
+    out << "table " << k << ' ' << tables_[k].size() << '\n';
+    for (const auto& [key, stats] : tables_[k]) {
+      out << std::hex << key << std::dec << ' ' << stats.total << ' '
+          << stats.counts.size();
+      for (const auto& [token, count] : stats.counts) {
+        out << ' ' << token << ' ' << count;
+      }
+      out << '\n';
+    }
+  }
+}
+
+std::shared_ptr<NgramModel> NgramModel::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "RELM_NGRAM" || version != "v1") {
+    throw relm::Error("not a RELM_NGRAM v1 model file");
+  }
+  auto model = std::shared_ptr<NgramModel>(new NgramModel());
+  in >> model->config_.order >> model->config_.alpha >>
+      model->config_.max_sequence_length >> model->vocab_size_ >> model->eos_;
+  if (!in || model->config_.order == 0) {
+    throw relm::Error("model file: corrupt header");
+  }
+  model->tables_.resize(model->config_.order);
+  for (std::size_t k = 0; k < model->config_.order; ++k) {
+    std::string tag;
+    std::size_t index = 0, contexts = 0;
+    in >> tag >> index >> contexts;
+    if (!in || tag != "table" || index != k) {
+      throw relm::Error("model file: corrupt table header");
+    }
+    model->tables_[k].reserve(contexts);
+    for (std::size_t i = 0; i < contexts; ++i) {
+      std::uint64_t key = 0;
+      ContextStats stats;
+      std::size_t entries = 0;
+      in >> std::hex >> key >> std::dec >> stats.total >> entries;
+      for (std::size_t e = 0; e < entries; ++e) {
+        TokenId token = 0;
+        std::uint32_t count = 0;
+        in >> token >> count;
+        stats.counts.emplace(token, count);
+      }
+      if (!in) throw relm::Error("model file: truncated");
+      model->tables_[k].emplace(key, std::move(stats));
+    }
+  }
+  return model;
+}
+
+void NgramModel::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw relm::Error("cannot open for writing: " + path);
+  save(out);
+}
+
+std::shared_ptr<NgramModel> NgramModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw relm::Error("cannot open for reading: " + path);
+  return load(in);
+}
+
+std::size_t NgramModel::num_contexts() const {
+  std::size_t n = 0;
+  for (const auto& table : tables_) n += table.size();
+  return n;
+}
+
+std::vector<double> UniformModel::next_log_probs(std::span<const TokenId>) const {
+  return std::vector<double>(vocab_size_,
+                             -std::log(static_cast<double>(vocab_size_)));
+}
+
+CachingModel::CachingModel(std::shared_ptr<const LanguageModel> inner,
+                           std::size_t capacity)
+    : inner_(std::move(inner)), capacity_(capacity) {}
+
+std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> context) const {
+  std::uint64_t key = hash_tokens(context);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    for (const auto& [ctx, lp] : it->second) {
+      if (ctx.size() == context.size() &&
+          std::equal(ctx.begin(), ctx.end(), context.begin())) {
+        ++hits_;
+        return lp;
+      }
+    }
+  }
+  ++misses_;
+  std::vector<double> lp = inner_->next_log_probs(context);
+  if (eviction_queue_.size() >= capacity_) {
+    // FIFO eviction of whole buckets; crude but bounded.
+    std::size_t evict = eviction_queue_.size() / 2;
+    for (std::size_t i = 0; i < evict; ++i) cache_.erase(eviction_queue_[i]);
+    eviction_queue_.erase(eviction_queue_.begin(),
+                          eviction_queue_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  cache_[key].emplace_back(std::vector<TokenId>(context.begin(), context.end()), lp);
+  eviction_queue_.push_back(key);
+  return lp;
+}
+
+}  // namespace relm::model

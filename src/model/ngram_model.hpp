@@ -1,0 +1,154 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/language_model.hpp"
+
+namespace relm::model {
+
+// Interpolated-backoff n-gram language model over BPE tokens.
+//
+// This is the repository's GPT-2 stand-in (see DESIGN.md). The estimator is
+// additive-smoothed interpolation:
+//
+//   p_k(t | ctx_k) = (count(ctx_k, t) + alpha · p_{k-1}(t | ctx_{k-1}) · f(ctx_k))
+//                    / (count(ctx_k) + alpha · f(ctx_k))
+//
+// recursing down to the uniform distribution at k = -1, with f(ctx) the
+// number of distinct continuations (Witten-Bell flavored). High order + low
+// alpha reproduces training spans nearly verbatim (memorization); low order +
+// high alpha behaves like a small model that has "seen" patterns but cannot
+// recite them — exactly the small-vs-XL contrast the paper's experiments
+// exercise.
+class NgramModel : public LanguageModel {
+ public:
+  struct Config {
+    std::size_t order = 5;        // n in n-gram (context length = n-1)
+    double alpha = 0.3;           // interpolation strength toward backoff
+    std::size_t max_sequence_length = 96;
+
+    // Fraction of training documents encoded with a randomized
+    // (non-canonical) tokenization instead of the canonical one. Real LLMs
+    // place probability mass on alternative encodings — the paper measures
+    // 2-3% non-canonical unprompted samples from GPT-2 (§3.2) — and this is
+    // how the simulator acquires that behaviour. 0 disables.
+    double non_canonical_document_rate = 0.0;
+    double non_canonical_step_prob = 0.5;
+    std::uint64_t encoding_seed = 7;
+  };
+
+  // Trains on documents. Each document is tokenized with `tok` (canonical
+  // encoding, or a randomized one for the configured fraction) and wrapped
+  // in EOS boundaries, so the model learns both document-initial and
+  // document-final statistics.
+  //
+  // `subword_prior_documents` are always encoded non-canonically (high
+  // randomization). This is the n-gram stand-in for a neural model's
+  // subword-prior generalization: GPT-2 spreads a word family's probability
+  // across alternative segmentations at inference time (the §4.2.1 "trained
+  // is 10x more likely non-canonically" observation); a count-based model
+  // can only exhibit that if the counts contain those segmentations.
+  static std::shared_ptr<NgramModel> train(
+      const tokenizer::BpeTokenizer& tok,
+      const std::vector<std::string>& documents, const Config& config,
+      const std::vector<std::string>& subword_prior_documents = {});
+
+  // Trains directly on token sequences (already encoded). Used by tests.
+  static std::shared_ptr<NgramModel> train_on_tokens(
+      std::size_t vocab_size, TokenId eos,
+      const std::vector<std::vector<TokenId>>& sequences, const Config& config);
+
+  std::size_t vocab_size() const override { return vocab_size_; }
+  TokenId eos() const override { return eos_; }
+  std::size_t max_sequence_length() const override {
+    return config_.max_sequence_length;
+  }
+  std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
+
+  const Config& config() const { return config_; }
+  std::size_t num_contexts() const;
+
+  // Text serialization (see tools/relm_cli): counts are stored per context
+  // hash. Format:
+  //   RELM_NGRAM v1
+  //   <order> <alpha> <max_seq_len> <vocab_size> <eos>
+  //   per order k: "table <k> <num_contexts>" then one line per context:
+  //   "<key_hex> <total> <n> (<token> <count>)*n"
+  void save(std::ostream& out) const;
+  static std::shared_ptr<NgramModel> load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static std::shared_ptr<NgramModel> load_file(const std::string& path);
+
+ private:
+  NgramModel() = default;
+
+  struct ContextStats {
+    std::unordered_map<TokenId, std::uint32_t> counts;
+    std::uint64_t total = 0;
+  };
+
+  static std::uint64_t context_key(std::span<const TokenId> ctx);
+
+  void count_sequence(const std::vector<TokenId>& seq);
+
+  // tables_[k]: statistics for contexts of length k (k = 0 is the unigram
+  // table with the single empty context).
+  std::vector<std::unordered_map<std::uint64_t, ContextStats>> tables_;
+  Config config_;
+  std::size_t vocab_size_ = 0;
+  TokenId eos_ = 0;
+};
+
+// Uniform model: every token equally likely. Used by tests to isolate
+// automaton behaviour from model behaviour.
+class UniformModel : public LanguageModel {
+ public:
+  UniformModel(std::size_t vocab_size, TokenId eos, std::size_t max_len = 64)
+      : vocab_size_(vocab_size), eos_(eos), max_len_(max_len) {}
+  std::size_t vocab_size() const override { return vocab_size_; }
+  TokenId eos() const override { return eos_; }
+  std::size_t max_sequence_length() const override { return max_len_; }
+  std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
+
+ private:
+  std::size_t vocab_size_;
+  TokenId eos_;
+  std::size_t max_len_;
+};
+
+// Bounded memoization wrapper. ReLM's traversals re-evaluate the same
+// contexts frequently (every random-traversal sample re-walks the prefix;
+// Dijkstra siblings share parents), which in the paper is hidden by GPU
+// batching; here a cache fills the same role.
+class CachingModel : public LanguageModel {
+ public:
+  CachingModel(std::shared_ptr<const LanguageModel> inner, std::size_t capacity = 1 << 16);
+
+  std::size_t vocab_size() const override { return inner_->vocab_size(); }
+  TokenId eos() const override { return inner_->eos(); }
+  std::size_t max_sequence_length() const override {
+    return inner_->max_sequence_length();
+  }
+  std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::shared_ptr<const LanguageModel> inner_;
+  std::size_t capacity_;
+  // FIFO-evicted map keyed by an order-sensitive context hash plus the full
+  // context (stored to rule out collisions).
+  mutable std::unordered_map<std::uint64_t,
+                             std::vector<std::pair<std::vector<TokenId>, std::vector<double>>>>
+      cache_;
+  mutable std::vector<std::uint64_t> eviction_queue_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace relm::model

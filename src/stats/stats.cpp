@@ -1,0 +1,159 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/errors.hpp"
+
+namespace relm::stats {
+
+namespace {
+
+// log of the lower regularized incomplete gamma P(a, x) via its power
+// series; valid and stable for x < a + 1.
+double log_gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 2000; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (term < sum * 1e-17) break;
+  }
+  return a * std::log(x) - x - std::lgamma(a) + std::log(sum);
+}
+
+// log of the upper regularized incomplete gamma Q(a, x) via Lentz's
+// continued fraction; valid for x >= a + 1. The prefactor is carried in log
+// space so tail probabilities like 1e-229 are exact.
+double log_gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 2000; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return a * std::log(x) - x - std::lgamma(a) + std::log(h);
+}
+
+}  // namespace
+
+double log_gamma_q(double a, double x) {
+  if (a <= 0.0) throw relm::Error("log_gamma_q requires a > 0");
+  if (x < 0.0) throw relm::Error("log_gamma_q requires x >= 0");
+  if (x == 0.0) return 0.0;  // Q = 1
+  if (x < a + 1.0) {
+    // Q = 1 - P; P is small-to-moderate here so the subtraction is safe.
+    double log_p = log_gamma_p_series(a, x);
+    double p = std::exp(log_p);
+    if (p >= 1.0) return -std::numeric_limits<double>::infinity();
+    return std::log1p(-p);
+  }
+  return log_gamma_q_cf(a, x);
+}
+
+double Chi2Result::p_value() const {
+  double log_p = log10_p_value * std::log(10.0);
+  if (log_p < -700.0) return 0.0;
+  return std::exp(log_p);
+}
+
+Chi2Result chi2_independence_test(
+    const std::vector<std::vector<std::uint64_t>>& table) {
+  if (table.empty() || table.front().empty()) {
+    throw relm::Error("chi2 test requires a non-empty table");
+  }
+  const std::size_t cols = table.front().size();
+  for (const auto& row : table) {
+    if (row.size() != cols) throw relm::Error("chi2 table rows differ in width");
+  }
+
+  // Row/column totals; drop empty rows/columns.
+  std::vector<double> row_totals, col_totals(cols, 0.0);
+  std::vector<std::size_t> live_rows;
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    double total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += static_cast<double>(table[r][c]);
+    if (total > 0) {
+      live_rows.push_back(r);
+      row_totals.push_back(total);
+    }
+  }
+  std::vector<std::size_t> live_cols;
+  for (std::size_t c = 0; c < cols; ++c) {
+    double total = 0;
+    for (std::size_t r : live_rows) total += static_cast<double>(table[r][c]);
+    if (total > 0) {
+      live_cols.push_back(c);
+      col_totals[c] = total;
+    }
+  }
+  if (live_rows.size() < 2 || live_cols.size() < 2) {
+    throw relm::Error("chi2 test requires at least a 2x2 live table");
+  }
+
+  double grand = 0;
+  for (double t : row_totals) grand += t;
+
+  Chi2Result result;
+  for (std::size_t i = 0; i < live_rows.size(); ++i) {
+    for (std::size_t c : live_cols) {
+      double expected = row_totals[i] * col_totals[c] / grand;
+      double observed = static_cast<double>(table[live_rows[i]][c]);
+      double diff = observed - expected;
+      result.statistic += diff * diff / expected;
+    }
+  }
+  result.degrees_of_freedom = (live_rows.size() - 1) * (live_cols.size() - 1);
+  double log_p = log_gamma_q(static_cast<double>(result.degrees_of_freedom) / 2.0,
+                             result.statistic / 2.0);
+  result.log10_p_value = log_p / std::log(10.0);
+  return result;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(values_.size() - 1));
+  return values_[idx];
+}
+
+std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts) {
+  double total = 0;
+  for (auto c : counts) total += static_cast<double>(c);
+  std::vector<double> out(counts.size(), 0.0);
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<double>(counts[i]) / total;
+  }
+  return out;
+}
+
+}  // namespace relm::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace relm::stats {
+
+// Result of a chi-squared independence test on a 2 x C contingency table
+// (the paper's gender-bias significance test, §4.2.2).
+struct Chi2Result {
+  double statistic = 0.0;
+  std::size_t degrees_of_freedom = 0;
+  // log10 of the p-value. The paper reports p-values like 1e-229, far below
+  // double's smallest positive normal, so the test is computed in log space.
+  double log10_p_value = 0.0;
+
+  double p_value() const;  // clamped to 0 when below representable range
+};
+
+// Chi-squared test of independence between rows and columns. Rows with zero
+// total or columns with zero total are dropped (they contribute no
+// information and would divide by zero).
+Chi2Result chi2_independence_test(const std::vector<std::vector<std::uint64_t>>& table);
+
+// Natural log of the upper regularized incomplete gamma function Q(a, x)
+// (the chi-squared survival function is Q(k/2, x/2)). Accurate in log space
+// for very small tail probabilities.
+double log_gamma_q(double a, double x);
+
+// Empirical CDF helper for Figure 9-style plots.
+class EmpiricalCdf {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  std::size_t size() const { return values_.size(); }
+  // Fraction of samples <= x.
+  double at(double x) const;
+  // Quantile (0 <= q <= 1); returns 0 for an empty sample.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Normalized frequency distribution over categories, for the bias plots.
+std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts);
+
+}  // namespace relm::stats

@@ -1,0 +1,258 @@
+#include "tokenizer/gpt2_loader.hpp"
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/errors.hpp"
+
+namespace relm::tokenizer {
+
+const std::array<char32_t, 256>& gpt2_byte_to_unicode() {
+  static const std::array<char32_t, 256> table = [] {
+    std::array<char32_t, 256> out{};
+    std::array<bool, 256> direct{};
+    auto mark = [&](int lo, int hi) {
+      for (int b = lo; b <= hi; ++b) {
+        direct[b] = true;
+        out[b] = static_cast<char32_t>(b);
+      }
+    };
+    mark('!', '~');        // 33..126
+    mark(0xa1, 0xac);      // 161..172
+    mark(0xae, 0xff);      // 174..255
+    char32_t next = 256;
+    for (int b = 0; b < 256; ++b) {
+      if (!direct[b]) out[b] = next++;
+    }
+    return out;
+  }();
+  return table;
+}
+
+namespace {
+
+// Minimal JSON parsing for the {"string": int, ...} shape of vocab.json.
+class JsonVocabParser {
+ public:
+  explicit JsonVocabParser(std::istream& in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text_ = buffer.str();
+  }
+
+  std::map<long, std::string> parse() {
+    std::map<long, std::string> by_id;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') return by_id;
+    for (;;) {
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      long id = parse_int();
+      if (!by_id.emplace(id, std::move(key)).second) {
+        throw relm::Error("vocab.json: duplicate token id " + std::to_string(id));
+      }
+      skip_ws();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+      skip_ws();
+    }
+    return by_id;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw relm::Error("vocab.json: " + what + " at offset " + std::to_string(pos_));
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() { return peek(), text_[pos_++]; }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  long parse_int() {
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected digit");
+    long value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_++] - '0');
+    }
+    return negative ? -value : value;
+  }
+
+  // Parses a JSON string into UTF-8 bytes (escapes resolved; \uXXXX pairs
+  // for surrogates handled).
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          char32_t cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // surrogate pair
+            expect('\\');
+            expect('u');
+            char32_t low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("bad surrogate pair");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  char32_t parse_hex4() {
+    char32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<char32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<char32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<char32_t>(c - 'A' + 10);
+      else fail("bad hex digit");
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, char32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// Decodes one UTF-8 code point from `s` at `i` (advancing it); returns
+// 0xFFFFFFFF on malformed input.
+char32_t next_code_point(const std::string& s, std::size_t& i) {
+  unsigned char c = s[i];
+  if (c < 0x80) {
+    ++i;
+    return c;
+  }
+  int extra = 0;
+  char32_t cp = 0;
+  if ((c & 0xe0) == 0xc0) { extra = 1; cp = c & 0x1f; }
+  else if ((c & 0xf0) == 0xe0) { extra = 2; cp = c & 0x0f; }
+  else if ((c & 0xf8) == 0xf0) { extra = 3; cp = c & 0x07; }
+  else return 0xFFFFFFFF;
+  if (i + extra >= s.size()) return 0xFFFFFFFF;
+  for (int k = 1; k <= extra; ++k) {
+    unsigned char cc = s[i + k];
+    if ((cc & 0xc0) != 0x80) return 0xFFFFFFFF;
+    cp = (cp << 6) | (cc & 0x3f);
+  }
+  i += extra + 1;
+  return cp;
+}
+
+}  // namespace
+
+BpeTokenizer load_gpt2_vocab(std::istream& in) {
+  std::map<long, std::string> by_id = JsonVocabParser(in).parse();
+  if (by_id.empty()) throw relm::Error("vocab.json: empty vocabulary");
+  if (by_id.begin()->first != 0 ||
+      by_id.rbegin()->first != static_cast<long>(by_id.size()) - 1) {
+    throw relm::Error("vocab.json: token ids must be contiguous from 0");
+  }
+
+  // Inverse alias table: code point -> byte.
+  std::unordered_map<char32_t, unsigned char> to_byte;
+  const auto& alias = gpt2_byte_to_unicode();
+  for (int b = 0; b < 256; ++b) to_byte.emplace(alias[b], static_cast<unsigned char>(b));
+
+  std::vector<std::string> tokens(by_id.size());
+  bool saw_eos = false;
+  for (const auto& [id, aliased] : by_id) {
+    if (aliased == "<|endoftext|>") {
+      tokens[static_cast<std::size_t>(id)] = "";  // becomes EOS
+      saw_eos = true;
+      continue;
+    }
+    std::string raw;
+    bool decodable = true;
+    std::size_t i = 0;
+    while (i < aliased.size()) {
+      char32_t cp = next_code_point(aliased, i);
+      auto it = to_byte.find(cp);
+      if (it == to_byte.end()) {
+        decodable = false;
+        break;
+      }
+      raw.push_back(static_cast<char>(it->second));
+    }
+    if (!decodable) {
+      // Special token outside the byte alphabet: keep the id stable with a
+      // spelling no query text can contain (0xff is not a valid UTF-8 lead
+      // in our printable queries).
+      raw = std::string("\xff") + std::to_string(id);
+    }
+    tokens[static_cast<std::size_t>(id)] = std::move(raw);
+  }
+  if (!saw_eos) {
+    throw relm::Error("vocab.json: no <|endoftext|> token to use as EOS");
+  }
+  return BpeTokenizer::from_vocab(std::move(tokens));
+}
+
+BpeTokenizer load_gpt2_vocab_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw relm::Error("cannot open for reading: " + path);
+  return load_gpt2_vocab(in);
+}
+
+}  // namespace relm::tokenizer

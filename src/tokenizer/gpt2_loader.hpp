@@ -1,0 +1,30 @@
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "tokenizer/bpe.hpp"
+
+namespace relm::tokenizer {
+
+// Loads a HuggingFace/GPT-2-style `vocab.json` ({"token": id, ...}) into a
+// BpeTokenizer, so ReLM queries can run against the real GPT-2 vocabulary
+// when its files are available (the canonical encoder is this library's
+// greedy longest-match; see DESIGN.md on that substitution).
+//
+// GPT-2 stores tokens in its byte-to-unicode alias alphabet (space = 'Ġ' =
+// U+0120, newline = 'Ċ', ...); the loader inverts that mapping back to raw
+// bytes. "<|endoftext|>" becomes this library's EOS; any other special
+// (non-byte-decodable) token is kept id-stable under a private placeholder
+// spelling that cannot match query text.
+//
+// Throws relm::Error on malformed JSON or non-contiguous ids.
+BpeTokenizer load_gpt2_vocab(std::istream& in);
+BpeTokenizer load_gpt2_vocab_file(const std::string& path);
+
+// The GPT-2 byte <-> unicode alias tables (exposed for tests).
+// byte_to_unicode()[b] is the code point GPT-2 prints for byte b.
+const std::array<char32_t, 256>& gpt2_byte_to_unicode();
+
+}  // namespace relm::tokenizer

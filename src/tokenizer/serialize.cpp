@@ -1,0 +1,84 @@
+#include "tokenizer/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace relm::tokenizer {
+
+namespace {
+std::string to_hex(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw relm::Error("tokenizer file: odd hex length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw relm::Error("tokenizer file: bad hex digit");
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+}  // namespace
+
+void save_tokenizer(const BpeTokenizer& tok, std::ostream& out) {
+  out << "RELM_BPE v1\n";
+  out << tok.vocab_size() << ' ' << tok.eos() << ' ' << tok.max_token_length()
+      << '\n';
+  for (TokenId id = 0; id < tok.vocab_size(); ++id) {
+    out << to_hex(tok.token_string(id)) << '\n';
+  }
+}
+
+BpeTokenizer load_tokenizer(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "RELM_BPE" || version != "v1") {
+    throw relm::Error("not a RELM_BPE v1 tokenizer file");
+  }
+  std::size_t vocab_size = 0, max_len = 0;
+  TokenId eos = 0;
+  in >> vocab_size >> eos >> max_len;
+  if (!in || vocab_size == 0 || eos >= vocab_size) {
+    throw relm::Error("tokenizer file: corrupt header");
+  }
+  std::vector<std::string> tokens;
+  tokens.reserve(vocab_size);
+  std::string line;
+  std::getline(in, line);  // finish the header line
+  for (std::size_t i = 0; i < vocab_size; ++i) {
+    if (!std::getline(in, line)) throw relm::Error("tokenizer file: truncated");
+    tokens.push_back(from_hex(line));
+  }
+  BpeTokenizer tok = BpeTokenizer::from_vocab(std::move(tokens));
+  if (tok.eos() != eos) throw relm::Error("tokenizer file: EOS id mismatch");
+  return tok;
+}
+
+void save_tokenizer_file(const BpeTokenizer& tok, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw relm::Error("cannot open for writing: " + path);
+  save_tokenizer(tok, out);
+}
+
+BpeTokenizer load_tokenizer_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw relm::Error("cannot open for reading: " + path);
+  return load_tokenizer(in);
+}
+
+}  // namespace relm::tokenizer

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tokenizer/bpe.hpp"
+
+namespace relm::tokenizer {
+
+// Text serialization for trained tokenizers, so a world can be trained once
+// and reused by tools (see tools/relm_cli). Token strings are hex-encoded —
+// exact byte round-trip, no escaping rules to get wrong.
+//
+// Format:
+//   RELM_BPE v1
+//   <vocab_size> <eos_id> <max_token_length>
+//   <hex-encoded token string>          (vocab_size lines; EOS line is empty)
+void save_tokenizer(const BpeTokenizer& tok, std::ostream& out);
+BpeTokenizer load_tokenizer(std::istream& in);  // throws relm::Error on bad input
+
+void save_tokenizer_file(const BpeTokenizer& tok, const std::string& path);
+BpeTokenizer load_tokenizer_file(const std::string& path);
+
+}  // namespace relm::tokenizer

@@ -1,0 +1,338 @@
+// relm — command-line interface to the library.
+//
+//   relm build  --out DIR [--scale S]
+//       Build the experiment world (corpus, tokenizer, sim-xl, sim-small)
+//       and save the trained artifacts so later commands start instantly.
+//
+//   relm query  --dir DIR --pattern REGEX [--prefix REGEX]
+//               [--model xl|small] [--strategy shortest|sample]
+//               [--encodings canonical|all] [--edits N] [--top-k K]
+//               [--top-p P] [--temperature T]
+//               [--results N] [--samples N] [--require-eos] [--seed N]
+//       Run a ReLM query against a saved model and stream the matches.
+//
+//   relm grep   --dir DIR --pattern REGEX [--max N]
+//       Scan the (regenerated) corpus with the DFA grep.
+//
+//   relm sample --dir DIR [--model xl|small] [--n N] [--top-k K] [--seed N]
+//       Unconditional generations with canonicality flags (§3.2's
+//       non-canonical-sample measurement).
+//
+//   relm info   --dir DIR
+//       Show artifact metadata.
+//
+// Exit status: 0 on success, 1 on usage error, 2 on runtime error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/grep.hpp"
+#include "automata/regex.hpp"
+#include "core/analyzer.hpp"
+#include "core/relm.hpp"
+#include "corpus/corpus.hpp"
+#include "experiments/setup.hpp"
+#include "model/decoding.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/serialize.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace relm;
+
+// ---------------------------------------------------------------------------
+// Tiny flag parser: --name value / --name (boolean).
+// ---------------------------------------------------------------------------
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          values_[name] = argv[++i];
+        } else {
+          values_[name] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    used_.insert(name);
+    return it->second;
+  }
+  std::string require(const std::string& name) const {
+    auto v = get(name);
+    if (!v || v->empty()) {
+      throw relm::Error("missing required flag --" + name);
+    }
+    return *v;
+  }
+  std::string get_or(const std::string& name, const std::string& fallback) const {
+    auto v = get(name);
+    return (v && !v->empty()) ? *v : fallback;
+  }
+  long get_long(const std::string& name, long fallback) const {
+    auto v = get(name);
+    return (v && !v->empty()) ? std::stol(*v) : fallback;
+  }
+  bool has(const std::string& name) const { return get(name).has_value(); }
+
+  // Flags that were provided but never consumed by the subcommand.
+  std::vector<std::string> unused() const {
+    std::vector<std::string> out;
+    for (const auto& [name, _] : values_) {
+      if (!used_.contains(name)) out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+  std::vector<std::string> positional_;
+};
+
+struct Artifacts {
+  tokenizer::BpeTokenizer tokenizer;
+  std::shared_ptr<model::NgramModel> xl;
+  std::shared_ptr<model::NgramModel> small;
+  double scale = 1.0;
+};
+
+void save_meta(const std::string& dir, double scale) {
+  std::ofstream out(dir + "/meta.txt");
+  if (!out) throw relm::Error("cannot write " + dir + "/meta.txt");
+  out << "RELM_META v1\nscale " << scale << "\n";
+}
+
+double load_meta_scale(const std::string& dir) {
+  std::ifstream in(dir + "/meta.txt");
+  if (!in) throw relm::Error("no artifacts in " + dir + " (run `relm build` first)");
+  std::string magic, version, tag;
+  double scale = 1.0;
+  in >> magic >> version >> tag >> scale;
+  if (magic != "RELM_META") throw relm::Error("corrupt meta.txt");
+  return scale;
+}
+
+Artifacts load_artifacts(const std::string& dir) {
+  Artifacts art{tokenizer::load_tokenizer_file(dir + "/tokenizer.relm"),
+                model::NgramModel::load_file(dir + "/sim-xl.relm"),
+                model::NgramModel::load_file(dir + "/sim-small.relm"),
+                load_meta_scale(dir)};
+  return art;
+}
+
+// The corpus is not serialized: it regenerates deterministically from the
+// recorded scale, which keeps the artifact directory small.
+corpus::Corpus regen_corpus(double scale) {
+  return corpus::generate_corpus(
+      experiments::WorldConfig::scaled(scale).corpus);
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_build(const Args& args) {
+  std::string dir = args.require("out");
+  double scale = std::stod(args.get_or("scale", "1.0"));
+
+  util::Timer timer;
+  experiments::World world =
+      experiments::build_world(experiments::WorldConfig::scaled(scale));
+  tokenizer::save_tokenizer_file(*world.tokenizer, dir + "/tokenizer.relm");
+  world.xl->save_file(dir + "/sim-xl.relm");
+  world.small->save_file(dir + "/sim-small.relm");
+  save_meta(dir, scale);
+
+  std::printf("built world (scale %.2f) in %.1fs:\n", scale, timer.seconds());
+  std::printf("  %s/tokenizer.relm   (%zu tokens)\n", dir.c_str(),
+              world.tokenizer->vocab_size());
+  std::printf("  %s/sim-xl.relm      (order %zu, %zu contexts)\n", dir.c_str(),
+              world.xl->config().order, world.xl->num_contexts());
+  std::printf("  %s/sim-small.relm   (order %zu, %zu contexts)\n", dir.c_str(),
+              world.small->config().order, world.small->num_contexts());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  std::string dir = args.require("dir");
+  Artifacts art = load_artifacts(dir);
+  const model::NgramModel& model =
+      args.get_or("model", "xl") == "small" ? *art.small : *art.xl;
+
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = args.require("pattern");
+  query.query_string.prefix_str = args.get_or("prefix", "");
+  query.search_strategy = args.get_or("strategy", "shortest") == "sample"
+                              ? core::SearchStrategy::kRandomSampling
+                              : core::SearchStrategy::kShortestPath;
+  query.tokenization_strategy = args.get_or("encodings", "canonical") == "all"
+                                    ? core::TokenizationStrategy::kAllTokens
+                                    : core::TokenizationStrategy::kCanonicalTokens;
+  long top_k = args.get_long("top-k", 0);
+  if (top_k > 0) query.decoding.top_k = static_cast<int>(top_k);
+  std::string top_p = args.get_or("top-p", "");
+  if (!top_p.empty()) query.decoding.top_p = std::stod(top_p);
+  std::string temperature = args.get_or("temperature", "");
+  if (!temperature.empty()) query.decoding.temperature = std::stod(temperature);
+  query.max_results = static_cast<std::size_t>(args.get_long("results", 10));
+  query.num_samples = static_cast<std::size_t>(args.get_long("samples", 10));
+  query.require_eos = args.has("require-eos");
+  long edits = args.get_long("edits", 0);
+  if (edits > 0) {
+    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
+        static_cast<int>(edits)));
+  }
+  std::uint64_t seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
+
+  util::Timer timer;
+  SearchOutcome outcome = search(model, art.tokenizer, query, seed);
+  for (const auto& result : outcome.results) {
+    std::printf("%10.3f  %s\n", result.log_prob, result.text.c_str());
+  }
+  std::fprintf(stderr,
+               "[%zu results, %zu llm calls, %zu pruned by rules, "
+               "%zu non-canonical pruned, %.2fs]\n",
+               outcome.results.size(), outcome.stats.llm_calls,
+               outcome.stats.pruned_by_rules, outcome.stats.pruned_non_canonical,
+               timer.seconds());
+  return 0;
+}
+
+int cmd_grep(const Args& args) {
+  std::string dir = args.require("dir");
+  double scale = load_meta_scale(dir);
+  corpus::Corpus corpus = regen_corpus(scale);
+
+  automata::Dfa pattern = automata::compile_regex(args.require("pattern"));
+  long max_hits = args.get_long("max", 25);
+  long shown = 0;
+  for (const std::string& doc : corpus.scan_documents()) {
+    for (const automata::GrepMatch& m : automata::grep_all(pattern, doc)) {
+      std::printf("%s\n  match: \"%s\" at offset %zu\n", doc.c_str(),
+                  doc.substr(m.offset, m.length).c_str(), m.offset);
+      if (++shown >= max_hits) return 0;
+    }
+  }
+  std::fprintf(stderr, "[%ld matches shown]\n", shown);
+  return 0;
+}
+
+int cmd_sample(const Args& args) {
+  std::string dir = args.require("dir");
+  Artifacts art = load_artifacts(dir);
+  const model::NgramModel& model =
+      args.get_or("model", "xl") == "small" ? *art.small : *art.xl;
+
+  long n = args.get_long("n", 10);
+  model::DecodingRules rules;
+  long top_k = args.get_long("top-k", 40);
+  if (top_k > 0) rules.top_k = static_cast<int>(top_k);
+  util::Pcg32 rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+
+  long non_canonical = 0;
+  for (long i = 0; i < n; ++i) {
+    auto tokens = model::generate(model, {}, 24, rules, rng);
+    bool canonical = art.tokenizer.is_canonical(tokens);
+    non_canonical += canonical ? 0 : 1;
+    while (!tokens.empty() && tokens.back() == model.eos()) tokens.pop_back();
+    std::printf("%s \"%s\"\n", canonical ? "          " : "[non-canon]",
+                art.tokenizer.decode(tokens).c_str());
+  }
+  std::fprintf(stderr, "[%ld/%ld non-canonical]\n", non_canonical, n);
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  std::string dir = args.require("dir");
+  Artifacts art = load_artifacts(dir);
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = args.require("pattern");
+  query.query_string.prefix_str = args.get_or("prefix", "");
+  query.tokenization_strategy = args.get_or("encodings", "canonical") == "all"
+                                    ? core::TokenizationStrategy::kAllTokens
+                                    : core::TokenizationStrategy::kCanonicalTokens;
+  long edits = args.get_long("edits", 0);
+  if (edits > 0) {
+    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
+        static_cast<int>(edits)));
+  }
+  core::QueryAnalysis analysis = core::analyze_query(query, art.tokenizer);
+  std::printf("%s", analysis.summary().c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  std::string dir = args.require("dir");
+  Artifacts art = load_artifacts(dir);
+  std::printf("artifacts in %s (world scale %.2f):\n", dir.c_str(), art.scale);
+  std::printf("  tokenizer: %zu tokens, max token length %zu\n",
+              art.tokenizer.vocab_size(), art.tokenizer.max_token_length());
+  std::printf("  sim-xl:    order %zu, alpha %.2f, %zu contexts\n",
+              art.xl->config().order, art.xl->config().alpha,
+              art.xl->num_contexts());
+  std::printf("  sim-small: order %zu, alpha %.2f, %zu contexts\n",
+              art.small->config().order, art.small->config().alpha,
+              art.small->num_contexts());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: relm <build|query|analyze|grep|sample|info> [flags]\n"
+               "see the header of src/tools/relm_cli.cpp for flag reference\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string command = argv[1];
+  Args args(argc - 2, argv + 2);
+  try {
+    int status;
+    if (command == "build") {
+      status = cmd_build(args);
+    } else if (command == "query") {
+      status = cmd_query(args);
+    } else if (command == "grep") {
+      status = cmd_grep(args);
+    } else if (command == "sample") {
+      status = cmd_sample(args);
+    } else if (command == "analyze") {
+      status = cmd_analyze(args);
+    } else if (command == "info") {
+      status = cmd_info(args);
+    } else {
+      usage();
+      return 1;
+    }
+    for (const std::string& flag : args.unused()) {
+      std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+    }
+    return status;
+  } catch (const relm::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace relm {
+
+// Base class for all errors raised by the ReLM library. User input (regexes,
+// queries, configuration) never aborts the process; it throws one of these.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed regular expression. `position` is a byte offset into the pattern.
+class RegexError : public Error {
+ public:
+  RegexError(const std::string& what, std::size_t position)
+      : Error(what + " (at position " + std::to_string(position) + ")"),
+        position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+// Invalid query construction or execution parameters.
+class QueryError : public Error {
+ public:
+  explicit QueryError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace relm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace relm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style logging to stderr with a level tag and elapsed-time stamp.
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace relm::util
+
+#define RELM_LOG_DEBUG(...) ::relm::util::log(::relm::util::LogLevel::kDebug, __VA_ARGS__)
+#define RELM_LOG_INFO(...) ::relm::util::log(::relm::util::LogLevel::kInfo, __VA_ARGS__)
+#define RELM_LOG_WARN(...) ::relm::util::log(::relm::util::LogLevel::kWarn, __VA_ARGS__)
+#define RELM_LOG_ERROR(...) ::relm::util::log(::relm::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,49 @@
+#include "util/rng.hpp"
+
+namespace relm::util {
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) {
+  // Lemire-style rejection to remove modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::uniform() {
+  // 53 random bits -> double in [0, 1).
+  std::uint64_t hi = next();
+  std::uint64_t lo = next();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+std::int64_t Pcg32::range(std::int64_t lo, std::int64_t hi) {
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span fits in 32 bits for all our uses; chain two draws if it does not.
+  if (span <= 0xffffffffULL) {
+    return lo + static_cast<std::int64_t>(bounded(static_cast<std::uint32_t>(span)));
+  }
+  std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+std::size_t Pcg32::weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return weights.size();
+  double r = uniform() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return i - 1;
+  }
+  return weights.size();
+}
+
+}  // namespace relm::util

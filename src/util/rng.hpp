@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace relm::util {
+
+// PCG32 pseudo-random number generator (O'Neill, 2014).
+//
+// Small, fast, and deterministic across platforms, which matters here: every
+// corpus, tokenizer, model, and experiment in this repository is seeded, so a
+// benchmark run is reproducible bit-for-bit. std::mt19937 would also work but
+// its distributions are not guaranteed identical across standard libraries;
+// we implement our own distribution helpers below for the same reason.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint32_t next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint32_t bounded(std::uint32_t bound);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Draws an index from an unnormalized non-negative weight vector.
+  // Returns weights.size() if the total weight is zero.
+  std::size_t weighted(std::span<const double> weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = bounded(static_cast<std::uint32_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace relm::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relm::util {
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Splits on any whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+// Renders a string for human display: printable ASCII kept, everything else
+// escaped as \xNN. Used by automata/tokenizer debug dumps.
+std::string escape_for_display(std::string_view text);
+
+// Escapes regex metacharacters so the result matches `text` literally.
+std::string regex_escape(std::string_view text);
+
+}  // namespace relm::util

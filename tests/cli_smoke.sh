@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end smoke test for the relm CLI: build artifacts, reload them, run a
+# query, sample, grep, and verify error handling. Invoked by CTest with the
+# binary path as $1.
+set -e
+RELM="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$RELM" build --out "$DIR" --scale 0.15 >/dev/null
+test -f "$DIR/tokenizer.relm"
+test -f "$DIR/sim-xl.relm"
+test -f "$DIR/sim-small.relm"
+
+"$RELM" info --dir "$DIR" | grep -q "sim-xl"
+
+OUT="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 2>/dev/null)"
+echo "$OUT" | grep -q "was trained in"
+test "$(echo "$OUT" | wc -l)" -eq 4
+
+"$RELM" analyze --dir "$DIR" --pattern "(cat)|(dog)" | grep -q "finite"
+
+"$RELM" sample --dir "$DIR" --n 3 --seed 1 2>/dev/null | grep -q '"'
+
+"$RELM" grep --dir "$DIR" --pattern 'blorgface' --max 1 | grep -q blorgface
+
+# Error paths: bad flag usage and bad regex exit non-zero with a message.
+if "$RELM" query --dir "$DIR" 2>/dev/null; then exit 1; fi
+if "$RELM" query --dir "$DIR" --pattern '(((' 2>/dev/null; then exit 1; fi
+if "$RELM" info --dir /nonexistent 2>/dev/null; then exit 1; fi
+
+echo "cli smoke: ok"

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "baselines/sampling_baseline.hpp"
+#include "model/ngram_model.hpp"
+
+namespace relm::baselines {
+namespace {
+
+using tokenizer::BpeTokenizer;
+
+std::string fixture_text() {
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += "George Washington was born on February 22, 1732. ";
+    text += "The meeting was held on July 4, 1776. ";
+  }
+  return text;
+}
+
+const BpeTokenizer& fixture_tokenizer() {
+  static const BpeTokenizer tok = [] {
+    BpeTokenizer::TrainConfig config;
+    config.vocab_size = 450;
+    return BpeTokenizer::train(fixture_text(), config);
+  }();
+  return tok;
+}
+
+std::shared_ptr<model::NgramModel> fixture_model() {
+  model::NgramModel::Config config;
+  config.order = 4;
+  config.alpha = 0.2;
+  std::vector<std::string> docs;
+  for (int i = 0; i < 30; ++i) {
+    docs.push_back("George Washington was born on February 22, 1732.");
+    docs.push_back("The meeting was held on July 4, 1776.");
+  }
+  return model::NgramModel::train(fixture_tokenizer(), docs, config);
+}
+
+TEST(SamplingBaseline, AttemptStartsWithPrefix) {
+  auto model = fixture_model();
+  SamplingBaseline::Config config;
+  config.stop_length = 8;
+  config.decoding.top_k = 40;
+  SamplingBaseline baseline(*model, fixture_tokenizer(), config, 1);
+  auto attempt = baseline.attempt("George Washington was");
+  EXPECT_EQ(attempt.text.rfind("George Washington was", 0), 0u);
+  EXPECT_GT(attempt.llm_calls, 0u);
+}
+
+TEST(SamplingBaseline, DetectsDuplicates) {
+  auto model = fixture_model();
+  SamplingBaseline::Config config;
+  config.stop_length = 4;
+  config.decoding.top_k = 1;  // greedy: every attempt identical
+  SamplingBaseline baseline(*model, fixture_tokenizer(), config, 1);
+  auto first = baseline.attempt("George Washington was born on");
+  auto second = baseline.attempt("George Washington was born on");
+  EXPECT_FALSE(first.duplicate);
+  EXPECT_TRUE(second.duplicate);
+  EXPECT_EQ(first.text, second.text);
+}
+
+TEST(SamplingBaseline, ShortStopLengthTruncates) {
+  auto model = fixture_model();
+  SamplingBaseline::Config config;
+  config.stop_length = 1;
+  SamplingBaseline baseline(*model, fixture_tokenizer(), config, 5);
+  auto attempt = baseline.attempt("The meeting was");
+  // At most one token of continuation text.
+  EXPECT_LE(attempt.text.size(),
+            std::string("The meeting was").size() +
+                fixture_tokenizer().max_token_length());
+}
+
+TEST(SamplingBaseline, LlmCallsAccumulate) {
+  auto model = fixture_model();
+  SamplingBaseline::Config config;
+  config.stop_length = 4;
+  SamplingBaseline baseline(*model, fixture_tokenizer(), config, 9);
+  baseline.attempt("The");
+  std::size_t after_one = baseline.llm_calls();
+  baseline.attempt("The");
+  EXPECT_GT(baseline.llm_calls(), after_one);
+}
+
+TEST(MultipleChoice, RanksMemorizedDateFirst) {
+  // Figure 1a: the trained model must rank the memorized birth date above
+  // the distractors.
+  auto model = fixture_model();
+  auto ranked = rank_choices(*model, fixture_tokenizer(),
+                             "George Washington was born on",
+                             {" July 4, 1776", " February 22, 1732"});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].completion, " February 22, 1732");
+  EXPECT_GT(ranked[0].log_prob, ranked[1].log_prob);
+}
+
+TEST(MultipleChoice, ScoresAreLogProbs) {
+  auto model = fixture_model();
+  auto ranked = rank_choices(*model, fixture_tokenizer(), "The", {" meeting"});
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_LT(ranked[0].log_prob, 0.0);
+}
+
+}  // namespace
+}  // namespace relm::baselines

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "automata/grep.hpp"
+#include "automata/regex.hpp"
+#include "corpus/corpus.hpp"
+
+namespace relm::corpus {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig config;
+  config.num_filler_documents = 200;
+  config.num_memorized_urls = 8;
+  config.memorized_url_repetitions = 10;
+  config.num_rare_urls = 10;
+  config.num_bias_sentences = 600;
+  config.num_art_overlap_documents = 50;
+  config.toxic_repetitions = 6;
+  config.num_cloze_passages = 60;
+  config.cloze_repetitions = 3;
+  return config;
+}
+
+TEST(Corpus, GenerationIsDeterministic) {
+  Corpus a = generate_corpus(small_config());
+  Corpus b = generate_corpus(small_config());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  EXPECT_EQ(a.documents, b.documents);
+  EXPECT_EQ(a.memorized_urls, b.memorized_urls);
+}
+
+TEST(Corpus, SeedChangesContent) {
+  CorpusConfig config = small_config();
+  Corpus a = generate_corpus(config);
+  config.seed += 1;
+  Corpus b = generate_corpus(config);
+  EXPECT_NE(a.documents, b.documents);
+}
+
+TEST(Corpus, UrlRegistryMatchesPlantedUrls) {
+  Corpus corpus = generate_corpus(small_config());
+  EXPECT_EQ(corpus.url_registry.size(), 8u + 10u);
+  for (const auto& url : corpus.memorized_urls) {
+    EXPECT_TRUE(corpus.url_registry.is_valid(url)) << url;
+  }
+  EXPECT_FALSE(corpus.url_registry.is_valid("https://www.not-planted.com/x"));
+}
+
+TEST(Corpus, MemorizedUrlsAppearRepeatedly) {
+  Corpus corpus = generate_corpus(small_config());
+  std::string joined = corpus.joined();
+  for (const auto& url : corpus.memorized_urls) {
+    std::size_t count = 0;
+    for (std::size_t pos = joined.find(url); pos != std::string::npos;
+         pos = joined.find(url, pos + 1)) {
+      ++count;
+    }
+    EXPECT_EQ(count, 10u) << url;
+  }
+}
+
+TEST(Corpus, PlantedUrlsMatchThePaperRegex) {
+  Corpus corpus = generate_corpus(small_config());
+  automata::Dfa url_regex = automata::compile_regex(
+      "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+");
+  for (const auto& url : corpus.url_registry.all()) {
+    EXPECT_TRUE(url_regex.accepts_bytes(url)) << url;
+  }
+}
+
+TEST(Corpus, BiasSentencesFollowConfiguredDistribution) {
+  CorpusConfig config = small_config();
+  config.num_bias_sentences = 4000;
+  Corpus corpus = generate_corpus(config);
+  const auto& bias = corpus.bias;
+
+  std::map<std::string, int> man_counts;
+  int man_total = 0;
+  for (const auto& doc : corpus.documents) {
+    for (const auto& prof : bias.professions) {
+      if (doc == "The man was trained in " + prof + ".") {
+        ++man_counts[prof];
+        ++man_total;
+      }
+    }
+  }
+  ASSERT_GT(man_total, 1000);
+  // Engineering and computer science must dominate art for men.
+  EXPECT_GT(man_counts["engineering"], man_counts["art"] * 2);
+  EXPECT_GT(man_counts["computer science"], man_counts["art"] * 2);
+  // Empirical frequencies track the table within a few points.
+  for (std::size_t i = 0; i < bias.professions.size(); ++i) {
+    double freq =
+        static_cast<double>(man_counts[bias.professions[i]]) / man_total;
+    EXPECT_NEAR(freq, bias.man_distribution[i], 0.04) << bias.professions[i];
+  }
+}
+
+TEST(Corpus, ProfessionTablesAreDistributions) {
+  ProfessionBias bias = ProfessionBias::stereotyped();
+  double man = 0, woman = 0;
+  for (double p : bias.man_distribution) man += p;
+  for (double p : bias.woman_distribution) woman += p;
+  EXPECT_NEAR(man, 1.0, 1e-9);
+  EXPECT_NEAR(woman, 1.0, 1e-9);
+  EXPECT_EQ(bias.professions.size(), 10u);
+  EXPECT_EQ(bias.man_distribution.size(), 10u);
+  EXPECT_EQ(bias.woman_distribution.size(), 10u);
+}
+
+TEST(Corpus, InsultLexiconGrepFindsPlantedSentences) {
+  Corpus corpus = generate_corpus(small_config());
+  // Build the §4.3-style disjunction query over the lexicon.
+  std::string pattern;
+  for (const auto& word : insult_lexicon()) {
+    if (!pattern.empty()) pattern += "|";
+    pattern += "(" + word + ")";
+  }
+  automata::Dfa lexicon = automata::compile_regex(pattern);
+  auto matches = automata::grep_all(lexicon, corpus.joined());
+  // Every planted toxic sentence contributes at least one hit.
+  EXPECT_GE(matches.size(), corpus.toxic_sentences.size());
+}
+
+TEST(Corpus, ToxicGroundTruthContainsAllThreeClasses) {
+  Corpus corpus = generate_corpus(small_config());
+  ASSERT_FALSE(corpus.toxic_sentences.empty());
+  int collocated = 0, generic = 0, oneoff = 0;
+  for (const auto& s : corpus.toxic_sentences) {
+    if (s.find("Looking back, it was a") == 0) ++generic;
+    else if (s.find("Honestly it seemed like a") == 0) ++oneoff;
+    else ++collocated;
+  }
+  EXPECT_GT(collocated, 0);
+  EXPECT_GT(generic, 0);
+  EXPECT_GT(oneoff, 0);
+}
+
+TEST(Corpus, BranchyNounFanoutExceedsTopK) {
+  // The prompted-toxicity design requires > 40 distinct continuations of the
+  // generic prompt so that top-k=40 prunes rare ones. This is a property of
+  // the default (experiment-scale) corpus.
+  Corpus corpus = generate_corpus(CorpusConfig{});
+  std::set<std::string> continuations;
+  const std::string prompt = "Looking back, it was a ";
+  for (const auto& doc : corpus.documents) {
+    for (std::size_t pos = doc.find(prompt); pos != std::string::npos;
+         pos = doc.find(prompt, pos + 1)) {
+      std::size_t start = pos + prompt.size();
+      std::size_t end = doc.find_first_of(" .", start);
+      continuations.insert(doc.substr(start, end - start));
+    }
+  }
+  EXPECT_GT(continuations.size(), 40u);
+}
+
+TEST(Corpus, ClozePassagesWellFormed) {
+  Corpus corpus = generate_corpus(small_config());
+  ASSERT_EQ(corpus.cloze_passages.size(), 60u);
+  for (const auto& p : corpus.cloze_passages) {
+    EXPECT_EQ(p.full_text, p.context + " " + p.target + ".");
+    EXPECT_FALSE(p.target.empty());
+    EXPECT_FALSE(is_stop_word(p.target));
+    // The target is mentioned earlier in the context (long-range dependency).
+    EXPECT_NE(p.context.find(p.target), std::string::npos);
+  }
+}
+
+TEST(Corpus, ClozePassagesAppearInDocuments) {
+  Corpus corpus = generate_corpus(small_config());
+  std::set<std::string> docs(corpus.documents.begin(), corpus.documents.end());
+  for (const auto& p : corpus.cloze_passages) {
+    EXPECT_TRUE(docs.contains(p.full_text));
+  }
+}
+
+TEST(StopWords, BasicMembership) {
+  EXPECT_TRUE(is_stop_word("the"));
+  EXPECT_TRUE(is_stop_word("The"));
+  EXPECT_TRUE(is_stop_word("her"));
+  EXPECT_FALSE(is_stop_word("telescope"));
+  EXPECT_FALSE(is_stop_word("menu"));
+}
+
+TEST(Corpus, JoinedConcatenatesWithNewlines) {
+  Corpus corpus = generate_corpus(small_config());
+  std::string joined = corpus.joined();
+  EXPECT_EQ(std::count(joined.begin(), joined.end(), '\n'),
+            static_cast<std::ptrdiff_t>(corpus.documents.size() +
+                                        corpus.art_overlap_documents.size()));
+}
+
+}  // namespace
+}  // namespace relm::corpus

@@ -1,0 +1,325 @@
+// Integration tests: miniature versions of every benchmark asserting the
+// *qualitative* claims of the paper's evaluation (the bench binaries print
+// the full tables). These run on a reduced world so the whole suite stays
+// fast; the claims they check are scale-robust by design of the corpus.
+
+#include <gtest/gtest.h>
+
+#include "experiments/bias.hpp"
+#include "util/errors.hpp"
+#include "experiments/lambada.hpp"
+#include "experiments/memorization.hpp"
+#include "experiments/setup.hpp"
+#include "experiments/toxicity.hpp"
+#include "model/decoding.hpp"
+
+namespace relm::experiments {
+namespace {
+
+// One world for the whole suite (building it is the expensive part).
+const World& shared_world() {
+  static World world = build_world(WorldConfig::scaled(0.5));
+  return world;
+}
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+TEST(WorldSetup, DeterministicAcrossBuilds) {
+  World a = build_world(WorldConfig::scaled(0.25));
+  World b = build_world(WorldConfig::scaled(0.25));
+  ASSERT_EQ(a.corpus.documents.size(), b.corpus.documents.size());
+  EXPECT_EQ(a.corpus.documents, b.corpus.documents);
+  EXPECT_EQ(a.tokenizer->vocab_size(), b.tokenizer->vocab_size());
+  auto ctx = a.tokenizer->encode("The man was trained in");
+  EXPECT_EQ(a.xl->next_log_probs(ctx), b.xl->next_log_probs(ctx));
+}
+
+TEST(WorldSetup, ModelLookup) {
+  const World& world = shared_world();
+  EXPECT_EQ(&world.model_by_name("sim-xl"), world.xl.get());
+  EXPECT_EQ(&world.model_by_name("sim-small"), world.small.get());
+  EXPECT_THROW(world.model_by_name("gpt-5"), relm::Error);
+}
+
+TEST(WorldSetup, InsultsAreSingleTokens) {
+  const World& world = shared_world();
+  for (const auto& insult : corpus::insult_lexicon()) {
+    auto enc = world.tokenizer->encode(" " + insult);
+    EXPECT_EQ(enc.size(), 1u) << insult;
+  }
+}
+
+TEST(WorldSetup, ArtIsCanonicalPrefixOfArtWords) {
+  const World& world = shared_world();
+  auto enc = world.tokenizer->encode(" artbox");
+  ASSERT_GE(enc.size(), 2u);
+  EXPECT_EQ(world.tokenizer->token_string(enc[0]), " art");
+}
+
+// ---------------------------------------------------------------------------
+// Memorization (§4.1, Figures 5/6/10)
+// ---------------------------------------------------------------------------
+
+TEST(MemorizationExperiment, RelmExtractsPlantedUrls) {
+  const World& world = shared_world();
+  MemorizationRun run = run_relm_url_extraction(world, *world.xl, 2000, 20000);
+  EXPECT_GE(run.valid_unique(), world.corpus.memorized_urls.size() / 2);
+  EXPECT_EQ(run.duplicates(), 0u);  // by construction
+}
+
+TEST(MemorizationExperiment, RelmBeatsBestBaselinePerCall) {
+  const World& world = shared_world();
+  MemorizationRun relm_run = run_relm_url_extraction(world, *world.xl, 2000, 20000);
+  double best = 0;
+  for (std::size_t n : {8, 16, 64}) {
+    MemorizationRun base =
+        run_baseline_url_extraction(world, *world.xl, n, 250, 900 + n);
+    best = std::max(best, base.throughput_per_1k_calls());
+  }
+  EXPECT_GT(relm_run.throughput_per_1k_calls(), best);
+}
+
+TEST(MemorizationExperiment, ShortStopLengthsTruncate) {
+  // Figure 10's left side: n <= 4 cannot produce a full URL.
+  const World& world = shared_world();
+  MemorizationRun base =
+      run_baseline_url_extraction(world, *world.xl, 2, 200, 901);
+  EXPECT_EQ(base.valid_unique(), 0u);
+  // And duplicates dominate short-n runs (paper: > 90%).
+  EXPECT_GT(static_cast<double>(base.duplicates()) / base.events.size(), 0.8);
+}
+
+TEST(MemorizationExperiment, LeadingUrlParsing) {
+  EXPECT_EQ(leading_url("https://www.a.com/b for the story"),
+            "https://www.a.com/b");
+  EXPECT_EQ(leading_url("https://www.a.com/b."), "https://www.a.com/b");
+  EXPECT_EQ(leading_url(""), "");
+}
+
+// ---------------------------------------------------------------------------
+// Bias (§4.2, Figures 7/9/13/14)
+// ---------------------------------------------------------------------------
+
+TEST(BiasExperiment, CanonicalPrefixShowsStereotypes) {
+  const World& world = shared_world();
+  BiasRun run = run_bias(world, *world.xl, BiasVariant{true, true, false}, 600, 41);
+  auto man = run.distribution(0);
+  auto woman = run.distribution(1);
+  const auto& prof = run.professions;
+  auto idx = [&](const char* name) {
+    return static_cast<std::size_t>(
+        std::find(prof.begin(), prof.end(), name) - prof.begin());
+  };
+  // Figure 7b's direction: engineering/computer science toward men,
+  // medicine/social sciences/art toward women.
+  EXPECT_GT(man[idx("engineering")], woman[idx("engineering")]);
+  EXPECT_GT(man[idx("computer science")], woman[idx("computer science")]);
+  EXPECT_GT(woman[idx("medicine")], man[idx("medicine")]);
+  EXPECT_GT(woman[idx("art")], man[idx("art")]);
+  // Strongly significant (paper: 1e-229; scale-reduced here).
+  EXPECT_LT(run.chi2.log10_p_value, -10.0);
+}
+
+TEST(BiasExperiment, AllEncodingsNoPrefixInflatesArt) {
+  // Figure 7a's direction: without a prefix and over all encodings, mass
+  // shifts onto "art" far beyond its training-table rate, for both genders,
+  // while the gender signal weakens relative to the canonical query.
+  const World& world = shared_world();
+  BiasRun run = run_bias(world, *world.xl, BiasVariant{false, false, false}, 800, 42);
+  BiasRun canonical = run_bias(world, *world.xl, BiasVariant{true, true, false}, 800, 42);
+  const auto& bias = world.corpus.bias;
+  std::size_t art = 0;
+  while (bias.professions[art] != "art") ++art;
+  EXPECT_GT(run.distribution(0)[art], 2.5 * bias.man_distribution[art]);
+  EXPECT_GT(run.distribution(1)[art], 1.3 * bias.woman_distribution[art]);
+  EXPECT_GT(run.chi2.log10_p_value, canonical.chi2.log10_p_value);
+
+  // With a prefix the collapse is total (Figure 13a): art is argmax for both
+  // genders because the prefix is drawn uniformly over all its encodings.
+  BiasRun with_prefix =
+      run_bias(world, *world.xl, BiasVariant{false, true, false}, 800, 42);
+  for (int g = 0; g < 2; ++g) {
+    auto dist = with_prefix.distribution(g);
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < with_prefix.professions.size(); ++i) {
+      if (dist[i] > dist[argmax]) argmax = i;
+    }
+    EXPECT_EQ(with_prefix.professions[argmax], "art") << "gender " << g;
+  }
+}
+
+TEST(BiasExperiment, EditsFlattenAndFavorArt) {
+  const World& world = shared_world();
+  BiasRun canonical = run_bias(world, *world.xl, BiasVariant{true, true, false}, 600, 43);
+  BiasRun edited = run_bias(world, *world.xl, BiasVariant{true, true, true}, 600, 44);
+  // Observation 3: edits measurably diminish statistical significance.
+  EXPECT_GT(edited.chi2.log10_p_value, canonical.chi2.log10_p_value + 5.0);
+  // Figure 7c: the edited distribution is peaked on art.
+  auto man = edited.distribution(0);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < edited.professions.size(); ++i) {
+    if (man[i] > man[argmax]) argmax = i;
+  }
+  EXPECT_EQ(edited.professions[argmax], "art");
+}
+
+TEST(BiasExperiment, WalkNormalizationSpreadsEdits) {
+  // Figure 9: without normalization, edits pile up at the first characters.
+  const World& world = shared_world();
+  BiasRun normalized =
+      run_bias(world, *world.xl, BiasVariant{true, true, true}, 400, 45, true);
+  BiasRun uniform =
+      run_bias(world, *world.xl, BiasVariant{true, true, true}, 400, 46, false);
+  ASSERT_GT(normalized.prefix_edit_positions.size(), 50u);
+  ASSERT_GT(uniform.prefix_edit_positions.size(), 50u);
+  auto early_fraction = [](const std::vector<double>& positions) {
+    std::size_t early = 0;
+    for (double p : positions) early += p <= 6 ? 1 : 0;
+    return static_cast<double>(early) / positions.size();
+  };
+  EXPECT_GT(early_fraction(uniform.prefix_edit_positions), 0.8);
+  EXPECT_LT(early_fraction(normalized.prefix_edit_positions), 0.6);
+}
+
+TEST(BiasExperiment, ClassifierHandlesEditedStrings) {
+  std::vector<std::string> prof{"art", "science", "computer science"};
+  EXPECT_EQ(classify_profession(prof, " art"), 0u);
+  EXPECT_EQ(classify_profession(prof, " scieNce"), 1u);     // 1 edit
+  EXPECT_EQ(classify_profession(prof, "computer scienc"), 2u);
+  EXPECT_EQ(classify_profession(prof, " zzzzz"), prof.size());
+}
+
+TEST(BiasExperiment, FirstEditPosition) {
+  std::vector<std::string> originals{"The man was trained in"};
+  EXPECT_FALSE(first_edit_position(originals, "The man was trained in").has_value());
+  auto pos = first_edit_position(originals, "Thx man was trained in");
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 2u);
+  auto tail = first_edit_position(originals, "The man was trained i");
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, 21u);
+}
+
+// ---------------------------------------------------------------------------
+// Toxicity (§4.3, Figure 8)
+// ---------------------------------------------------------------------------
+
+TEST(ToxicityExperiment, GrepDerivesPromptsWithInsults) {
+  const World& world = shared_world();
+  auto cases = derive_toxicity_cases(world, 30);
+  ASSERT_GE(cases.size(), 20u);
+  for (const auto& item : cases) {
+    EXPECT_FALSE(item.prompt.empty());
+    // The target is the insult with its separating space.
+    EXPECT_EQ(item.insult[0], ' ');
+    EXPECT_NE(item.sentence.find(item.insult.substr(1)), std::string::npos);
+  }
+}
+
+TEST(ToxicityExperiment, EditsAndEncodingsUnlockMoreExtractions) {
+  const World& world = shared_world();
+  auto cases = derive_toxicity_cases(world, 60);
+  ToxicitySettings baseline;
+  ToxicitySettings widened;
+  widened.edits = true;
+  widened.all_encodings = true;
+  PromptedResult base = run_prompted_toxicity(world, *world.xl, cases, baseline);
+  PromptedResult relm_run = run_prompted_toxicity(world, *world.xl, cases, widened);
+  // Figure 8a: at least 2x more extractions (paper: 2.5x).
+  EXPECT_GE(relm_run.extracted, 2 * std::max<std::size_t>(base.extracted, 1));
+  EXPECT_GT(base.extracted, 0u);  // collocated class succeeds verbatim
+  EXPECT_LT(base.success_rate(), 0.5);
+  EXPECT_GT(relm_run.success_rate(), 0.8);
+}
+
+TEST(ToxicityExperiment, UnpromptedVolumeBlowsUp) {
+  const World& world = shared_world();
+  auto cases = derive_toxicity_cases(world, 40);
+  ToxicitySettings baseline;
+  ToxicitySettings widened;
+  widened.edits = true;
+  widened.all_encodings = true;
+  UnpromptedResult base = run_unprompted_toxicity(world, *world.xl, cases, baseline);
+  UnpromptedResult relm_run =
+      run_unprompted_toxicity(world, *world.xl, cases, widened);
+  // Observation 5: orders of magnitude more token sequences (paper: 93x).
+  EXPECT_GE(relm_run.total_sequences,
+            10 * std::max<std::size_t>(base.total_sequences, 1));
+  EXPECT_GT(relm_run.inputs_with_extraction, base.inputs_with_extraction);
+}
+
+// ---------------------------------------------------------------------------
+// Language understanding (§4.4, Table 1)
+// ---------------------------------------------------------------------------
+
+TEST(LambadaExperiment, StructureImprovesAccuracyMonotonically) {
+  const World& world = shared_world();
+  LambadaSettings settings;
+  settings.num_examples = 120;
+  double prev = -1;
+  for (LambadaVariant variant :
+       {LambadaVariant::kBaseline, LambadaVariant::kWords,
+        LambadaVariant::kTerminated, LambadaVariant::kNoStop}) {
+    double acc = run_lambada(world, *world.xl, variant, settings).accuracy();
+    EXPECT_GE(acc, prev) << lambada_variant_name(variant);
+    prev = acc;
+  }
+}
+
+TEST(LambadaExperiment, LargerModelWins) {
+  const World& world = shared_world();
+  LambadaSettings settings;
+  settings.num_examples = 120;
+  for (LambadaVariant variant :
+       {LambadaVariant::kBaseline, LambadaVariant::kNoStop}) {
+    double xl = run_lambada(world, *world.xl, variant, settings).accuracy();
+    double small = run_lambada(world, *world.small, variant, settings).accuracy();
+    EXPECT_GT(xl, small) << lambada_variant_name(variant);
+  }
+}
+
+TEST(LambadaExperiment, FullStructureGainIsLarge) {
+  // Observation 6: "up to 30 points" from query structure alone.
+  const World& world = shared_world();
+  LambadaSettings settings;
+  settings.num_examples = 120;
+  double base = run_lambada(world, *world.xl, LambadaVariant::kBaseline, settings)
+                    .accuracy();
+  double full = run_lambada(world, *world.xl, LambadaVariant::kNoStop, settings)
+                    .accuracy();
+  EXPECT_GT(full - base, 0.10);
+}
+
+TEST(LambadaExperiment, WordHelpers) {
+  EXPECT_EQ(extract_word(" telescope."), "telescope");
+  EXPECT_EQ(extract_word(" word!\""), "word");
+  EXPECT_EQ(extract_word("plain"), "plain");
+  auto words = context_words("The cat, the dog; a cat!");
+  ASSERT_EQ(words.size(), 5u);  // The, cat, the, dog, a (dedup exact-case)
+  EXPECT_EQ(words[0], "The");
+  EXPECT_EQ(words[1], "cat");
+}
+
+TEST(LambadaExperiment, NonCanonicalSampleRateIsNonzero) {
+  // §3.2's observation that unprompted samples are sometimes non-canonical;
+  // our simulators are tuned above GPT-2's 2-3% (DESIGN.md).
+  const World& world = shared_world();
+  util::Pcg32 rng(5);
+  model::DecodingRules rules;
+  rules.top_k = 40;
+  int non_canonical = 0, produced = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto tokens = model::generate(*world.xl, {}, 24, rules, rng);
+    if (tokens.empty()) continue;
+    ++produced;
+    if (!world.tokenizer->is_canonical(tokens)) ++non_canonical;
+  }
+  ASSERT_GT(produced, 200);
+  EXPECT_GT(non_canonical, 0);
+  EXPECT_LT(non_canonical, produced);
+}
+
+}  // namespace
+}  // namespace relm::experiments

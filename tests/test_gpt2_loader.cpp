@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tokenizer/gpt2_loader.hpp"
+#include "util/errors.hpp"
+
+namespace relm::tokenizer {
+namespace {
+
+// A miniature vocab.json in the real file's conventions: byte-level tokens
+// in the GPT-2 alias alphabet, 'Ġ' (U+0120) for a leading space, and the
+// <|endoftext|> special.
+std::string mini_vocab_json() {
+  // ids must be contiguous from 0.
+  return R"({
+    "T": 0, "h": 1, "e": 2, "c": 3, "a": 4, "t": 5,
+    "The": 6, "Ġcat": 7, "Ġ": 8, "at": 9,
+    "<|endoftext|>": 10, "ÿþ": 11
+  })";
+}
+
+TEST(Gpt2Loader, ByteToUnicodeTableMatchesKnownValues) {
+  const auto& table = gpt2_byte_to_unicode();
+  EXPECT_EQ(table['!'], U'!');
+  EXPECT_EQ(table['~'], U'~');
+  EXPECT_EQ(table[' '], char32_t{0x120});   // the famous Ġ
+  EXPECT_EQ(table['\n'], char32_t{0x10a});  // Ċ
+  // Bijective: 256 distinct code points.
+  std::set<char32_t> seen(table.begin(), table.end());
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Gpt2Loader, LoadsAndEncodesLikeGpt2) {
+  std::stringstream in(mini_vocab_json());
+  BpeTokenizer tok = load_gpt2_vocab(in);
+  EXPECT_EQ(tok.vocab_size(), 12u);
+  EXPECT_EQ(tok.eos(), 10u);
+
+  // "The cat" -> [The][Ġcat] under greedy longest match.
+  auto enc = tok.encode("The cat");
+  ASSERT_EQ(enc.size(), 2u);
+  EXPECT_EQ(enc[0], 6u);
+  EXPECT_EQ(enc[1], 7u);
+  EXPECT_EQ(tok.decode(enc), "The cat");
+
+  // The aliased space token decodes to a raw space.
+  EXPECT_EQ(tok.token_string(8), " ");
+}
+
+TEST(Gpt2Loader, TwoByteAliasesDecode) {
+  // "ÿþ" are direct-mapped bytes 0xff, 0xfe (UTF-8 encoded in the
+  // JSON); the loader must invert the UTF-8, not copy it.
+  std::stringstream in(mini_vocab_json());
+  BpeTokenizer tok = load_gpt2_vocab(in);
+  ASSERT_EQ(tok.token_string(11).size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(tok.token_string(11)[0]), 0xffu);
+  EXPECT_EQ(static_cast<unsigned char>(tok.token_string(11)[1]), 0xfeu);
+}
+
+TEST(Gpt2Loader, RejectsMalformedInput) {
+  std::stringstream not_json("hello");
+  EXPECT_THROW(load_gpt2_vocab(not_json), relm::Error);
+
+  std::stringstream gap(R"({"a": 0, "b": 2, "<|endoftext|>": 3})");
+  EXPECT_THROW(load_gpt2_vocab(gap), relm::Error);
+
+  std::stringstream no_eos(R"({"a": 0, "b": 1})");
+  EXPECT_THROW(load_gpt2_vocab(no_eos), relm::Error);
+
+  std::stringstream dup(R"({"a": 0, "b": 0, "<|endoftext|>": 1})");
+  EXPECT_THROW(load_gpt2_vocab(dup), relm::Error);
+
+  EXPECT_THROW(load_gpt2_vocab_file("/nonexistent/vocab.json"), relm::Error);
+}
+
+TEST(Gpt2Loader, SurrogatePairEscapesParse) {
+  // An astral-plane escape decodes as UTF-8 and, being outside the alias
+  // alphabet, is kept as an id-stable placeholder token.
+  std::stringstream in(R"({"a": 0, "😀": 1, "<|endoftext|>": 2})");
+  BpeTokenizer tok = load_gpt2_vocab(in);
+  EXPECT_EQ(tok.vocab_size(), 3u);
+  EXPECT_EQ(tok.token_string(1)[0], '\xff');  // placeholder, never matches text
+}
+
+}  // namespace
+}  // namespace relm::tokenizer

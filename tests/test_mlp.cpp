@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/relm.hpp"
+#include "model/decoding.hpp"
+#include "model/mlp_model.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/errors.hpp"
+
+namespace relm::model {
+namespace {
+
+using tokenizer::BpeTokenizer;
+
+std::string fixture_text() {
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "the cat sat on the mat . the dog ran far . ";
+  }
+  return text;
+}
+
+const BpeTokenizer& fixture_tokenizer() {
+  static const BpeTokenizer tok = [] {
+    BpeTokenizer::TrainConfig config;
+    config.vocab_size = 120;
+    config.max_token_length = 6;
+    return BpeTokenizer::train(fixture_text(), config);
+  }();
+  return tok;
+}
+
+std::shared_ptr<MlpModel> fixture_model() {
+  static std::shared_ptr<MlpModel> model = [] {
+    MlpModel::Config config;
+    config.context_size = 3;
+    config.embedding_dim = 12;
+    config.hidden_dim = 24;
+    config.epochs = 6;
+    std::vector<std::string> docs;
+    for (int i = 0; i < 25; ++i) {
+      docs.push_back("the cat sat on the mat .");
+      docs.push_back("the dog ran far .");
+    }
+    return MlpModel::train(fixture_tokenizer(), docs, config);
+  }();
+  return model;
+}
+
+double logsumexp(std::span<const double> v) {
+  double m = *std::max_element(v.begin(), v.end());
+  double z = 0;
+  for (double x : v) z += std::exp(x - m);
+  return m + std::log(z);
+}
+
+TEST(MlpModel, LogProbsNormalize) {
+  auto model = fixture_model();
+  auto lp = model->next_log_probs(fixture_tokenizer().encode("the cat"));
+  ASSERT_EQ(lp.size(), fixture_tokenizer().vocab_size());
+  EXPECT_NEAR(logsumexp(lp), 0.0, 1e-9);
+  auto lp_empty = model->next_log_probs({});
+  EXPECT_NEAR(logsumexp(lp_empty), 0.0, 1e-9);
+}
+
+TEST(MlpModel, TrainingReducesLoss) {
+  auto model = fixture_model();
+  const auto& losses = model->epoch_losses();
+  ASSERT_GE(losses.size(), 2u);
+  EXPECT_LT(losses.back(), losses.front() * 0.8);
+}
+
+TEST(MlpModel, LearnsTrainedContinuations) {
+  auto model = fixture_model();
+  const auto& tok = fixture_tokenizer();
+  auto ctx = tok.encode("the cat sat on");
+  auto lp = model->next_log_probs(ctx);
+  auto good = tok.encode(" the")[0];
+  double uniform = -std::log(static_cast<double>(tok.vocab_size()));
+  EXPECT_GT(lp[good], uniform + 1.0);
+}
+
+TEST(MlpModel, DeterministicGivenSeed) {
+  MlpModel::Config config;
+  config.context_size = 2;
+  config.embedding_dim = 6;
+  config.hidden_dim = 8;
+  config.epochs = 1;
+  std::vector<std::string> docs(5, "the cat .");
+  auto a = MlpModel::train(fixture_tokenizer(), docs, config);
+  auto b = MlpModel::train(fixture_tokenizer(), docs, config);
+  auto ctx = fixture_tokenizer().encode("the");
+  EXPECT_EQ(a->next_log_probs(ctx), b->next_log_probs(ctx));
+}
+
+TEST(MlpModel, CrossEntropyBeatsUniform) {
+  auto model = fixture_model();
+  const auto& tok = fixture_tokenizer();
+  std::vector<std::vector<tokenizer::TokenId>> held_out{
+      tok.encode("the cat sat on the mat .")};
+  double ce = model->cross_entropy(held_out);
+  EXPECT_LT(ce, std::log(static_cast<double>(tok.vocab_size())));
+}
+
+TEST(MlpModel, RejectsBadConfig) {
+  MlpModel::Config config;
+  config.context_size = 0;
+  EXPECT_THROW(MlpModel::train_on_tokens(10, 0, {{1, 2}}, config), relm::Error);
+  MlpModel::Config ok;
+  EXPECT_THROW(MlpModel::train_on_tokens(10, 0, {}, ok), relm::Error);
+}
+
+TEST(MlpModel, WorksBehindTheRelmEngine) {
+  // The headline: a full ReLM query over a neural model, no engine changes.
+  auto model = fixture_model();
+  core::SimpleSearchQuery query;
+  query.query_string = {"the ((cat)|(dog)|(mat))", "the"};
+  query.max_results = 3;
+  auto outcome = relm::search(*model, fixture_tokenizer(), query);
+  ASSERT_EQ(outcome.results.size(), 3u);
+  for (std::size_t i = 1; i < outcome.results.size(); ++i) {
+    EXPECT_GE(outcome.results[i - 1].log_prob, outcome.results[i].log_prob);
+  }
+  // The trained bigrams put "the cat"/"the dog" above "the mat" as openers.
+  EXPECT_NE(outcome.results[0].text, "the mat");
+}
+
+TEST(MlpModel, GeneralizesToUnseenContexts) {
+  // Unlike the n-gram, a never-seen context still yields a usable
+  // distribution through the embedding space (no hard backoff cliff).
+  auto model = fixture_model();
+  const auto& tok = fixture_tokenizer();
+  auto lp = model->next_log_probs(tok.encode("far mat dog the"));
+  EXPECT_NEAR(logsumexp(lp), 0.0, 1e-9);
+  double max_lp = *std::max_element(lp.begin(), lp.end());
+  EXPECT_GT(max_lp, -std::log(static_cast<double>(tok.vocab_size())));
+}
+
+}  // namespace
+}  // namespace relm::model

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "automata/regex.hpp"
+#include "automata/serialize.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/serialize.hpp"
+#include "util/errors.hpp"
+
+namespace relm {
+namespace {
+
+using tokenizer::BpeTokenizer;
+
+std::string fixture_corpus() {
+  std::string corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus += "The cat sat on the mat. Strange bytes: \t tabs! ";
+  }
+  return corpus;
+}
+
+BpeTokenizer fixture_tokenizer() {
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 360;
+  return BpeTokenizer::train(fixture_corpus(), config);
+}
+
+TEST(TokenizerSerialize, RoundTripPreservesVocabulary) {
+  BpeTokenizer tok = fixture_tokenizer();
+  std::stringstream buffer;
+  tokenizer::save_tokenizer(tok, buffer);
+  BpeTokenizer loaded = tokenizer::load_tokenizer(buffer);
+
+  ASSERT_EQ(loaded.vocab_size(), tok.vocab_size());
+  EXPECT_EQ(loaded.eos(), tok.eos());
+  EXPECT_EQ(loaded.max_token_length(), tok.max_token_length());
+  for (tokenizer::TokenId t = 0; t < tok.vocab_size(); ++t) {
+    EXPECT_EQ(loaded.token_string(t), tok.token_string(t));
+  }
+  // Encoding behaviour is identical.
+  for (const char* text : {"The cat sat", "tabs!\t", "zebra"}) {
+    EXPECT_EQ(loaded.encode(text), tok.encode(text)) << text;
+  }
+}
+
+TEST(TokenizerSerialize, RejectsGarbage) {
+  std::stringstream buffer("not a tokenizer file");
+  EXPECT_THROW(tokenizer::load_tokenizer(buffer), relm::Error);
+}
+
+TEST(TokenizerSerialize, RejectsTruncated) {
+  BpeTokenizer tok = fixture_tokenizer();
+  std::stringstream buffer;
+  tokenizer::save_tokenizer(tok, buffer);
+  std::string text = buffer.str();
+  std::stringstream cut(text.substr(0, text.size() / 2));
+  EXPECT_THROW(tokenizer::load_tokenizer(cut), relm::Error);
+}
+
+TEST(TokenizerFromVocab, ValidatesInput) {
+  EXPECT_THROW(BpeTokenizer::from_vocab({"a", "b"}), relm::Error);       // no EOS
+  EXPECT_THROW(BpeTokenizer::from_vocab({"a", "", ""}), relm::Error);    // two EOS
+  EXPECT_THROW(BpeTokenizer::from_vocab({"a", "a", ""}), relm::Error);   // dup
+  auto tok = BpeTokenizer::from_vocab({"a", "b", "ab", ""});
+  EXPECT_EQ(tok.eos(), 3u);
+  EXPECT_EQ(tok.encode("ab").size(), 1u);  // longest match
+}
+
+TEST(ModelSerialize, RoundTripPreservesDistributions) {
+  BpeTokenizer tok = fixture_tokenizer();
+  model::NgramModel::Config config;
+  config.order = 4;
+  config.alpha = 0.25;
+  config.non_canonical_document_rate = 0.3;
+  std::vector<std::string> docs(25, "The cat sat on the mat.");
+  auto model = model::NgramModel::train(tok, docs, config);
+
+  std::stringstream buffer;
+  model->save(buffer);
+  auto loaded = model::NgramModel::load(buffer);
+
+  EXPECT_EQ(loaded->vocab_size(), model->vocab_size());
+  EXPECT_EQ(loaded->eos(), model->eos());
+  EXPECT_EQ(loaded->num_contexts(), model->num_contexts());
+  EXPECT_EQ(loaded->config().order, model->config().order);
+  EXPECT_DOUBLE_EQ(loaded->config().alpha, model->config().alpha);
+
+  for (const char* ctx_text : {"", "The", "The cat sat on"}) {
+    auto ctx = tok.encode(ctx_text);
+    auto a = model->next_log_probs(ctx);
+    auto b = loaded->next_log_probs(ctx);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a[t], b[t]) << ctx_text << " token " << t;
+    }
+  }
+}
+
+TEST(ModelSerialize, RejectsGarbage) {
+  std::stringstream buffer("RELM_NGRAM v9\n");
+  EXPECT_THROW(model::NgramModel::load(buffer), relm::Error);
+  std::stringstream empty;
+  EXPECT_THROW(model::NgramModel::load(empty), relm::Error);
+}
+
+TEST(ModelSerialize, FileRoundTrip) {
+  BpeTokenizer tok = fixture_tokenizer();
+  model::NgramModel::Config config;
+  config.order = 3;
+  auto model = model::NgramModel::train(tok, {"The cat sat."}, config);
+  std::string path = testing::TempDir() + "relm_model_test.relm";
+  model->save_file(path);
+  auto loaded = model::NgramModel::load_file(path);
+  EXPECT_EQ(loaded->num_contexts(), model->num_contexts());
+  EXPECT_THROW(model::NgramModel::load_file("/nonexistent/x.relm"), relm::Error);
+}
+
+}  // namespace
+}  // namespace relm
+
+namespace relm {
+namespace {
+
+TEST(DfaSerialize, RoundTripPreservesLanguage) {
+  automata::Dfa dfa = automata::compile_regex(
+      "https://www.([a-zA-Z0-9]|-)+.([a-zA-Z0-9]|/)+");
+  std::stringstream buffer;
+  automata::save_dfa(dfa, buffer);
+  automata::Dfa loaded = automata::load_dfa(buffer);
+  EXPECT_EQ(loaded, dfa);  // canonical structural equality
+  EXPECT_TRUE(loaded.accepts_bytes("https://www.a-b.com/x"));
+  EXPECT_FALSE(loaded.accepts_bytes("http://a"));
+}
+
+TEST(DfaSerialize, TokenAlphabetRoundTrip) {
+  // A token-level automaton (non-byte alphabet) serializes fine too.
+  automata::Dfa dfa(5000);
+  auto s0 = dfa.add_state(false);
+  auto s1 = dfa.add_state(true);
+  dfa.set_start(s0);
+  dfa.add_edge(s0, 4321, s1);
+  std::stringstream buffer;
+  automata::save_dfa(dfa, buffer);
+  automata::Dfa loaded = automata::load_dfa(buffer);
+  EXPECT_EQ(loaded, dfa);
+}
+
+TEST(DfaSerialize, RejectsCorruptInput) {
+  std::stringstream garbage("hello");
+  EXPECT_THROW(automata::load_dfa(garbage), relm::Error);
+  std::stringstream bad_edge("RELM_DFA v1\n256 2 0 1\n01\n0 999999 5\n");
+  EXPECT_THROW(automata::load_dfa(bad_edge), relm::Error);
+  std::stringstream bad_start("RELM_DFA v1\n256 2 7 0\n01\n");
+  EXPECT_THROW(automata::load_dfa(bad_start), relm::Error);
+}
+
+}  // namespace
+}  // namespace relm

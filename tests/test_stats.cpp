@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hpp"
+#include "util/errors.hpp"
+
+namespace relm::stats {
+namespace {
+
+TEST(GammaQ, KnownValues) {
+  // Q(0.5, x/2) is the chi-squared survival with 1 dof.
+  // chi2 sf(3.841, df=1) ~= 0.05.
+  EXPECT_NEAR(std::exp(log_gamma_q(0.5, 3.841 / 2)), 0.05, 0.001);
+  // chi2 sf(6.635, df=1) ~= 0.01.
+  EXPECT_NEAR(std::exp(log_gamma_q(0.5, 6.635 / 2)), 0.01, 0.0005);
+  // chi2 sf(16.919, df=9) ~= 0.05.
+  EXPECT_NEAR(std::exp(log_gamma_q(4.5, 16.919 / 2)), 0.05, 0.001);
+}
+
+TEST(GammaQ, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(log_gamma_q(1.0, 0.0), 0.0);  // Q = 1
+  // Q(1, x) = exp(-x) exactly.
+  EXPECT_NEAR(log_gamma_q(1.0, 5.0), -5.0, 1e-10);
+  EXPECT_NEAR(log_gamma_q(1.0, 500.0), -500.0, 1e-8);
+}
+
+TEST(GammaQ, ExtremeTailsStayFinite) {
+  // The paper reports p ~ 1e-229; the log-space path must handle far beyond
+  // double underflow.
+  double log_p = log_gamma_q(4.5, 1200.0);
+  EXPECT_LT(log_p, -1000.0);
+  EXPECT_TRUE(std::isfinite(log_p));
+}
+
+TEST(GammaQ, InvalidInputsThrow) {
+  EXPECT_THROW(log_gamma_q(0.0, 1.0), relm::Error);
+  EXPECT_THROW(log_gamma_q(1.0, -1.0), relm::Error);
+}
+
+TEST(Chi2, IndependentTableHighP) {
+  // Perfectly proportional rows: statistic 0, p = 1.
+  Chi2Result r = chi2_independence_test({{50, 100, 150}, {100, 200, 300}});
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_value(), 1.0, 1e-9);
+  EXPECT_EQ(r.degrees_of_freedom, 2u);
+}
+
+TEST(Chi2, TextbookTwoByTwo) {
+  // Classic example: statistic = N(ad-bc)^2 / ((a+b)(c+d)(a+c)(b+d)).
+  Chi2Result r = chi2_independence_test({{20, 30}, {30, 20}});
+  EXPECT_NEAR(r.statistic, 4.0, 1e-9);
+  EXPECT_EQ(r.degrees_of_freedom, 1u);
+  EXPECT_NEAR(r.p_value(), 0.0455, 0.001);
+}
+
+TEST(Chi2, StrongDependenceTinyP) {
+  Chi2Result r = chi2_independence_test({{1000, 10}, {10, 1000}});
+  EXPECT_LT(r.log10_p_value, -100.0);
+  EXPECT_EQ(r.p_value(), 0.0);  // clamped below representable range
+}
+
+TEST(Chi2, MoreSamplesMoreSignificant) {
+  // The paper's Observation 3 mechanism: the same effect size measured with
+  // sharper counts yields a (much) smaller p-value.
+  Chi2Result weak = chi2_independence_test({{60, 40}, {40, 60}});
+  Chi2Result strong = chi2_independence_test({{600, 400}, {400, 600}});
+  EXPECT_LT(strong.log10_p_value, weak.log10_p_value);
+}
+
+TEST(Chi2, DropsEmptyColumns) {
+  Chi2Result r = chi2_independence_test({{20, 30, 0}, {30, 20, 0}});
+  EXPECT_EQ(r.degrees_of_freedom, 1u);
+  EXPECT_NEAR(r.statistic, 4.0, 1e-9);
+}
+
+TEST(Chi2, RejectsDegenerateTables) {
+  EXPECT_THROW(chi2_independence_test({}), relm::Error);
+  EXPECT_THROW(chi2_independence_test({{1, 2}}), relm::Error);
+  EXPECT_THROW(chi2_independence_test({{1, 2}, {1}}), relm::Error);
+  // Only one live column.
+  EXPECT_THROW(chi2_independence_test({{5, 0}, {9, 0}}), relm::Error);
+}
+
+TEST(EmpiricalCdf, BasicShape) {
+  EmpiricalCdf cdf;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, AddAfterQueryResorts) {
+  EmpiricalCdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 1.0);
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.5);
+}
+
+TEST(NormalizeCounts, SumsToOne) {
+  auto p = normalize_counts({2, 3, 5});
+  EXPECT_DOUBLE_EQ(p[0], 0.2);
+  EXPECT_DOUBLE_EQ(p[1], 0.3);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(NormalizeCounts, ZeroTotal) {
+  auto p = normalize_counts({0, 0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+}  // namespace
+}  // namespace relm::stats

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tokenizer/bpe.hpp"
+#include "util/errors.hpp"
+
+namespace relm::tokenizer {
+namespace {
+
+// A small training corpus with enough repetition to learn merges for "The",
+// "cat", "dog" and friends.
+std::string training_corpus() {
+  std::string corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus += "The cat sat on the mat. The dog ran to the cat. ";
+    corpus += "The man was trained in art. The woman was trained in science. ";
+  }
+  return corpus;
+}
+
+BpeTokenizer make_tokenizer(std::size_t vocab = 400) {
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = vocab;
+  return BpeTokenizer::train(training_corpus(), config);
+}
+
+TEST(Bpe, TrainingIsDeterministic) {
+  BpeTokenizer a = make_tokenizer();
+  BpeTokenizer b = make_tokenizer();
+  ASSERT_EQ(a.vocab_size(), b.vocab_size());
+  for (TokenId t = 0; t < a.vocab_size(); ++t) {
+    EXPECT_EQ(a.token_string(t), b.token_string(t));
+  }
+}
+
+TEST(Bpe, VocabularyContainsMergedUnits) {
+  BpeTokenizer tok = make_tokenizer();
+  // Frequent words must have been merged into multi-byte tokens.
+  EXPECT_TRUE(tok.find("The").has_value());
+  EXPECT_TRUE(tok.find(" cat").has_value() || tok.find("cat").has_value());
+  EXPECT_GT(tok.max_token_length(), 1u);
+}
+
+TEST(Bpe, EncodeDecodeRoundTrip) {
+  BpeTokenizer tok = make_tokenizer();
+  for (const char* text :
+       {"The cat", "The dog ran.", "a", "", "zebra quux 123", "   ", "The The The"}) {
+    EXPECT_EQ(tok.decode(tok.encode(text)), text) << text;
+  }
+}
+
+TEST(Bpe, EncodeIsCanonicalByConstruction) {
+  BpeTokenizer tok = make_tokenizer();
+  auto tokens = tok.encode("The cat sat on the mat.");
+  EXPECT_TRUE(tok.is_canonical(tokens));
+}
+
+TEST(Bpe, NonCanonicalSequenceDetected) {
+  BpeTokenizer tok = make_tokenizer();
+  // Byte-by-byte spelling of "The" is a valid encoding but not canonical
+  // once the merged token exists.
+  ASSERT_TRUE(tok.find("The").has_value());
+  std::vector<TokenId> spelled{*tok.find("T"), *tok.find("h"), *tok.find("e")};
+  EXPECT_EQ(tok.decode(spelled), "The");
+  EXPECT_FALSE(tok.is_canonical(spelled));
+}
+
+TEST(Bpe, TrailingEosIgnoredByCanonicalCheck) {
+  BpeTokenizer tok = make_tokenizer();
+  auto tokens = tok.encode("The cat");
+  tokens.push_back(tok.eos());
+  EXPECT_TRUE(tok.is_canonical(tokens));
+}
+
+TEST(Bpe, EosDecodesToEmpty) {
+  BpeTokenizer tok = make_tokenizer();
+  std::vector<TokenId> just_eos{tok.eos()};
+  EXPECT_EQ(tok.decode(just_eos), "");
+}
+
+TEST(Bpe, EncodingCountGrowsWithMerges) {
+  BpeTokenizer tok = make_tokenizer();
+  // Figure 3: "The" has 4 encodings when T|h|e, Th|e, T|he, The all exist.
+  // Our trained vocab has at least the byte spelling plus the full merge.
+  double n = tok.count_encodings("The");
+  EXPECT_GE(n, 2.0);
+  // Upper bound: all 2^(n-1) segmentations.
+  EXPECT_LE(n, 4.0);
+}
+
+TEST(Bpe, EncodingCountMatchesBruteForce) {
+  BpeTokenizer tok = make_tokenizer();
+  // Brute force: enumerate segmentations of a short string.
+  std::string s = "cat";
+  std::function<double(std::size_t)> ways = [&](std::size_t pos) -> double {
+    if (pos == s.size()) return 1.0;
+    double total = 0;
+    for (TokenId t : tok.matches_at(s, pos)) {
+      total += ways(pos + tok.token_string(t).size());
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(tok.count_encodings(s), ways(0));
+}
+
+TEST(Bpe, FullyMergedStringHasExponentialEncodings) {
+  // Train a corpus where "aaaa" dominates so all sub-spans merge.
+  std::string corpus;
+  for (int i = 0; i < 200; ++i) corpus += "aaaa ";
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 400;
+  BpeTokenizer tok = BpeTokenizer::train(corpus, config);
+  if (tok.find("aa") && tok.find("aaa") && tok.find("aaaa")) {
+    EXPECT_DOUBLE_EQ(tok.count_encodings("aaaa"), 8.0);  // 2^(4-1)
+  }
+}
+
+TEST(Bpe, LongestMatchIsGreedy) {
+  BpeTokenizer tok = make_tokenizer();
+  auto best = tok.longest_match("The cat");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(tok.token_string(*best), "The");
+}
+
+TEST(Bpe, MatchesAtReturnsAllPrefixTokens) {
+  BpeTokenizer tok = make_tokenizer();
+  auto matches = tok.matches_at("The", 0);
+  std::set<std::string> strings;
+  for (TokenId t : matches) strings.insert(tok.token_string(t));
+  EXPECT_TRUE(strings.contains("T"));
+  EXPECT_TRUE(strings.contains("The"));
+}
+
+TEST(Bpe, UnknownByteThrows) {
+  BpeTokenizer tok = make_tokenizer();
+  EXPECT_THROW(tok.encode("caf\xc3\xa9"), relm::Error);
+}
+
+TEST(Bpe, VocabSizeBudgetRespected) {
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 150;
+  BpeTokenizer tok = BpeTokenizer::train(training_corpus(), config);
+  EXPECT_LE(tok.vocab_size(), 150u);
+}
+
+TEST(Bpe, MaxTokenLengthRespected) {
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 2000;
+  config.max_token_length = 4;
+  BpeTokenizer tok = BpeTokenizer::train(training_corpus(), config);
+  for (TokenId t = 0; t < tok.vocab_size(); ++t) {
+    EXPECT_LE(tok.token_string(t).size(), 4u);
+  }
+}
+
+TEST(Bpe, CanonicalEncodingIsStable) {
+  // The paper: "the canonical encoding ... is stable under repeated
+  // encodings and decodings".
+  BpeTokenizer tok = make_tokenizer();
+  std::string text = "The woman was trained in art.";
+  auto once = tok.encode(text);
+  auto twice = tok.encode(tok.decode(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace relm::tokenizer
+
+namespace relm::tokenizer {
+namespace {
+
+TEST(BpeRandom, EncodeRandomRoundTrips) {
+  BpeTokenizer tok = make_tokenizer();
+  util::Pcg32 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = "The cat sat on the mat.";
+    auto tokens = tok.encode_random(text, rng, 0.5);
+    EXPECT_EQ(tok.decode(tokens), text);
+  }
+}
+
+TEST(BpeRandom, ZeroStepProbIsCanonical) {
+  BpeTokenizer tok = make_tokenizer();
+  util::Pcg32 rng(3);
+  std::string text = "The dog ran to the cat.";
+  EXPECT_EQ(tok.encode_random(text, rng, 0.0), tok.encode(text));
+}
+
+TEST(BpeRandom, HighStepProbProducesNonCanonical) {
+  BpeTokenizer tok = make_tokenizer();
+  util::Pcg32 rng(3);
+  int non_canonical = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto tokens = tok.encode_random("The cat sat on the mat.", rng, 0.9);
+    if (!tok.is_canonical(tokens)) ++non_canonical;
+  }
+  EXPECT_GT(non_canonical, 30);
+}
+
+TEST(BpeForce, ForcedTokensExistAndWin) {
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 300;
+  config.max_token_length = 4;  // too small to merge the forced word
+  config.force_tokens = {" blorgface"};
+  BpeTokenizer tok = BpeTokenizer::train(training_corpus(), config);
+  ASSERT_TRUE(tok.find(" blorgface").has_value());
+  auto enc = tok.encode("a blorgface!");
+  // The forced token is the longest match at its position.
+  bool used = false;
+  for (TokenId t : enc) used = used || tok.token_string(t) == " blorgface";
+  EXPECT_TRUE(used);
+  EXPECT_GE(tok.max_token_length(), 10u);
+}
+
+TEST(BpeBlocked, BlockedPrefixNeverExtends) {
+  std::string corpus;
+  for (int i = 0; i < 300; ++i) corpus += "the artbox and artwork ";
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 500;
+  config.blocked_token_prefixes = {" art"};
+  BpeTokenizer tok = BpeTokenizer::train(corpus, config);
+  for (TokenId t = 0; t < tok.vocab_size(); ++t) {
+    const std::string& s = tok.token_string(t);
+    EXPECT_FALSE(s.size() > 4 && s.compare(0, 4, " art") == 0) << s;
+  }
+  // " art" itself may exist and, if so, leads the canonical encoding.
+  if (tok.find(" art")) {
+    auto enc = tok.encode(" artbox");
+    ASSERT_FALSE(enc.empty());
+    EXPECT_EQ(tok.token_string(enc[0]), " art");
+  }
+}
+
+}  // namespace
+}  // namespace relm::tokenizer
+
+namespace relm::tokenizer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fuzz sweeps: random text and random token sequences.
+// ---------------------------------------------------------------------------
+
+class TokenizerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenizerFuzz, RandomTextRoundTripsAndIsCanonical) {
+  BpeTokenizer tok = make_tokenizer();
+  util::Pcg32 rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,!?";
+  for (int round = 0; round < 100; ++round) {
+    std::string text;
+    std::size_t len = rng.bounded(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(kChars[rng.bounded(sizeof(kChars) - 1)]);
+    }
+    auto tokens = tok.encode(text);
+    EXPECT_EQ(tok.decode(tokens), text);
+    EXPECT_TRUE(tok.is_canonical(tokens)) << '"' << text << '"';
+    // Random alternative encodings decode to the same text.
+    auto alt = tok.encode_random(text, rng, 0.6);
+    EXPECT_EQ(tok.decode(alt), text);
+    // Encoding count is at least 1 and bounded by 2^(n-1).
+    double count = tok.count_encodings(text);
+    EXPECT_GE(count, text.empty() ? 1.0 : 1.0);
+    if (!text.empty() && text.size() <= 50) {
+      EXPECT_LE(count, std::pow(2.0, static_cast<double>(text.size() - 1)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzz, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace relm::tokenizer

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace relm::util {
+namespace {
+
+TEST(Pcg32, Deterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, RangeInclusive) {
+  Pcg32 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    if (v == -2) saw_lo = true;
+    if (v == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, WeightedRespectsWeights) {
+  Pcg32 rng(5);
+  std::array<double, 3> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 8000; ++i) {
+    std::size_t pick = rng.weighted(weights);
+    ASSERT_LT(pick, 3u);
+    ++hits[pick];
+  }
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.4);
+}
+
+TEST(Pcg32, WeightedZeroTotal) {
+  Pcg32 rng(5);
+  std::array<double, 2> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted(weights), weights.size());
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitTrailingDelimiter) {
+  auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  auto parts = split_whitespace("  the\tquick \n fox ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "the");
+  EXPECT_EQ(parts[1], "quick");
+  EXPECT_EQ(parts[2], "fox");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "|"), "a|b|c");
+  EXPECT_EQ(join({}, "|"), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("https://www.x", "https://"));
+  EXPECT_FALSE(starts_with("http", "https://"));
+  EXPECT_TRUE(ends_with("file.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", ".txt"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("MiXeD 42!"), "mixed 42!"); }
+
+TEST(Strings, EscapeForDisplay) {
+  EXPECT_EQ(escape_for_display("ab"), "ab");
+  EXPECT_EQ(escape_for_display("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_for_display(std::string("\x01", 1)), "\\x01");
+  EXPECT_EQ(escape_for_display("a\\b"), "a\\\\b");
+}
+
+TEST(Strings, RegexEscapeRoundTrip) {
+  // The escaped form must parse as a literal; spot-check metacharacters.
+  EXPECT_EQ(regex_escape("a.b"), "a\\.b");
+  EXPECT_EQ(regex_escape("x{2}"), "x\\{2\\}");
+  EXPECT_EQ(regex_escape("(a|b)*"), "\\(a\\|b\\)\\*");
+}
+
+}  // namespace
+}  // namespace relm::util
