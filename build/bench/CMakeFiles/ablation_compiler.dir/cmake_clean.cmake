@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compiler.dir/ablation_compiler.cpp.o"
+  "CMakeFiles/ablation_compiler.dir/ablation_compiler.cpp.o.d"
+  "ablation_compiler"
+  "ablation_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_encodings.dir/fig03_encodings.cpp.o"
+  "CMakeFiles/fig03_encodings.dir/fig03_encodings.cpp.o.d"
+  "fig03_encodings"
+  "fig03_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_memorization.dir/fig05_memorization.cpp.o"
+  "CMakeFiles/fig05_memorization.dir/fig05_memorization.cpp.o.d"
+  "fig05_memorization"
+  "fig05_memorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_memorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

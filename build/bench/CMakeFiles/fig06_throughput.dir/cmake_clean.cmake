@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_throughput.dir/fig06_throughput.cpp.o"
+  "CMakeFiles/fig06_throughput.dir/fig06_throughput.cpp.o.d"
+  "fig06_throughput"
+  "fig06_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bias.dir/fig07_bias.cpp.o"
+  "CMakeFiles/fig07_bias.dir/fig07_bias.cpp.o.d"
+  "fig07_bias"
+  "fig07_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_toxicity.dir/fig08_toxicity.cpp.o"
+  "CMakeFiles/fig08_toxicity.dir/fig08_toxicity.cpp.o.d"
+  "fig08_toxicity"
+  "fig08_toxicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_toxicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

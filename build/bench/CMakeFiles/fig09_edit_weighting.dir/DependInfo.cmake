@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_edit_weighting.cpp" "bench/CMakeFiles/fig09_edit_weighting.dir/fig09_edit_weighting.cpp.o" "gcc" "bench/CMakeFiles/fig09_edit_weighting.dir/fig09_edit_weighting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/relm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/relm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/relm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/relm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/relm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/relm_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_edit_weighting.dir/fig09_edit_weighting.cpp.o"
+  "CMakeFiles/fig09_edit_weighting.dir/fig09_edit_weighting.cpp.o.d"
+  "fig09_edit_weighting"
+  "fig09_edit_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_edit_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memorization_full.dir/fig10_memorization_full.cpp.o"
+  "CMakeFiles/fig10_memorization_full.dir/fig10_memorization_full.cpp.o.d"
+  "fig10_memorization_full"
+  "fig10_memorization_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memorization_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

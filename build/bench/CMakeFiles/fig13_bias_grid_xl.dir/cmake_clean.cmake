@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bias_grid_xl.dir/fig13_bias_grid_xl.cpp.o"
+  "CMakeFiles/fig13_bias_grid_xl.dir/fig13_bias_grid_xl.cpp.o.d"
+  "fig13_bias_grid_xl"
+  "fig13_bias_grid_xl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bias_grid_xl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

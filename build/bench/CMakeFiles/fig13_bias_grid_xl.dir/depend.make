@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_bias_grid_xl.
+# This may be replaced when dependencies are built.

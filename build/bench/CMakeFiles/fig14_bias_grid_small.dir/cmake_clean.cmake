@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bias_grid_small.dir/fig14_bias_grid_small.cpp.o"
+  "CMakeFiles/fig14_bias_grid_small.dir/fig14_bias_grid_small.cpp.o.d"
+  "fig14_bias_grid_small"
+  "fig14_bias_grid_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bias_grid_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

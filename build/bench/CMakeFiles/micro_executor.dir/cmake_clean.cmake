@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_executor.dir/micro_executor.cpp.o"
+  "CMakeFiles/micro_executor.dir/micro_executor.cpp.o.d"
+  "micro_executor"
+  "micro_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lambada.dir/table1_lambada.cpp.o"
+  "CMakeFiles/table1_lambada.dir/table1_lambada.cpp.o.d"
+  "table1_lambada"
+  "table1_lambada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lambada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

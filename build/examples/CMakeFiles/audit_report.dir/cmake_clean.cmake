@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_report.dir/audit_report.cpp.o"
+  "CMakeFiles/audit_report.dir/audit_report.cpp.o.d"
+  "audit_report"
+  "audit_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

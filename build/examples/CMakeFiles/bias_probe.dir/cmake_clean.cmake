@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_probe.dir/bias_probe.cpp.o"
+  "CMakeFiles/bias_probe.dir/bias_probe.cpp.o.d"
+  "bias_probe"
+  "bias_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

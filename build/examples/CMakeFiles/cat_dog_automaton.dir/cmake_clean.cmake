@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cat_dog_automaton.dir/cat_dog_automaton.cpp.o"
+  "CMakeFiles/cat_dog_automaton.dir/cat_dog_automaton.cpp.o.d"
+  "cat_dog_automaton"
+  "cat_dog_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cat_dog_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cat_dog_automaton.
+# This may be replaced when dependencies are built.

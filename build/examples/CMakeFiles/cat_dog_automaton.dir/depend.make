@@ -1,0 +1,2 @@
+# Empty dependencies file for cat_dog_automaton.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_knowledge.dir/date_knowledge.cpp.o"
+  "CMakeFiles/date_knowledge.dir/date_knowledge.cpp.o.d"
+  "date_knowledge"
+  "date_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

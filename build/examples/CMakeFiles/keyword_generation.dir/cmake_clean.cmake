@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_generation.dir/keyword_generation.cpp.o"
+  "CMakeFiles/keyword_generation.dir/keyword_generation.cpp.o.d"
+  "keyword_generation"
+  "keyword_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

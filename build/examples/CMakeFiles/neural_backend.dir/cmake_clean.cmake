@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_backend.dir/neural_backend.cpp.o"
+  "CMakeFiles/neural_backend.dir/neural_backend.cpp.o.d"
+  "neural_backend"
+  "neural_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

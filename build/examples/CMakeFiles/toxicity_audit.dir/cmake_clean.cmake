@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toxicity_audit.dir/toxicity_audit.cpp.o"
+  "CMakeFiles/toxicity_audit.dir/toxicity_audit.cpp.o.d"
+  "toxicity_audit"
+  "toxicity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toxicity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

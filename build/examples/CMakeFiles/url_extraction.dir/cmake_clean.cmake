@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_extraction.dir/url_extraction.cpp.o"
+  "CMakeFiles/url_extraction.dir/url_extraction.cpp.o.d"
+  "url_extraction"
+  "url_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/automaton.cpp" "src/automata/CMakeFiles/relm_automata.dir/automaton.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/automaton.cpp.o.d"
+  "/root/repo/src/automata/determinize.cpp" "src/automata/CMakeFiles/relm_automata.dir/determinize.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/determinize.cpp.o.d"
+  "/root/repo/src/automata/grep.cpp" "src/automata/CMakeFiles/relm_automata.dir/grep.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/grep.cpp.o.d"
+  "/root/repo/src/automata/io.cpp" "src/automata/CMakeFiles/relm_automata.dir/io.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/io.cpp.o.d"
+  "/root/repo/src/automata/levenshtein.cpp" "src/automata/CMakeFiles/relm_automata.dir/levenshtein.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/levenshtein.cpp.o.d"
+  "/root/repo/src/automata/ops.cpp" "src/automata/CMakeFiles/relm_automata.dir/ops.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/ops.cpp.o.d"
+  "/root/repo/src/automata/regex.cpp" "src/automata/CMakeFiles/relm_automata.dir/regex.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/regex.cpp.o.d"
+  "/root/repo/src/automata/regex_ast.cpp" "src/automata/CMakeFiles/relm_automata.dir/regex_ast.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/regex_ast.cpp.o.d"
+  "/root/repo/src/automata/regex_parser.cpp" "src/automata/CMakeFiles/relm_automata.dir/regex_parser.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/regex_parser.cpp.o.d"
+  "/root/repo/src/automata/serialize.cpp" "src/automata/CMakeFiles/relm_automata.dir/serialize.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/serialize.cpp.o.d"
+  "/root/repo/src/automata/thompson.cpp" "src/automata/CMakeFiles/relm_automata.dir/thompson.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/thompson.cpp.o.d"
+  "/root/repo/src/automata/transducer.cpp" "src/automata/CMakeFiles/relm_automata.dir/transducer.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/transducer.cpp.o.d"
+  "/root/repo/src/automata/walks.cpp" "src/automata/CMakeFiles/relm_automata.dir/walks.cpp.o" "gcc" "src/automata/CMakeFiles/relm_automata.dir/walks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

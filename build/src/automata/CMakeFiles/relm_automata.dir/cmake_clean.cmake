@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_automata.dir/automaton.cpp.o"
+  "CMakeFiles/relm_automata.dir/automaton.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/determinize.cpp.o"
+  "CMakeFiles/relm_automata.dir/determinize.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/grep.cpp.o"
+  "CMakeFiles/relm_automata.dir/grep.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/io.cpp.o"
+  "CMakeFiles/relm_automata.dir/io.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/levenshtein.cpp.o"
+  "CMakeFiles/relm_automata.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/ops.cpp.o"
+  "CMakeFiles/relm_automata.dir/ops.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/regex.cpp.o"
+  "CMakeFiles/relm_automata.dir/regex.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/regex_ast.cpp.o"
+  "CMakeFiles/relm_automata.dir/regex_ast.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/regex_parser.cpp.o"
+  "CMakeFiles/relm_automata.dir/regex_parser.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/serialize.cpp.o"
+  "CMakeFiles/relm_automata.dir/serialize.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/thompson.cpp.o"
+  "CMakeFiles/relm_automata.dir/thompson.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/transducer.cpp.o"
+  "CMakeFiles/relm_automata.dir/transducer.cpp.o.d"
+  "CMakeFiles/relm_automata.dir/walks.cpp.o"
+  "CMakeFiles/relm_automata.dir/walks.cpp.o.d"
+  "librelm_automata.a"
+  "librelm_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

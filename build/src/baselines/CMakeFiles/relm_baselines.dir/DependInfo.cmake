@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/sampling_baseline.cpp" "src/baselines/CMakeFiles/relm_baselines.dir/sampling_baseline.cpp.o" "gcc" "src/baselines/CMakeFiles/relm_baselines.dir/sampling_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/relm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/relm_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_baselines.dir/sampling_baseline.cpp.o"
+  "CMakeFiles/relm_baselines.dir/sampling_baseline.cpp.o.d"
+  "librelm_baselines.a"
+  "librelm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/relm_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/compiled_query.cpp" "src/core/CMakeFiles/relm_core.dir/compiled_query.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/compiled_query.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "src/core/CMakeFiles/relm_core.dir/compiler.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/compiler.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/relm_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/preprocessors.cpp" "src/core/CMakeFiles/relm_core.dir/preprocessors.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/preprocessors.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/relm_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/relm.cpp" "src/core/CMakeFiles/relm_core.dir/relm.cpp.o" "gcc" "src/core/CMakeFiles/relm_core.dir/relm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/relm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/relm_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/relm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

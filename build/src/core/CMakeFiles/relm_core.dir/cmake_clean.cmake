@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_core.dir/analyzer.cpp.o"
+  "CMakeFiles/relm_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/relm_core.dir/compiled_query.cpp.o"
+  "CMakeFiles/relm_core.dir/compiled_query.cpp.o.d"
+  "CMakeFiles/relm_core.dir/compiler.cpp.o"
+  "CMakeFiles/relm_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/relm_core.dir/executor.cpp.o"
+  "CMakeFiles/relm_core.dir/executor.cpp.o.d"
+  "CMakeFiles/relm_core.dir/preprocessors.cpp.o"
+  "CMakeFiles/relm_core.dir/preprocessors.cpp.o.d"
+  "CMakeFiles/relm_core.dir/query.cpp.o"
+  "CMakeFiles/relm_core.dir/query.cpp.o.d"
+  "CMakeFiles/relm_core.dir/relm.cpp.o"
+  "CMakeFiles/relm_core.dir/relm.cpp.o.d"
+  "librelm_core.a"
+  "librelm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

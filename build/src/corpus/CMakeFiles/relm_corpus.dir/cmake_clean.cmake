@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/relm_corpus.dir/corpus.cpp.o.d"
+  "librelm_corpus.a"
+  "librelm_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

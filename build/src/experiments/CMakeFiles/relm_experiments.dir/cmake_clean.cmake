@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_experiments.dir/bias.cpp.o"
+  "CMakeFiles/relm_experiments.dir/bias.cpp.o.d"
+  "CMakeFiles/relm_experiments.dir/lambada.cpp.o"
+  "CMakeFiles/relm_experiments.dir/lambada.cpp.o.d"
+  "CMakeFiles/relm_experiments.dir/memorization.cpp.o"
+  "CMakeFiles/relm_experiments.dir/memorization.cpp.o.d"
+  "CMakeFiles/relm_experiments.dir/setup.cpp.o"
+  "CMakeFiles/relm_experiments.dir/setup.cpp.o.d"
+  "CMakeFiles/relm_experiments.dir/toxicity.cpp.o"
+  "CMakeFiles/relm_experiments.dir/toxicity.cpp.o.d"
+  "librelm_experiments.a"
+  "librelm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

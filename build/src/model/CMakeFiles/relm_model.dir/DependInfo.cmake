@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/decoding.cpp" "src/model/CMakeFiles/relm_model.dir/decoding.cpp.o" "gcc" "src/model/CMakeFiles/relm_model.dir/decoding.cpp.o.d"
+  "/root/repo/src/model/language_model.cpp" "src/model/CMakeFiles/relm_model.dir/language_model.cpp.o" "gcc" "src/model/CMakeFiles/relm_model.dir/language_model.cpp.o.d"
+  "/root/repo/src/model/mlp_model.cpp" "src/model/CMakeFiles/relm_model.dir/mlp_model.cpp.o" "gcc" "src/model/CMakeFiles/relm_model.dir/mlp_model.cpp.o.d"
+  "/root/repo/src/model/ngram_model.cpp" "src/model/CMakeFiles/relm_model.dir/ngram_model.cpp.o" "gcc" "src/model/CMakeFiles/relm_model.dir/ngram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/relm_tokenizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_model.dir/decoding.cpp.o"
+  "CMakeFiles/relm_model.dir/decoding.cpp.o.d"
+  "CMakeFiles/relm_model.dir/language_model.cpp.o"
+  "CMakeFiles/relm_model.dir/language_model.cpp.o.d"
+  "CMakeFiles/relm_model.dir/mlp_model.cpp.o"
+  "CMakeFiles/relm_model.dir/mlp_model.cpp.o.d"
+  "CMakeFiles/relm_model.dir/ngram_model.cpp.o"
+  "CMakeFiles/relm_model.dir/ngram_model.cpp.o.d"
+  "librelm_model.a"
+  "librelm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_stats.dir/stats.cpp.o"
+  "CMakeFiles/relm_stats.dir/stats.cpp.o.d"
+  "librelm_stats.a"
+  "librelm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

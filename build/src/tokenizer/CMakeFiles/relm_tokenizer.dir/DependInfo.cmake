@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenizer/bpe.cpp" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/bpe.cpp.o" "gcc" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/bpe.cpp.o.d"
+  "/root/repo/src/tokenizer/gpt2_loader.cpp" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/gpt2_loader.cpp.o" "gcc" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/gpt2_loader.cpp.o.d"
+  "/root/repo/src/tokenizer/serialize.cpp" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/serialize.cpp.o" "gcc" "src/tokenizer/CMakeFiles/relm_tokenizer.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

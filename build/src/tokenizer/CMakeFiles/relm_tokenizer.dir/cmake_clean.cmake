@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_tokenizer.dir/bpe.cpp.o"
+  "CMakeFiles/relm_tokenizer.dir/bpe.cpp.o.d"
+  "CMakeFiles/relm_tokenizer.dir/gpt2_loader.cpp.o"
+  "CMakeFiles/relm_tokenizer.dir/gpt2_loader.cpp.o.d"
+  "CMakeFiles/relm_tokenizer.dir/serialize.cpp.o"
+  "CMakeFiles/relm_tokenizer.dir/serialize.cpp.o.d"
+  "librelm_tokenizer.a"
+  "librelm_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

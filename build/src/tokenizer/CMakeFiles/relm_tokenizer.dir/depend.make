@@ -1,0 +1,2 @@
+# Empty dependencies file for relm_tokenizer.
+# This may be replaced when dependencies are built.

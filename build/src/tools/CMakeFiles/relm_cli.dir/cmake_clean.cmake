@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_cli.dir/relm_cli.cpp.o"
+  "CMakeFiles/relm_cli.dir/relm_cli.cpp.o.d"
+  "relm"
+  "relm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

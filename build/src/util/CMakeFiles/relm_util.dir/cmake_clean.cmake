@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_util.dir/logging.cpp.o"
+  "CMakeFiles/relm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/relm_util.dir/rng.cpp.o"
+  "CMakeFiles/relm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/relm_util.dir/strings.cpp.o"
+  "CMakeFiles/relm_util.dir/strings.cpp.o.d"
+  "librelm_util.a"
+  "librelm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

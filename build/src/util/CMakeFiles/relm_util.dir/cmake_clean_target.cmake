@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelm_util.a"
+)

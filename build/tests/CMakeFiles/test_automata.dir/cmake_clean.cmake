@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automata.dir/test_automata.cpp.o"
+  "CMakeFiles/test_automata.dir/test_automata.cpp.o.d"
+  "test_automata"
+  "test_automata.pdb"
+  "test_automata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

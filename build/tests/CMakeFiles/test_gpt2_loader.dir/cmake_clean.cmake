@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpt2_loader.dir/test_gpt2_loader.cpp.o"
+  "CMakeFiles/test_gpt2_loader.dir/test_gpt2_loader.cpp.o.d"
+  "test_gpt2_loader"
+  "test_gpt2_loader.pdb"
+  "test_gpt2_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpt2_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

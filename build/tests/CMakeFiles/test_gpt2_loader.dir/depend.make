@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gpt2_loader.
+# This may be replaced when dependencies are built.

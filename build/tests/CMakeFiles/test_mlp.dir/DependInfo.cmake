@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/test_mlp.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_mlp.dir/test_mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/relm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/relm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/relm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/relm_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

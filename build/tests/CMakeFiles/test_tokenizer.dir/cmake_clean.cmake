@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokenizer.dir/test_tokenizer.cpp.o"
+  "CMakeFiles/test_tokenizer.dir/test_tokenizer.cpp.o.d"
+  "test_tokenizer"
+  "test_tokenizer.pdb"
+  "test_tokenizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transducer.dir/test_transducer.cpp.o"
+  "CMakeFiles/test_transducer.dir/test_transducer.cpp.o.d"
+  "test_transducer"
+  "test_transducer.pdb"
+  "test_transducer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
