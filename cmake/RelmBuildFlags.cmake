@@ -1,0 +1,53 @@
+# Central compile/link flags for every relm target: warnings, optional
+# -Werror, sanitizers, and debug-check toggles. The flags live on one
+# INTERFACE target that relm_util links PUBLIC — every library, tool, test,
+# bench, and example in the tree links (transitively) against relm_util, so
+# the whole build inherits a single consistent flag set. Each src/ subsystem
+# also links it directly so a future dependency reshuffle cannot silently
+# drop the flags.
+#
+# Options (also surfaced as CMake presets, see CMakePresets.json):
+#   RELM_SANITIZE  semicolon-separated sanitizer list: "address;undefined",
+#                  "thread", or "memory" (memory requires clang). Empty = off.
+#   RELM_WERROR    promote warnings to errors.
+#   RELM_DCHECKS   force-enable RELM_DCHECK assertions even with NDEBUG
+#                  (they are on by default in Debug builds; see
+#                  util/errors.hpp and docs/STATIC_ANALYSIS.md).
+
+set(RELM_SANITIZE "" CACHE STRING
+    "Sanitizers to instrument with (address;undefined | thread | memory)")
+option(RELM_WERROR "Treat compiler warnings as errors" OFF)
+option(RELM_DCHECKS "Enable RELM_DCHECK assertions regardless of NDEBUG" OFF)
+
+add_library(relm_build_flags INTERFACE)
+
+target_compile_options(relm_build_flags INTERFACE -Wall -Wextra)
+if(RELM_WERROR)
+  target_compile_options(relm_build_flags INTERFACE -Werror)
+endif()
+
+if(RELM_DCHECKS)
+  target_compile_definitions(relm_build_flags INTERFACE RELM_ENABLE_DCHECKS=1)
+endif()
+
+if(RELM_SANITIZE)
+  string(REPLACE ";" "," _relm_sanitize_csv "${RELM_SANITIZE}")
+  if("${_relm_sanitize_csv}" MATCHES "memory" AND
+     NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "RELM_SANITIZE=memory requires clang (MemorySanitizer is not "
+      "implemented in GCC); configure with -DCMAKE_CXX_COMPILER=clang++")
+  endif()
+  if("${_relm_sanitize_csv}" MATCHES "thread" AND
+     "${_relm_sanitize_csv}" MATCHES "address")
+    message(FATAL_ERROR "thread and address sanitizers cannot be combined")
+  endif()
+  target_compile_options(relm_build_flags INTERFACE
+    -fsanitize=${_relm_sanitize_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_link_options(relm_build_flags INTERFACE
+    -fsanitize=${_relm_sanitize_csv}
+    -fno-sanitize-recover=all)
+  message(STATUS "relm: sanitizers enabled: ${_relm_sanitize_csv}")
+endif()

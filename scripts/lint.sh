@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs clang-tidy (policy: repo-root .clang-tidy) over the library and tool
+# sources, using the compile_commands.json exported by any CMake build dir.
+#
+#   scripts/lint.sh [build-dir]
+#
+# Defaults to ./build. Exits 0 with a notice when clang-tidy is unavailable
+# (the pinned container ships only gcc); CI installs it on the runner.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "lint: clang-tidy not found; skipping (set CLANG_TIDY or install it)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "lint: $BUILD/compile_commands.json missing; configure first:" >&2
+  echo "lint:   cmake --preset default   (or: cmake -B $BUILD -S $ROOT)" >&2
+  exit 1
+fi
+
+FILES="$(find "$ROOT/src" -name '*.cpp' | sort)"
+echo "lint: $TIDY over $(echo "$FILES" | wc -l) files ($BUILD)"
+# shellcheck disable=SC2086 -- word-splitting FILES is intended
+"$TIDY" -p "$BUILD" --quiet $FILES
+echo "lint: ok"

@@ -50,6 +50,17 @@ bool Dfa::accepts_bytes(std::string_view input) const {
   return is_final(state);
 }
 
+Dfa Dfa::from_parts(Symbol num_symbols, StateId start,
+                    std::vector<std::vector<Edge>> edge_lists,
+                    std::vector<bool> final_states) {
+  Dfa dfa(num_symbols);
+  dfa.start_ = start;
+  dfa.edges_ = std::move(edge_lists);
+  dfa.final_ = std::move(final_states);
+  dfa.final_.resize(dfa.edges_.size());
+  return dfa;
+}
+
 bool operator==(const Dfa& a, const Dfa& b) {
   return a.num_symbols_ == b.num_symbols_ && a.start_ == b.start_ &&
          a.final_ == b.final_ && a.edges_ == b.edges_;

@@ -99,6 +99,16 @@ class Dfa {
   // language equality.
   friend bool operator==(const Dfa& a, const Dfa& b);
 
+  // Builds a Dfa directly from raw parts with NO invariant enforcement: no
+  // per-state sorting, no determinism overwrite, no range checks. This is
+  // the deserialization/testing escape hatch — untrusted machines built this
+  // way must pass analysis::check_dfa (src/analysis/invariants.hpp) before
+  // use; `next()` on an unsorted or nondeterministic machine is meaningless.
+  // `edge_lists.size()` and `final_states.size()` must agree.
+  static Dfa from_parts(Symbol num_symbols, StateId start,
+                        std::vector<std::vector<Edge>> edge_lists,
+                        std::vector<bool> final_states);
+
  private:
   std::vector<std::vector<Edge>> edges_;
   std::vector<bool> final_;

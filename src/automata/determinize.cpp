@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <set>
 #include <unordered_map>
-#include <map>
-#include <unordered_map>
 #include <vector>
+
+#include "util/errors.hpp"
 
 namespace relm::automata {
 namespace {
@@ -40,6 +41,8 @@ std::vector<StateId> epsilon_closure(const Nfa& nfa, std::vector<StateId> states
 }  // namespace
 
 Dfa determinize(const Nfa& nfa) {
+  RELM_DCHECK(nfa.num_states() > 0 && nfa.start() < nfa.num_states(),
+              "determinize: NFA start state out of range");
   Dfa dfa(nfa.num_symbols());
 
   std::map<std::vector<StateId>, StateId> subset_ids;
@@ -87,6 +90,8 @@ Dfa determinize(const Nfa& nfa) {
     std::sort(symbols.begin(), symbols.end());
 
     for (Symbol sym : symbols) {
+      RELM_DCHECK(sym < nfa.num_symbols(),
+                  "determinize: NFA edge symbol outside the alphabet");
       std::vector<StateId> target = epsilon_closure(nfa, std::move(moves[sym]));
       StateId to_id = intern(std::move(target));
       dfa.add_edge(from_id, sym, to_id);
@@ -96,6 +101,8 @@ Dfa determinize(const Nfa& nfa) {
 }
 
 Dfa trim(const Dfa& dfa) {
+  RELM_DCHECK(dfa.num_states() > 0 && dfa.start() < dfa.num_states(),
+              "trim: DFA start state out of range");
   std::size_t n = dfa.num_states();
 
   // Forward reachability from the start state.
@@ -201,6 +208,8 @@ Dfa bfs_renumber(const Dfa& dfa) {
 Dfa minimize(const Dfa& input) {
   Dfa dfa = trim(input);
   std::size_t n = dfa.num_states();
+  RELM_DCHECK(n <= input.num_states(),
+              "minimize: trim must never grow the automaton");
   if (n <= 1) return bfs_renumber(dfa);
 
   // Moore partition refinement. Missing transitions map to the implicit dead

@@ -20,6 +20,8 @@ Dfa product(const Dfa& a, const Dfa& b, bool both_required) {
   if (a.num_symbols() != b.num_symbols()) {
     throw relm::Error("product of automata over different alphabets");
   }
+  RELM_DCHECK(a.start() < a.num_states() && b.start() < b.num_states(),
+              "product: input start states out of range");
   Dfa out(a.num_symbols());
   std::map<StatePair, StateId> ids;
   std::deque<StatePair> work;
@@ -77,6 +79,8 @@ Dfa complete(const Dfa& a, const ByteSet& universe) {
       if (out.next(s, b) == kNoState) out.add_edge(s, b, dead);
     }
   }
+  RELM_DCHECK(out.num_states() == a.num_states() + 1,
+              "complete: exactly one dead state is added");
   return out;
 }
 

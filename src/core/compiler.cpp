@@ -93,6 +93,8 @@ Dfa build_canonical_by_enumeration(const Dfa& char_dfa, const BpeTokenizer& tok,
   Dfa source = automata::trim(char_dfa);
   std::vector<std::string> strings = automata::enumerate_strings(
       source, count_hint, /*max_len=*/source.num_states() + 1);
+  RELM_DCHECK(strings.size() == count_hint,
+              "canonical enumeration and count_strings disagree on |L|");
 
   Dfa out(static_cast<automata::Symbol>(tok.vocab_size()));
   StateId root = out.add_state(false);
@@ -125,6 +127,8 @@ TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
   TokenAutomaton result{automata::Dfa(1), false};
   if (strategy == TokenizationStrategy::kAllTokens) {
     result.dfa = build_all_tokens(char_dfa, tok);
+    RELM_DCHECK(result.dfa.num_symbols() == tok.vocab_size(),
+                "token automaton alphabet must equal the vocabulary");
     return result;
   }
 
@@ -135,10 +139,12 @@ TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
       infinite ? 0 : automata::count_strings(trimmed, trimmed.num_states() + 1);
   if (!infinite && count <= enumeration_budget) {
     result.dfa = build_canonical_by_enumeration(trimmed, tok, count);
-    return result;
+  } else {
+    result.dfa = build_all_tokens(trimmed, tok);
+    result.dynamic_canonical = true;
   }
-  result.dfa = build_all_tokens(trimmed, tok);
-  result.dynamic_canonical = true;
+  RELM_DCHECK(result.dfa.num_symbols() == tok.vocab_size(),
+              "token automaton alphabet must equal the vocabulary");
   return result;
 }
 

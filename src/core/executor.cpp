@@ -42,6 +42,8 @@ std::vector<TokenId> ShortestPathSearch::path_of(std::int32_t node) const {
 
 void ShortestPathSearch::expand(std::int32_t node_id,
                                 const std::vector<double>& lp) {
+  RELM_DCHECK(lp.size() == model_.vocab_size(),
+              "model distribution size must equal the vocabulary");
   const std::size_t seq_limit = std::min(
       query_.sequence_length.value_or(model_.max_sequence_length()),
       model_.max_sequence_length());
@@ -78,11 +80,15 @@ void ShortestPathSearch::expand(std::int32_t node_id,
       continue;  // pruned, and transitively all its extensions (§3.3)
     }
     if (!body_path_ok(step.token, step)) continue;
+    RELM_DCHECK(step.token < lp.size(),
+                "compiled query emitted a token outside the vocabulary");
     Node child;
     child.set = step.next;
     child.parent = node_id;
     child.token = step.token;
     child.cost = node.cost - lp[step.token];
+    RELM_DCHECK(!std::isnan(child.cost) && child.cost >= node.cost - 1e-9,
+                "Dijkstra edge costs must be non-negative (-log p)");
     child.depth = node.depth + 1;
     child.body_len = step.body_advanced ? node.body_len + 1 : 0;
     child.terminal = false;
@@ -140,6 +146,8 @@ void ShortestPathSearch::pump() {
   }
   std::vector<std::vector<double>> lps =
       model_.next_log_probs_batch(eval_contexts);
+  RELM_DCHECK(lps.size() == eval_contexts.size(),
+              "batched model evaluation must return one row per context");
   stats_.llm_calls += eval_contexts.size();
   stats_.expansions += eval_contexts.size();
 
@@ -277,6 +285,8 @@ std::optional<SearchResult> RandomSampler::sample_once() {
 
     std::vector<double> lp = model_.next_log_probs(context);
     ++stats_.llm_calls;
+    RELM_DCHECK(lp.size() == model_.vocab_size(),
+                "model distribution size must equal the vocabulary");
     std::vector<bool> mask;
     if (!query_.decoding.unrestricted()) {
       mask = allowed_tokens(lp, query_.decoding);

@@ -182,6 +182,15 @@ std::shared_ptr<NgramModel> NgramModel::load_file(const std::string& path) {
   return load(in);
 }
 
+void NgramModel::visit_context_rows(
+    const std::function<void(const ContextRowView&)>& fn) const {
+  for (std::size_t k = 0; k < tables_.size(); ++k) {
+    for (const auto& [key, stats] : tables_[k]) {
+      fn(ContextRowView{k, key, stats.total, &stats.counts});
+    }
+  }
+}
+
 std::size_t NgramModel::num_contexts() const {
   std::size_t n = 0;
   for (const auto& table : tables_) n += table.size();

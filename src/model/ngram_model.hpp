@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -71,6 +72,22 @@ class NgramModel : public LanguageModel {
 
   const Config& config() const { return config_; }
   std::size_t num_contexts() const;
+
+  // Read-only view of one stored context row, for the relm::analysis
+  // verification layer: context length `order_k`, the row's hashed key, the
+  // stored continuation total, and the per-token counts. `counts` points
+  // into the model and is valid only during the visit.
+  struct ContextRowView {
+    std::size_t order_k;
+    std::uint64_t key;
+    std::uint64_t total;
+    const std::unordered_map<TokenId, std::uint32_t>* counts;
+  };
+
+  // Calls `fn` for every stored context row (all orders). Rows within an
+  // order are visited in unspecified (hash-map) order.
+  void visit_context_rows(
+      const std::function<void(const ContextRowView&)>& fn) const;
 
   // Text serialization (see tools/relm_cli): counts are stored per context
   // hash. Format:

@@ -21,7 +21,13 @@
 //   relm info   --dir DIR
 //       Show artifact metadata.
 //
-// Exit status: 0 on success, 1 on usage error, 2 on runtime error.
+//   relm verify --dir DIR [--tolerance T] [--probes N] [--skip-queries]
+//       Structurally verify saved artifacts: automata, model tables, model
+//       distributions, and probe-query compilation (src/analysis). Prints a
+//       diagnostic report and exits non-zero if any invariant is violated.
+//
+// Exit status: 0 on success, 1 on usage error, 2 on runtime error (including
+// failed verification).
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "automata/grep.hpp"
 #include "automata/regex.hpp"
 #include "core/analyzer.hpp"
@@ -86,9 +93,34 @@ class Args {
     auto v = get(name);
     return (v && !v->empty()) ? *v : fallback;
   }
+  // Numeric flags reject garbage with relm::Error (the no-abort policy for
+  // user input): std::stol/stod on "banana" would throw std::invalid_argument
+  // straight through main and terminate.
   long get_long(const std::string& name, long fallback) const {
     auto v = get(name);
-    return (v && !v->empty()) ? std::stol(*v) : fallback;
+    if (!v || v->empty()) return fallback;
+    try {
+      std::size_t end = 0;
+      long parsed = std::stol(*v, &end);
+      if (end != v->size()) throw std::invalid_argument(*v);
+      return parsed;
+    } catch (const std::exception&) {
+      throw relm::Error("flag --" + name + " expects an integer, got \"" + *v +
+                        "\"");
+    }
+  }
+  std::optional<double> get_double(const std::string& name) const {
+    auto v = get(name);
+    if (!v || v->empty()) return std::nullopt;
+    try {
+      std::size_t end = 0;
+      double parsed = std::stod(*v, &end);
+      if (end != v->size()) throw std::invalid_argument(*v);
+      return parsed;
+    } catch (const std::exception&) {
+      throw relm::Error("flag --" + name + " expects a number, got \"" + *v +
+                        "\"");
+    }
   }
   bool has(const std::string& name) const { return get(name).has_value(); }
 
@@ -151,7 +183,7 @@ corpus::Corpus regen_corpus(double scale) {
 
 int cmd_build(const Args& args) {
   std::string dir = args.require("out");
-  double scale = std::stod(args.get_or("scale", "1.0"));
+  double scale = args.get_double("scale").value_or(1.0);
 
   util::Timer timer;
   experiments::World world =
@@ -188,10 +220,10 @@ int cmd_query(const Args& args) {
                                     : core::TokenizationStrategy::kCanonicalTokens;
   long top_k = args.get_long("top-k", 0);
   if (top_k > 0) query.decoding.top_k = static_cast<int>(top_k);
-  std::string top_p = args.get_or("top-p", "");
-  if (!top_p.empty()) query.decoding.top_p = std::stod(top_p);
-  std::string temperature = args.get_or("temperature", "");
-  if (!temperature.empty()) query.decoding.temperature = std::stod(temperature);
+  if (auto top_p = args.get_double("top-p")) query.decoding.top_p = *top_p;
+  if (auto temperature = args.get_double("temperature")) {
+    query.decoding.temperature = *temperature;
+  }
   query.max_results = static_cast<std::size_t>(args.get_long("results", 10));
   query.num_samples = static_cast<std::size_t>(args.get_long("samples", 10));
   query.require_eos = args.has("require-eos");
@@ -294,9 +326,32 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int cmd_verify(const Args& args) {
+  std::string dir = args.require("dir");
+  analysis::VerifyOptions options;
+  if (auto tolerance = args.get_double("tolerance")) {
+    options.model.tolerance = *tolerance;
+  }
+  long probes = args.get_long("probes", 0);
+  if (probes > 0) options.model.probe_contexts = static_cast<std::size_t>(probes);
+  if (args.has("skip-queries")) options.check_queries = false;
+
+  util::Timer timer;
+  analysis::InvariantReport report = analysis::verify_artifact_dir(dir, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "verify: %s FAILED\n%s", dir.c_str(),
+                 report.to_string().c_str());
+    return 2;
+  }
+  std::printf("verify: %s ok (tokenizer, sim-xl, sim-small%s in %.2fs)\n",
+              dir.c_str(), options.check_queries ? ", probe queries" : "",
+              timer.seconds());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: relm <build|query|analyze|grep|sample|info> [flags]\n"
+               "usage: relm <build|query|analyze|grep|sample|info|verify> [flags]\n"
                "see the header of src/tools/relm_cli.cpp for flag reference\n");
 }
 
@@ -323,6 +378,8 @@ int main(int argc, char** argv) {
       status = cmd_analyze(args);
     } else if (command == "info") {
       status = cmd_info(args);
+    } else if (command == "verify") {
+      status = cmd_verify(args);
     } else {
       usage();
       return 1;

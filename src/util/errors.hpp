@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -29,5 +31,42 @@ class QueryError : public Error {
  public:
   explicit QueryError(const std::string& what) : Error(what) {}
 };
+
+namespace detail {
+
+[[noreturn]] inline void dcheck_fail(const char* condition, const char* message,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "RELM_DCHECK failed: %s\n  %s\n  at %s:%d\n", condition,
+               message, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+
+// RELM_DCHECK(cond, "msg"): internal-invariant assertion for hot paths.
+//
+// This is NOT an error-reporting mechanism. The policy above stands: user
+// input (regexes, queries, files, configuration) never aborts the process —
+// it throws relm::Error. RELM_DCHECK guards invariants that only a bug in
+// this library can violate (a determinized automaton with duplicate symbols,
+// a model emitting the wrong distribution size, a negative path cost), where
+// throwing would let corrupted state escape and poison downstream results.
+//
+// Enabled in Debug builds (NDEBUG unset) and whenever RELM_ENABLE_DCHECKS is
+// defined (the CMake option RELM_DCHECKS, on in the sanitizer presets);
+// compiled out entirely — condition unevaluated — otherwise. Keep guarded
+// conditions O(1)-ish per call site; full structural audits belong in
+// relm::analysis (src/analysis/invariants.hpp), which is always available at
+// runtime via `relm verify`.
+#if !defined(NDEBUG) || defined(RELM_ENABLE_DCHECKS)
+#define RELM_DCHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::relm::detail::dcheck_fail(#cond, (msg), __FILE__, __LINE__);    \
+    }                                                                   \
+  } while (false)
+#else
+#define RELM_DCHECK(cond, msg) static_cast<void>(0)
+#endif
 
 }  // namespace relm

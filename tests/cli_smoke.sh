@@ -26,9 +26,24 @@ test "$(echo "$OUT" | wc -l)" -eq 4
 
 "$RELM" grep --dir "$DIR" --pattern 'blorgface' --max 1 | grep -q blorgface
 
+# Structural verification: fresh artifacts are clean.
+"$RELM" verify --dir "$DIR" | grep -q "ok"
+
+# A corrupted artifact must fail verification with a diagnostic. Bump the
+# first stored n-gram row total (file line 4: "<key> <total> <n> ...") so it
+# no longer matches the sum of the row's counts.
+CORRUPT="$DIR/corrupt"
+mkdir -p "$CORRUPT"
+cp "$DIR/tokenizer.relm" "$DIR/sim-xl.relm" "$DIR/meta.txt" "$CORRUPT/"
+awk 'NR == 4 { $2 = $2 + 1000 } { print }' "$DIR/sim-small.relm" \
+  > "$CORRUPT/sim-small.relm"
+if "$RELM" verify --dir "$CORRUPT" 2>/dev/null; then exit 1; fi
+"$RELM" verify --dir "$CORRUPT" 2>&1 >/dev/null | grep -q "ngram.row-total"
+
 # Error paths: bad flag usage and bad regex exit non-zero with a message.
 if "$RELM" query --dir "$DIR" 2>/dev/null; then exit 1; fi
 if "$RELM" query --dir "$DIR" --pattern '(((' 2>/dev/null; then exit 1; fi
 if "$RELM" info --dir /nonexistent 2>/dev/null; then exit 1; fi
+if "$RELM" verify --dir /nonexistent 2>/dev/null; then exit 1; fi
 
 echo "cli smoke: ok"
