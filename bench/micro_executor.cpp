@@ -2,13 +2,15 @@
 // shortest-path expansion throughput with and without top-k pruning, and
 // randomized traversal sampling rates. The top-k comparison quantifies the
 // §3.3 observation that decision rules transitively prune large parts of the
-// search space.
+// search space. The *_Threads/*_Batched benchmarks measure the parallel
+// batch API and the suffix-keyed logit cache on the same workloads.
 
 #include <benchmark/benchmark.h>
 
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
 #include "experiments/setup.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -37,6 +39,51 @@ void BM_CachedNextLogProbs(benchmark::State& state) {
 }
 BENCHMARK(BM_CachedNextLogProbs);
 
+// Parallel fan-out of next_log_probs_batch across the shared pool. Arg(0) is
+// the thread count (1 = serial fast path). 32 distinct contexts per call —
+// more than the pool size, so work-queue draining is exercised.
+void BM_BatchNextLogProbsThreads(benchmark::State& state) {
+  util::ThreadPool::set_shared_threads(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::vector<tokenizer::TokenId>> contexts;
+  const char* seeds[] = {"The man was trained in", "https://www.", "science",
+                         "The woman went to the"};
+  for (std::size_t i = 0; i < 32; ++i) {
+    auto ctx = world().tokenizer->encode(seeds[i % 4]);
+    ctx.push_back(static_cast<tokenizer::TokenId>(i % world().xl->vocab_size()));
+    contexts.push_back(std::move(ctx));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world().xl->next_log_probs_batch(contexts));
+  }
+  util::ThreadPool::set_shared_threads(1);
+}
+BENCHMARK(BM_BatchNextLogProbsThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Suffix-keyed cache under batch evaluation: all 32 contexts share their
+// last (order-1) tokens with a previously seen context, so after warmup
+// every lookup is a hit regardless of full-context diversity.
+void BM_CachedBatchSuffixHits(benchmark::State& state) {
+  model::CachingModel cached(world().xl);
+  std::vector<std::vector<tokenizer::TokenId>> contexts;
+  auto suffix = world().tokenizer->encode("trained in computer");
+  for (std::size_t i = 0; i < 32; ++i) {
+    // Distinct long prefixes, identical relevant suffix.
+    std::vector<tokenizer::TokenId> ctx(
+        i + 1, static_cast<tokenizer::TokenId>(i % world().xl->vocab_size()));
+    ctx.insert(ctx.end(), suffix.begin(), suffix.end());
+    contexts.push_back(std::move(ctx));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached.next_log_probs_batch(contexts));
+  }
+  state.counters["hit_rate"] =
+      cached.hits() + cached.misses() > 0
+          ? static_cast<double>(cached.hits()) /
+                static_cast<double>(cached.hits() + cached.misses())
+          : 0.0;
+}
+BENCHMARK(BM_CachedBatchSuffixHits);
+
 core::SimpleSearchQuery url_query(std::optional<int> top_k) {
   core::SimpleSearchQuery query;
   query.query_string.query_str = experiments::url_pattern();
@@ -62,6 +109,31 @@ void BM_ShortestPathTopK40(benchmark::State& state) {
       static_cast<double>(expansions) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_ShortestPathTopK40);
+
+// The same URL query through the batched frontier + suffix-keyed cache.
+// Arg(0) is the thread count. Compare against BM_ShortestPathTopK40 (strict
+// serial Dijkstra, no cache) for the end-to-end engine speedup.
+void BM_ShortestPathBatchedCached(benchmark::State& state) {
+  util::ThreadPool::set_shared_threads(static_cast<std::size_t>(state.range(0)));
+  core::SimpleSearchQuery query = url_query(40);
+  query.expansion_batch_size = 16;
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  model::CachingModel cached(world().xl, 1 << 16);
+  std::size_t hits = 0, misses = 0;
+  for (auto _ : state) {
+    core::ShortestPathSearch search(cached, compiled, query);
+    benchmark::DoNotOptimize(search.all());
+    hits += search.stats().cache_hits;
+    misses += search.stats().cache_misses;
+  }
+  state.counters["hit_rate"] =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  util::ThreadPool::set_shared_threads(1);
+}
+BENCHMARK(BM_ShortestPathBatchedCached)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ShortestPathUnrestricted(benchmark::State& state) {
   core::SimpleSearchQuery query = url_query(std::nullopt);

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Performance snapshot driver: builds Release, runs the executor/compiler
+# microbenchmarks and the fig06 throughput comparison, and writes the
+# results to BENCH_<date>.json at the repo root (wall times, llm_calls,
+# cache hit rates; see docs/PERFORMANCE.md for how to read it).
+#   scripts/bench.sh [scale]
+# Environment:
+#   RELM_BENCH_SCALE  workload scale for fig06 (overridden by argv[1])
+#   RELM_THREADS      default shared-pool size for the parallel batch API
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-${RELM_BENCH_SCALE:-1.0}}"
+BUILD=build-bench
+OUT="BENCH_$(date +%Y%m%d).json"
+
+if command -v ninja >/dev/null 2>&1; then GEN="-G Ninja"; else GEN=""; fi
+# shellcheck disable=SC2086
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release $GEN >/dev/null
+cmake --build "$BUILD" -j --target micro_executor micro_compiler fig06_throughput >/dev/null
+
+echo "[bench] micro_executor"
+"$BUILD"/bench/micro_executor \
+    --benchmark_format=json \
+    --benchmark_out="$BUILD"/micro_executor.json \
+    --benchmark_out_format=json >/dev/null
+echo "[bench] micro_compiler"
+"$BUILD"/bench/micro_compiler \
+    --benchmark_format=json \
+    --benchmark_out="$BUILD"/micro_compiler.json \
+    --benchmark_out_format=json >/dev/null
+echo "[bench] fig06_throughput (scale=$SCALE)"
+# No pipe: fig06 exits non-zero on a determinism regression and set -e
+# must see that status.
+RELM_BENCH_SCALE="$SCALE" RELM_BENCH_JSON=1 \
+    "$BUILD"/bench/fig06_throughput > "$BUILD"/fig06.txt
+cat "$BUILD"/fig06.txt
+grep '^BENCH_JSON ' "$BUILD"/fig06.txt | sed 's/^BENCH_JSON //' \
+    > "$BUILD"/fig06.json
+
+# Assemble the snapshot: fig06's end-to-end numbers plus both raw
+# google-benchmark reports.
+{
+  printf '{\n'
+  printf '"date": "%s",\n' "$(date +%Y-%m-%d)"
+  printf '"scale": %s,\n' "$SCALE"
+  printf '"fig06_throughput": '
+  cat "$BUILD"/fig06.json
+  printf ',\n"micro_executor": '
+  cat "$BUILD"/micro_executor.json
+  printf ',\n"micro_compiler": '
+  cat "$BUILD"/micro_compiler.json
+  printf '\n}\n'
+} > "$OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT" >/dev/null && echo "[bench] $OUT (valid JSON)"
+else
+  echo "[bench] $OUT"
+fi

@@ -11,6 +11,33 @@ namespace relm::core {
 using model::allowed_tokens;
 using tokenizer::TokenId;
 
+namespace {
+
+// Snapshot of the model's cache counters at search start; deltas against it
+// attribute cache work to this search in SearchStats.
+model::LanguageModel::CacheStats cache_baseline_of(
+    const model::LanguageModel& model, bool& has_cache) {
+  if (auto stats = model.cache_stats()) {
+    has_cache = true;
+    return *stats;
+  }
+  has_cache = false;
+  return {};
+}
+
+void fill_cache_stats(const model::LanguageModel& model,
+                      const model::LanguageModel::CacheStats& baseline,
+                      bool has_cache, SearchStats& stats) {
+  if (!has_cache) return;
+  auto current = model.cache_stats();
+  if (!current) return;
+  stats.cache_hits = current->hits - baseline.hits;
+  stats.cache_misses = current->misses - baseline.misses;
+  stats.cache_evictions = current->evictions - baseline.evictions;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ShortestPathSearch
 // ---------------------------------------------------------------------------
@@ -19,6 +46,7 @@ ShortestPathSearch::ShortestPathSearch(const model::LanguageModel& model,
                                        const CompiledQuery& compiled,
                                        const SimpleSearchQuery& query)
     : model_(model), compiled_(compiled), query_(query) {
+  cache_baseline_ = cache_baseline_of(model_, model_has_cache_);
   Node root;
   root.set = compiled_.initial();
   root.parent = -1;
@@ -38,6 +66,23 @@ std::vector<TokenId> ShortestPathSearch::path_of(std::int32_t node) const {
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::vector<TokenId> ShortestPathSearch::context_of(std::int32_t node) const {
+  const std::size_t depth = nodes_[node].depth;
+  const std::size_t len = std::min<std::size_t>(
+      depth, model_.relevant_context_length());
+  std::vector<TokenId> context(len);
+  std::int32_t cur = node;
+  for (std::size_t i = len; i > 0; --i) {
+    context[i - 1] = nodes_[cur].token;
+    cur = nodes_[cur].parent;
+  }
+  return context;
+}
+
+void ShortestPathSearch::refresh_cache_stats() {
+  fill_cache_stats(model_, cache_baseline_, model_has_cache_, stats_);
 }
 
 void ShortestPathSearch::expand(std::int32_t node_id,
@@ -123,25 +168,24 @@ void ShortestPathSearch::pump() {
   // (default batch size 1 = strict Dijkstra); expand; queue any matches.
   const std::size_t batch = std::max<std::size_t>(query_.expansion_batch_size, 1);
   std::vector<std::int32_t> popped;
-  std::vector<std::vector<TokenId>> contexts;
   while (popped.size() < batch && !frontier_.empty()) {
     QueueEntry entry = frontier_.top();
     frontier_.pop();
     if (nodes_[entry.node].expanded) continue;
     nodes_[entry.node].expanded = true;
     popped.push_back(entry.node);
-    contexts.push_back(path_of(entry.node));
   }
   if (popped.empty()) return;
 
-  // Terminal nodes need no model call; placeholder distributions keep the
-  // batch aligned.
+  // Terminal nodes need no model call; the others evaluate in one parallel
+  // batch over their model-relevant context suffixes (context_of walks only
+  // the suffix, not the whole root-to-node path).
   std::vector<std::vector<TokenId>> eval_contexts;
   std::vector<std::size_t> eval_index(popped.size(), SIZE_MAX);
   for (std::size_t i = 0; i < popped.size(); ++i) {
     if (!nodes_[popped[i]].terminal) {
       eval_index[i] = eval_contexts.size();
-      eval_contexts.push_back(contexts[i]);
+      eval_contexts.push_back(context_of(popped[i]));
     }
   }
   std::vector<std::vector<double>> lps =
@@ -158,7 +202,8 @@ void ShortestPathSearch::pump() {
     if (!nodes_[id].terminal) expand(id, lps[eval_index[i]]);
     if (!is_result) continue;
 
-    std::vector<TokenId> tokens = std::move(contexts[i]);
+    // Only result nodes pay for a full path reconstruction.
+    std::vector<TokenId> tokens = path_of(id);
     if (nodes_[id].terminal) tokens.pop_back();  // drop EOS from the tuple
     std::string text = compiled_.tokenizer().decode(tokens);
     // Final canonicality gate (§3.2 option 2): the incremental check can
@@ -182,6 +227,7 @@ void ShortestPathSearch::pump() {
                                             -nodes_[id].cost, stats_.llm_calls,
                                             stats_.elapsed_seconds});
   }
+  refresh_cache_stats();
 }
 
 std::optional<SearchResult> ShortestPathSearch::next() {
@@ -222,7 +268,19 @@ RandomSampler::RandomSampler(const model::LanguageModel& model,
       prefix_walks_(compiled.prefix_automaton(),
                     std::min(query.sequence_length.value_or(model.max_sequence_length()),
                              model.max_sequence_length())),
-      rng_(seed) {}
+      rng_(seed) {
+  cache_baseline_ = cache_baseline_of(model_, model_has_cache_);
+}
+
+void RandomSampler::refresh_cache_stats() {
+  fill_cache_stats(model_, cache_baseline_, model_has_cache_, stats_);
+}
+
+std::optional<SearchResult> RandomSampler::sample_once() {
+  std::optional<SearchResult> result = sample_once_impl();
+  refresh_cache_stats();
+  return result;
+}
 
 bool RandomSampler::sample_prefix_tokens(std::vector<TokenId>& out) {
   out.clear();
@@ -252,7 +310,7 @@ bool RandomSampler::sample_prefix_tokens(std::vector<TokenId>& out) {
   return pa.is_final(state);
 }
 
-std::optional<SearchResult> RandomSampler::sample_once() {
+std::optional<SearchResult> RandomSampler::sample_once_impl() {
   ++stats_.sample_attempts;
   const std::size_t seq_limit = std::min(
       query_.sequence_length.value_or(model_.max_sequence_length()),
@@ -389,7 +447,13 @@ std::vector<SearchResult> RandomSampler::sample_all() {
 BeamSearch::BeamSearch(const model::LanguageModel& model,
                        const CompiledQuery& compiled,
                        const SimpleSearchQuery& query)
-    : model_(model), compiled_(compiled), query_(query) {}
+    : model_(model), compiled_(compiled), query_(query) {
+  cache_baseline_ = cache_baseline_of(model_, model_has_cache_);
+}
+
+void BeamSearch::refresh_cache_stats() {
+  fill_cache_stats(model_, cache_baseline_, model_has_cache_, stats_);
+}
 
 std::vector<SearchResult> BeamSearch::run() {
   const std::size_t seq_limit = std::min(
@@ -422,12 +486,32 @@ std::vector<SearchResult> BeamSearch::run() {
                                    stats_.llm_calls, stats_.elapsed_seconds});
   };
 
+  // Each step evaluates every live beam in one batched (parallel) model
+  // call instead of a per-beam serial loop; contexts are trimmed to the
+  // model's relevant suffix, which lets a CachingModel share entries across
+  // beams with a common tail.
+  auto beam_contexts = [&](const std::vector<Beam>& live) {
+    std::vector<std::vector<TokenId>> contexts;
+    contexts.reserve(live.size());
+    for (const Beam& beam : live) {
+      std::span<const TokenId> suffix = model::relevant_suffix(model_, beam.tokens);
+      contexts.emplace_back(suffix.begin(), suffix.end());
+    }
+    return contexts;
+  };
+
   for (std::size_t step = 0; step < seq_limit && !beams.empty(); ++step) {
+    std::vector<std::vector<double>> lps =
+        model_.next_log_probs_batch(beam_contexts(beams));
+    RELM_DCHECK(lps.size() == beams.size(),
+                "batched model evaluation must return one row per beam");
+    stats_.llm_calls += beams.size();
+    stats_.expansions += beams.size();
+
     std::vector<Beam> candidates;
-    for (const Beam& beam : beams) {
-      std::vector<double> lp = model_.next_log_probs(beam.tokens);
-      ++stats_.llm_calls;
-      ++stats_.expansions;
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      const Beam& beam = beams[b];
+      const std::vector<double>& lp = lps[b];
       std::vector<bool> mask;
       if (!query_.decoding.unrestricted()) {
         mask = allowed_tokens(lp, query_.decoding);
@@ -483,15 +567,22 @@ std::vector<SearchResult> BeamSearch::run() {
 
   // Sequence limit reached: surviving beams that sit on a match state are
   // still results (their EOS cost cannot be paid without one more call; for
-  // require_eos queries they are charged one final model evaluation).
-  for (const Beam& beam : beams) {
-    if (!compiled_.is_match(beam.set)) continue;
+  // require_eos queries they are charged one final model evaluation, folded
+  // into a single batch across all surviving matches).
+  std::vector<Beam> survivors;
+  for (Beam& beam : beams) {
+    if (compiled_.is_match(beam.set)) survivors.push_back(std::move(beam));
+  }
+  if (!survivors.empty()) {
     if (query_.require_eos) {
-      std::vector<double> lp = model_.next_log_probs(beam.tokens);
-      ++stats_.llm_calls;
-      record_match(beam, beam.log_prob + lp[model_.eos()]);
+      std::vector<std::vector<double>> lps =
+          model_.next_log_probs_batch(beam_contexts(survivors));
+      stats_.llm_calls += survivors.size();
+      for (std::size_t b = 0; b < survivors.size(); ++b) {
+        record_match(survivors[b], survivors[b].log_prob + lps[b][model_.eos()]);
+      }
     } else {
-      record_match(beam, beam.log_prob);
+      for (const Beam& beam : survivors) record_match(beam, beam.log_prob);
     }
   }
 
@@ -501,6 +592,7 @@ std::vector<SearchResult> BeamSearch::run() {
             });
   if (matches.size() > query_.max_results) matches.resize(query_.max_results);
   stats_.elapsed_seconds = timer_.seconds();
+  refresh_cache_stats();
   return matches;
 }
 

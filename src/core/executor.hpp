@@ -29,7 +29,19 @@ struct SearchStats {
   std::size_t pruned_non_canonical = 0;
   std::size_t sample_attempts = 0;     // random: attempts incl. dead ends
   std::size_t sample_dead_ends = 0;
+  // Logit-cache activity attributed to this search (deltas against the
+  // model's counters at construction). All zero when the model does not
+  // memoize (LanguageModel::cache_stats() returns nullopt).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
   double elapsed_seconds = 0;
+
+  double cache_hit_rate() const {
+    const std::size_t total = cache_hits + cache_misses;
+    return total ? static_cast<double>(cache_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
 };
 
 // Dijkstra / shortest-path traversal (§3.3): yields matches in decreasing
@@ -75,10 +87,16 @@ class ShortestPathSearch {
   };
 
   std::vector<tokenizer::TokenId> path_of(std::int32_t node) const;
+  // The model-visible context for a node: the last
+  // model_.relevant_context_length() tokens of its path (the full path when
+  // the model's dependence is unbounded). Walking only the relevant suffix
+  // keeps per-pop cost O(window) instead of O(depth).
+  std::vector<tokenizer::TokenId> context_of(std::int32_t node) const;
   void expand(std::int32_t node_id, const std::vector<double>& lp);
   // Pops up to expansion_batch_size nodes, batch-evaluates their contexts,
   // expands them, and appends any matches to pending_results_.
   void pump();
+  void refresh_cache_stats();
 
   const model::LanguageModel& model_;
   const CompiledQuery& compiled_;
@@ -90,6 +108,8 @@ class ShortestPathSearch {
   std::size_t emitted_ = 0;
   bool dedup_text_ = true;
   SearchStats stats_;
+  model::LanguageModel::CacheStats cache_baseline_;
+  bool model_has_cache_ = false;
   util::Timer timer_;
 };
 
@@ -119,6 +139,8 @@ class RandomSampler {
 
  private:
   bool sample_prefix_tokens(std::vector<tokenizer::TokenId>& out);
+  std::optional<SearchResult> sample_once_impl();
+  void refresh_cache_stats();
 
   const model::LanguageModel& model_;
   const CompiledQuery& compiled_;
@@ -126,6 +148,8 @@ class RandomSampler {
   automata::WalkCounts prefix_walks_;
   util::Pcg32 rng_;
   SearchStats stats_;
+  model::LanguageModel::CacheStats cache_baseline_;
+  bool model_has_cache_ = false;
   util::Timer timer_;
   std::string last_prefix_text_;
 };
@@ -156,10 +180,14 @@ class BeamSearch {
     std::uint32_t body_len = 0;
   };
 
+  void refresh_cache_stats();
+
   const model::LanguageModel& model_;
   const CompiledQuery& compiled_;
   const SimpleSearchQuery& query_;
   SearchStats stats_;
+  model::LanguageModel::CacheStats cache_baseline_;
+  bool model_has_cache_ = false;
   util::Timer timer_;
 };
 

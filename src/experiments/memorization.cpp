@@ -60,7 +60,8 @@ std::string leading_url(const std::string& text) {
 MemorizationRun run_relm_url_extraction(const World& world,
                                         const model::NgramModel& model,
                                         std::size_t max_results,
-                                        std::size_t max_expansions) {
+                                        std::size_t max_expansions,
+                                        const RelmRunOptions& options) {
   core::SimpleSearchQuery query;
   query.query_string.query_str = url_pattern();
   query.query_string.prefix_str = "https://www.";
@@ -73,13 +74,25 @@ MemorizationRun run_relm_url_extraction(const World& world,
   query.max_results = max_results;
   query.max_expansions = max_expansions;
   query.sequence_length = 24;
+  if (options.expansion_batch > 1) {
+    query.expansion_batch_size = options.expansion_batch;
+  }
+
+  // Non-owning view of the caller's model; the CachingModel wrapper (when
+  // requested) shares it without taking ownership.
+  std::shared_ptr<const model::LanguageModel> eval_model(
+      std::shared_ptr<void>(), &model);
+  if (options.cache_capacity > 0) {
+    eval_model = std::make_shared<model::CachingModel>(eval_model,
+                                                      options.cache_capacity);
+  }
 
   core::CompiledQuery compiled =
       core::CompiledQuery::compile(query, *world.tokenizer);
-  core::ShortestPathSearch search(model, compiled, query);
+  core::ShortestPathSearch search(*eval_model, compiled, query);
 
   MemorizationRun run;
-  run.label = "relm";
+  run.label = options.label;
   while (auto result = search.next()) {
     ExtractionEvent event;
     event.url = result->text;
@@ -89,6 +102,7 @@ MemorizationRun run_relm_url_extraction(const World& world,
     event.seconds = result->seconds_at_emission;
     run.events.push_back(std::move(event));
   }
+  run.search_stats = search.stats();
   return run;
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "experiments/setup.hpp"
 
 namespace relm::experiments {
@@ -23,6 +24,9 @@ struct ExtractionEvent {
 struct MemorizationRun {
   std::string label;
   std::vector<ExtractionEvent> events;  // one per attempt (baseline) / match (ReLM)
+  // Executor statistics of the run (ReLM runs only; zero for baselines).
+  // Includes the logit-cache hit/miss/eviction counters.
+  core::SearchStats search_stats;
 
   std::size_t valid_unique() const;
   std::size_t duplicates() const;
@@ -34,12 +38,24 @@ struct MemorizationRun {
   double throughput_per_1k_calls() const;
 };
 
+// Execution knobs for the ReLM run. Defaults reproduce the strict serial
+// Dijkstra the paper's comparison uses; expansion_batch > 1 pops that many
+// frontier nodes per (parallel) model batch, and cache_capacity > 0 wraps
+// the model in the suffix-keyed CachingModel. Results are identical across
+// thread counts for a fixed expansion_batch (see docs/PERFORMANCE.md).
+struct RelmRunOptions {
+  std::string label = "relm";
+  std::size_t expansion_batch = 1;
+  std::size_t cache_capacity = 0;
+};
+
 // ReLM: shortest-path over the URL pattern with prefix https://www. and
 // top-k 40 (§4.1).
 MemorizationRun run_relm_url_extraction(const World& world,
                                         const model::NgramModel& model,
                                         std::size_t max_results,
-                                        std::size_t max_expansions);
+                                        std::size_t max_expansions,
+                                        const RelmRunOptions& options = {});
 
 // Baseline: random sampling with stop length n and top-k 40, mirroring the
 // HuggingFace generation example.

@@ -1,12 +1,23 @@
 #include "model/language_model.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace relm::model {
 
 std::vector<std::vector<double>> LanguageModel::next_log_probs_batch(
     std::span<const std::vector<TokenId>> contexts) const {
-  std::vector<std::vector<double>> out;
-  out.reserve(contexts.size());
-  for (const auto& context : contexts) out.push_back(next_log_probs(context));
+  std::vector<std::vector<double>> out(contexts.size());
+  if (contexts.size() < 2) {
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      out[i] = next_log_probs(contexts[i]);
+    }
+    return out;
+  }
+  // Deterministic parallel map: whichever thread evaluates contexts[i], the
+  // distribution lands in out[i], so the result is byte-identical for every
+  // pool size (including 1).
+  util::ThreadPool::shared().parallel_for(
+      contexts.size(), [&](std::size_t i) { out[i] = next_log_probs(contexts[i]); });
   return out;
 }
 
@@ -30,6 +41,13 @@ std::uint64_t hash_tokens(std::span<const TokenId> tokens) {
     h ^= h >> 29;
   }
   return h;
+}
+
+std::span<const TokenId> relevant_suffix(const LanguageModel& model,
+                                         std::span<const TokenId> context) {
+  const std::size_t relevant = model.relevant_context_length();
+  if (relevant >= context.size()) return context;
+  return context.subspan(context.size() - relevant, relevant);
 }
 
 }  // namespace relm::model

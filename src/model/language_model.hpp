@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,18 @@ using tokenizer::TokenId;
 // backend could implement it without touching the engine.
 class LanguageModel {
  public:
+  // relevant_context_length() value meaning "the whole context matters".
+  static constexpr std::size_t kUnboundedContext = SIZE_MAX;
+
+  // Cache telemetry exposed by memoizing wrappers (CachingModel). Plain
+  // models report nothing; traversals surface the deltas in SearchStats.
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;  // current size, not cumulative
+  };
+
   virtual ~LanguageModel() = default;
 
   virtual std::size_t vocab_size() const = 0;
@@ -28,14 +41,37 @@ class LanguageModel {
 
   // Natural-log probabilities of every next token given the context. The
   // returned vector has vocab_size() entries and logsumexp == 0.
+  //
+  // Must be safe to call concurrently from multiple threads: the default
+  // next_log_probs_batch fans contexts out across the shared thread pool.
+  // A model with non-const evaluation state must either synchronize here or
+  // override next_log_probs_batch with a serial loop.
   virtual std::vector<double> next_log_probs(std::span<const TokenId> context) const = 0;
+
+  // Number of trailing context tokens that can influence next_log_probs:
+  // for every context c longer than this bound,
+  //   next_log_probs(c) == next_log_probs(last relevant_context_length()
+  //   tokens of c).
+  // An n-gram model of order n depends on at most n-1 tokens; a fixed-window
+  // neural model on its window. kUnboundedContext (the default) promises
+  // nothing, and callers must pass full contexts. CachingModel keys and
+  // evaluates on this suffix, which is what gives the cache structural hit
+  // rates (distinct traversal paths share suffixes); ShortestPathSearch uses
+  // it to avoid rebuilding full root-to-node paths per expansion.
+  virtual std::size_t relevant_context_length() const { return kUnboundedContext; }
 
   // Batched evaluation: one distribution per context. The paper's Executor
   // "schedules massive sets of test vectors on accelerators" (§3.3); this is
-  // the seam a GPU-backed implementation overrides. The default evaluates
-  // sequentially, preserving semantics on CPU-only backends.
+  // the seam a GPU-backed implementation overrides. The default fans the
+  // contexts out across util::ThreadPool::shared() and is deterministic:
+  // results come back in input order with values independent of thread count
+  // or scheduling (slot i always holds next_log_probs(contexts[i])).
   virtual std::vector<std::vector<double>> next_log_probs_batch(
       std::span<const std::vector<TokenId>> contexts) const;
+
+  // Cache telemetry, if this model memoizes (CachingModel). Cumulative over
+  // the model's lifetime; callers diff snapshots to attribute work.
+  virtual std::optional<CacheStats> cache_stats() const { return std::nullopt; }
 
   // Total log probability of `continuation` given `context`, chaining
   // next_log_probs. Non-virtual convenience.
@@ -46,5 +82,11 @@ class LanguageModel {
 // Order-sensitive 64-bit hash of a token sequence (FNV-1a with mixing).
 // Shared by the n-gram context tables and the logit cache.
 std::uint64_t hash_tokens(std::span<const TokenId> tokens);
+
+// The trailing slice of `context` that can influence `model`'s next-token
+// distribution: the last relevant_context_length() tokens, or all of them
+// when the context is shorter (or the model's dependence is unbounded).
+std::span<const TokenId> relevant_suffix(const LanguageModel& model,
+                                         std::span<const TokenId> context);
 
 }  // namespace relm::model

@@ -49,6 +49,13 @@ class MlpModel : public LanguageModel {
   }
   std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
 
+  // The fixed input window: fill_window reads only the last context_size
+  // tokens (EOS-padding shorter contexts), so older tokens cannot influence
+  // the distribution.
+  std::size_t relevant_context_length() const override {
+    return config_.context_size;
+  }
+
   // Mean cross-entropy (nats/token) over held-out sequences; the training
   // tests assert this improves across epochs.
   double cross_entropy(const std::vector<std::vector<TokenId>>& sequences) const;

@@ -1,8 +1,11 @@
 #include "model/ngram_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <list>
+#include <mutex>
 
 #include "util/errors.hpp"
 
@@ -202,34 +205,215 @@ std::vector<double> UniformModel::next_log_probs(std::span<const TokenId>) const
                              -std::log(static_cast<double>(vocab_size_)));
 }
 
-CachingModel::CachingModel(std::shared_ptr<const LanguageModel> inner,
-                           std::size_t capacity)
-    : inner_(std::move(inner)), capacity_(capacity) {}
+// ---------------------------------------------------------------------------
+// CachingModel: sharded LRU over relevant-suffix keys
+// ---------------------------------------------------------------------------
 
-std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> context) const {
-  std::uint64_t key = hash_tokens(context);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    for (const auto& [ctx, lp] : it->second) {
-      if (ctx.size() == context.size() &&
-          std::equal(ctx.begin(), ctx.end(), context.begin())) {
-        ++hits_;
-        return lp;
+namespace {
+constexpr std::size_t kCacheShards = 16;
+}  // namespace
+
+struct CachingModel::Shard {
+  struct Entry {
+    std::uint64_t hash;
+    std::vector<TokenId> suffix;  // stored to rule out hash collisions
+    std::vector<double> log_probs;
+  };
+
+  mutable std::mutex mutex;
+  std::size_t capacity = 0;  // this shard's entry budget
+  // LRU list, front = most recently used; the index maps a suffix hash to
+  // every live entry with that hash (collisions resolved by comparison).
+  std::list<Entry> lru;
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> index;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+
+  // Looks up `suffix`, refreshing recency. Returns nullptr on miss. Counts
+  // the hit/miss. Caller holds `mutex`.
+  const std::vector<double>* find(std::uint64_t hash,
+                                  std::span<const TokenId> suffix) {
+    auto bucket = index.find(hash);
+    if (bucket != index.end()) {
+      for (auto entry_it : bucket->second) {
+        if (entry_it->suffix.size() == suffix.size() &&
+            std::equal(entry_it->suffix.begin(), entry_it->suffix.end(),
+                       suffix.begin())) {
+          ++hits;
+          lru.splice(lru.begin(), lru, entry_it);
+          return &entry_it->log_probs;
+        }
       }
     }
+    ++misses;
+    return nullptr;
   }
-  ++misses_;
-  std::vector<double> lp = inner_->next_log_probs(context);
-  if (eviction_queue_.size() >= capacity_) {
-    // FIFO eviction of whole buckets; crude but bounded.
-    std::size_t evict = eviction_queue_.size() / 2;
-    for (std::size_t i = 0; i < evict; ++i) cache_.erase(eviction_queue_[i]);
-    eviction_queue_.erase(eviction_queue_.begin(),
-                          eviction_queue_.begin() + static_cast<std::ptrdiff_t>(evict));
+
+  // Inserts unless an equal entry raced in meanwhile; evicts the LRU tail to
+  // stay within capacity. Caller holds `mutex`.
+  void insert(std::uint64_t hash, std::span<const TokenId> suffix,
+              const std::vector<double>& log_probs) {
+    if (capacity == 0) return;
+    auto bucket = index.find(hash);
+    if (bucket != index.end()) {
+      for (auto entry_it : bucket->second) {
+        if (entry_it->suffix.size() == suffix.size() &&
+            std::equal(entry_it->suffix.begin(), entry_it->suffix.end(),
+                       suffix.begin())) {
+          return;  // another thread filled it between our probe and now
+        }
+      }
+    }
+    while (lru.size() >= capacity) {
+      const Entry& victim = lru.back();
+      auto victim_bucket = index.find(victim.hash);
+      auto& entries = victim_bucket->second;
+      auto last = std::prev(lru.end());
+      entries.erase(std::find(entries.begin(), entries.end(), last));
+      if (entries.empty()) index.erase(victim_bucket);
+      lru.pop_back();
+      ++evictions;
+    }
+    lru.push_front(Entry{hash,
+                         std::vector<TokenId>(suffix.begin(), suffix.end()),
+                         log_probs});
+    index[hash].push_back(lru.begin());
   }
-  cache_[key].emplace_back(std::vector<TokenId>(context.begin(), context.end()), lp);
-  eviction_queue_.push_back(key);
+};
+
+CachingModel::CachingModel(std::shared_ptr<const LanguageModel> inner,
+                           std::size_t capacity)
+    : inner_(std::move(inner)),
+      capacity_(capacity),
+      shards_(std::make_unique<Shard[]>(kCacheShards)) {
+  // Distribute the entry budget so shard capacities sum exactly to
+  // capacity_: the bound counts entries across the whole cache, not keys or
+  // shards (a rounded-up per-shard quota would overshoot small capacities).
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    shards_[s].capacity = capacity_ / kCacheShards +
+                          (s < capacity_ % kCacheShards ? 1 : 0);
+  }
+}
+
+CachingModel::~CachingModel() = default;
+
+CachingModel::Shard& CachingModel::shard_for(std::uint64_t hash) const {
+  // hash_tokens' per-step mixing leaves the high bits correlated for short
+  // suffixes (nearby token ids cluster into a few shards), so run the value
+  // through a full-avalanche finalizer (MurmurHash3 fmix64) before taking
+  // shard bits. The raw hash still keys the in-shard bucket.
+  std::uint64_t x = hash;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return shards_[x & (kCacheShards - 1)];
+}
+
+std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> context) const {
+  const std::span<const TokenId> suffix = relevant_suffix(*inner_, context);
+  const std::uint64_t hash = hash_tokens(suffix);
+  Shard& shard = shard_for(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const std::vector<double>* cached = shard.find(hash, suffix)) {
+      return *cached;
+    }
+  }
+  std::vector<double> lp = inner_->next_log_probs(suffix);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.insert(hash, suffix, lp);
+  }
   return lp;
 }
+
+std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
+    std::span<const std::vector<TokenId>> contexts) const {
+  std::vector<std::vector<double>> out(contexts.size());
+
+  // Probe phase: serve hits, dedup misses by suffix so each distinct context
+  // is evaluated once per batch.
+  struct Miss {
+    std::uint64_t hash;
+    std::vector<TokenId> suffix;
+    std::vector<std::size_t> outputs;  // batch slots waiting on this suffix
+  };
+  std::vector<Miss> misses;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> miss_index;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const std::span<const TokenId> suffix = relevant_suffix(*inner_, contexts[i]);
+    const std::uint64_t hash = hash_tokens(suffix);
+    Shard& shard = shard_for(hash);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (const std::vector<double>* cached = shard.find(hash, suffix)) {
+        out[i] = *cached;
+        continue;
+      }
+    }
+    auto& candidates = miss_index[hash];
+    bool joined = false;
+    for (std::size_t m : candidates) {
+      if (misses[m].suffix.size() == suffix.size() &&
+          std::equal(misses[m].suffix.begin(), misses[m].suffix.end(),
+                     suffix.begin())) {
+        misses[m].outputs.push_back(i);
+        joined = true;
+        // The probe above counted this slot as a miss, but it is served by
+        // the batch's pending evaluation without an extra model call:
+        // reclassify as a hit so hit rates reflect evaluations saved.
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        --shard.misses;
+        ++shard.hits;
+        break;
+      }
+    }
+    if (!joined) {
+      candidates.push_back(misses.size());
+      misses.push_back(Miss{hash,
+                            std::vector<TokenId>(suffix.begin(), suffix.end()),
+                            {i}});
+    }
+  }
+
+  if (misses.empty()) return out;
+
+  // Evaluate the distinct missing suffixes in one (parallel) inner batch.
+  std::vector<std::vector<TokenId>> eval_contexts;
+  eval_contexts.reserve(misses.size());
+  for (const Miss& m : misses) eval_contexts.push_back(m.suffix);
+  std::vector<std::vector<double>> lps = inner_->next_log_probs_batch(eval_contexts);
+
+  // Insert + scatter in input order.
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    Shard& shard = shard_for(misses[m].hash);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.insert(misses[m].hash, misses[m].suffix, lps[m]);
+    }
+    for (std::size_t slot : misses[m].outputs) out[slot] = lps[m];
+  }
+  return out;
+}
+
+std::optional<LanguageModel::CacheStats> CachingModel::cache_stats() const {
+  CacheStats stats;
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    stats.hits += shards_[s].hits;
+    stats.misses += shards_[s].misses;
+    stats.evictions += shards_[s].evictions;
+    stats.entries += shards_[s].lru.size();
+  }
+  return stats;
+}
+
+std::size_t CachingModel::hits() const { return cache_stats()->hits; }
+std::size_t CachingModel::misses() const { return cache_stats()->misses; }
+std::size_t CachingModel::evictions() const { return cache_stats()->evictions; }
+std::size_t CachingModel::entries() const { return cache_stats()->entries; }
 
 }  // namespace relm::model

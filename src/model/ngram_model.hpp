@@ -70,6 +70,15 @@ class NgramModel : public LanguageModel {
   }
   std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
 
+  // An order-n model reads at most the last n-1 tokens: next_log_probs
+  // interpolates tables of context length 0..n-1, and the EOS document
+  // anchoring only triggers for contexts already shorter than n-1 (which
+  // relevant_suffix leaves untouched). tests/test_model.cpp pins this
+  // suffix equivalence.
+  std::size_t relevant_context_length() const override {
+    return config_.order - 1;
+  }
+
   const Config& config() const { return config_; }
   std::size_t num_contexts() const;
 
@@ -130,6 +139,7 @@ class UniformModel : public LanguageModel {
   TokenId eos() const override { return eos_; }
   std::size_t max_sequence_length() const override { return max_len_; }
   std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
+  std::size_t relevant_context_length() const override { return 0; }
 
  private:
   std::size_t vocab_size_;
@@ -141,31 +151,51 @@ class UniformModel : public LanguageModel {
 // contexts frequently (every random-traversal sample re-walks the prefix;
 // Dijkstra siblings share parents), which in the paper is hidden by GPU
 // batching; here a cache fills the same role.
+//
+// Entries are keyed on the inner model's *relevant suffix* (see
+// LanguageModel::relevant_context_length): for an order-n n-gram, two
+// distinct traversal paths ending in the same n-1 tokens share one cache
+// entry — full-path keys would make almost every lookup a miss. Eviction is
+// true LRU over a sharded table (one mutex per shard), safe under the
+// parallel next_log_probs_batch path; the capacity bounds *entries* across
+// all shards, never exceeded regardless of hash collisions.
 class CachingModel : public LanguageModel {
  public:
   CachingModel(std::shared_ptr<const LanguageModel> inner, std::size_t capacity = 1 << 16);
+  ~CachingModel() override;
 
   std::size_t vocab_size() const override { return inner_->vocab_size(); }
   TokenId eos() const override { return inner_->eos(); }
   std::size_t max_sequence_length() const override {
     return inner_->max_sequence_length();
   }
+  std::size_t relevant_context_length() const override {
+    return inner_->relevant_context_length();
+  }
   std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
 
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  // Probes the cache for every context, batch-evaluates the distinct missing
+  // suffixes through the inner model (one parallel batch), and fills results
+  // in input order. Duplicate suffixes within a batch are evaluated once.
+  std::vector<std::vector<double>> next_log_probs_batch(
+      std::span<const std::vector<TokenId>> contexts) const override;
+
+  std::optional<CacheStats> cache_stats() const override;
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t evictions() const;
+  std::size_t entries() const;  // current entry count, <= capacity()
+  std::size_t capacity() const { return capacity_; }
 
  private:
+  struct Shard;
+
+  Shard& shard_for(std::uint64_t hash) const;
+
   std::shared_ptr<const LanguageModel> inner_;
   std::size_t capacity_;
-  // FIFO-evicted map keyed by an order-sensitive context hash plus the full
-  // context (stored to rule out collisions).
-  mutable std::unordered_map<std::uint64_t,
-                             std::vector<std::pair<std::vector<TokenId>, std::vector<double>>>>
-      cache_;
-  mutable std::vector<std::uint64_t> eviction_queue_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace relm::model

@@ -9,7 +9,13 @@
 //               [--encodings canonical|all] [--edits N] [--top-k K]
 //               [--top-p P] [--temperature T]
 //               [--results N] [--samples N] [--require-eos] [--seed N]
+//               [--threads N] [--cache-capacity N] [--batch N]
 //       Run a ReLM query against a saved model and stream the matches.
+//       --threads sizes the shared evaluation pool (default: RELM_THREADS or
+//       hardware concurrency); --cache-capacity bounds the suffix-keyed
+//       logit cache (default 65536 entries, 0 disables); --batch sets the
+//       shortest-path frontier expansion batch (default 1 = strict
+//       Dijkstra). See docs/PERFORMANCE.md.
 //
 //   relm grep   --dir DIR --pattern REGEX [--max N]
 //       Scan the (regenerated) corpus with the DFA grep.
@@ -50,6 +56,7 @@
 #include "tokenizer/serialize.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -206,8 +213,20 @@ int cmd_build(const Args& args) {
 int cmd_query(const Args& args) {
   std::string dir = args.require("dir");
   Artifacts art = load_artifacts(dir);
-  const model::NgramModel& model =
-      args.get_or("model", "xl") == "small" ? *art.small : *art.xl;
+  std::shared_ptr<model::NgramModel> ngram =
+      args.get_or("model", "xl") == "small" ? art.small : art.xl;
+
+  long threads = args.get_long("threads", 0);
+  if (threads > 0) {
+    util::ThreadPool::set_shared_threads(static_cast<std::size_t>(threads));
+  }
+  // Wrap the simulator in the suffix-keyed logit cache unless disabled.
+  long cache_capacity = args.get_long("cache-capacity", 1 << 16);
+  std::shared_ptr<const model::LanguageModel> model = ngram;
+  if (cache_capacity > 0) {
+    model = std::make_shared<model::CachingModel>(
+        ngram, static_cast<std::size_t>(cache_capacity));
+  }
 
   core::SimpleSearchQuery query;
   query.query_string.query_str = args.require("pattern");
@@ -227,6 +246,8 @@ int cmd_query(const Args& args) {
   query.max_results = static_cast<std::size_t>(args.get_long("results", 10));
   query.num_samples = static_cast<std::size_t>(args.get_long("samples", 10));
   query.require_eos = args.has("require-eos");
+  long batch = args.get_long("batch", 1);
+  if (batch > 1) query.expansion_batch_size = static_cast<std::size_t>(batch);
   long edits = args.get_long("edits", 0);
   if (edits > 0) {
     query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
@@ -235,7 +256,7 @@ int cmd_query(const Args& args) {
   std::uint64_t seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
 
   util::Timer timer;
-  SearchOutcome outcome = search(model, art.tokenizer, query, seed);
+  SearchOutcome outcome = search(*model, art.tokenizer, query, seed);
   for (const auto& result : outcome.results) {
     std::printf("%10.3f  %s\n", result.log_prob, result.text.c_str());
   }
@@ -245,6 +266,14 @@ int cmd_query(const Args& args) {
                outcome.results.size(), outcome.stats.llm_calls,
                outcome.stats.pruned_by_rules, outcome.stats.pruned_non_canonical,
                timer.seconds());
+  if (cache_capacity > 0) {
+    std::fprintf(stderr,
+                 "[cache: %zu hits / %zu misses (%.1f%% hit rate), "
+                 "%zu evictions]\n",
+                 outcome.stats.cache_hits, outcome.stats.cache_misses,
+                 100.0 * outcome.stats.cache_hit_rate(),
+                 outcome.stats.cache_evictions);
+  }
   return 0;
 }
 

@@ -1,0 +1,160 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relm::util {
+
+namespace {
+
+// True while the current thread is executing loop bodies for some pool;
+// nested parallel_for calls fall back to serial execution.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One fork-join dispatch. Heap-allocated and shared so a worker woken late
+  // (after the loop already drained) still holds a valid object: it grabs an
+  // index >= n and exits without touching anything.
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::shared_ptr<Job> current;  // guarded by mutex
+  bool stop = false;             // guarded by mutex
+  // Serializes parallel_for callers; held for the whole loop.
+  std::mutex caller_mutex;
+
+  static void run(Job& job) {
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1);
+      if (i >= job.n) break;
+      try {
+        job.fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.completed.fetch_add(1) + 1 == job.n) {
+        // Lock pairs with the caller's predicate check so the final
+        // notification cannot slip between its check and its wait.
+        std::lock_guard<std::mutex> lock(job.mutex);
+        job.done.notify_all();
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  void worker_loop() {
+    std::shared_ptr<Job> last;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock, [&] { return stop || (current && current != last); });
+      if (stop) return;
+      std::shared_ptr<Job> job = current;
+      last = job;
+      lock.unlock();
+      run(*job);
+      lock.lock();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::threads() const { return impl_->workers.size() + 1; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Serial fast paths: no workers, a single index, or a nested call (which
+  // would otherwise self-deadlock on caller_mutex).
+  if (impl_->workers.empty() || n == 1 || t_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> caller(impl_->caller_mutex);
+  auto job = std::make_shared<Impl::Job>();
+  job->fn = fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current = job;
+  }
+  impl_->work_cv.notify_all();
+
+  Impl::run(*job);  // the calling thread is one of the pool's lanes
+
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&] { return job->completed.load() == job->n; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RELM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::mutex g_shared_mutex;
+std::unique_ptr<ThreadPool> g_shared_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (!g_shared_pool) {
+    g_shared_pool = std::make_unique<ThreadPool>(default_thread_count());
+  }
+  return *g_shared_pool;
+}
+
+void ThreadPool::set_shared_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  g_shared_pool = std::make_unique<ThreadPool>(threads > 0 ? threads : 1);
+}
+
+}  // namespace relm::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace relm::util {
+
+// Fixed-size fork-join thread pool for data-parallel loops.
+//
+// The only primitive is parallel_for(n, fn): fn(i) runs exactly once for
+// every i in [0, n), distributed across the pool's threads plus the calling
+// thread, and parallel_for returns only after all n indices completed. There
+// is no work stealing and no task graph — the model-evaluation hot path
+// (LanguageModel::next_log_probs_batch) needs exactly a parallel map, and a
+// parallel map indexed by input position is deterministic by construction:
+// whatever thread computes index i, the result lands in slot i, so outputs
+// are identical for every thread count (see docs/PERFORMANCE.md).
+//
+// Nested parallel_for calls (fn itself calling parallel_for, on this or any
+// pool) degrade to serial execution on the calling thread instead of
+// deadlocking. Concurrent parallel_for calls from distinct threads are
+// serialized.
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread:
+  // ThreadPool(4) spawns 3 workers and the caller participates as the 4th.
+  // threads <= 1 spawns no workers and parallel_for runs serially.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + calling thread); >= 1.
+  std::size_t threads() const;
+
+  // Runs fn(i) for every i in [0, n), blocking until all complete. The first
+  // exception thrown by any fn is rethrown on the calling thread after the
+  // loop drains (remaining indices still run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool used by LanguageModel::next_log_probs_batch. Sized on
+  // first use from the RELM_THREADS environment variable, falling back to
+  // std::thread::hardware_concurrency().
+  static ThreadPool& shared();
+
+  // Replaces the shared pool with one of the given size (clamped to >= 1).
+  // Call at startup (e.g. from a --threads flag) before queries run; the old
+  // pool is joined and destroyed, so no parallel_for may be in flight.
+  static void set_shared_threads(std::size_t threads);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace relm::util

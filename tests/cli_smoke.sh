@@ -20,6 +20,15 @@ OUT="$("$RELM" query --dir "$DIR" \
 echo "$OUT" | grep -q "was trained in"
 test "$(echo "$OUT" | wc -l)" -eq 4
 
+# The parallel/caching knobs must not change query results: same rows as
+# the serial run above, and the cache stats line lands on stderr.
+PAR="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --threads 2 --cache-capacity 1024 --batch 4 2>"$DIR/stderr.txt")"
+test "$PAR" = "$OUT"
+grep -q "cache:" "$DIR/stderr.txt"
+
 "$RELM" analyze --dir "$DIR" --pattern "(cat)|(dog)" | grep -q "finite"
 
 "$RELM" sample --dir "$DIR" --n 3 --seed 1 2>/dev/null | grep -q '"'

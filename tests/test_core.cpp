@@ -18,6 +18,7 @@
 #include "core/relm.hpp"
 #include "model/ngram_model.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relm::core {
 namespace {
@@ -949,6 +950,97 @@ TEST(FailureInjection, AllMassOnEosStillTerminates) {
   auto samples = sampler.sample_all();
   EXPECT_TRUE(samples.empty());
   EXPECT_GT(sampler.stats().sample_dead_ends, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel batch evaluation: determinism and cache accounting
+// ---------------------------------------------------------------------------
+
+TEST(ParallelBatch, SearchResultsIndependentOfThreadCount) {
+  // The determinism guarantee: identical result streams (tokens, text,
+  // scores, call counts) for any shared-pool size, including pool sizes
+  // larger and smaller than the expansion batch.
+  auto model = fixture_model();
+  const BpeTokenizer& tok = fixture_tokenizer();
+  SimpleSearchQuery query;
+  query.query_string = {"The ((cat)|(dog)|(mat))( (sat|ran))?", "The"};
+  query.max_results = 20;
+  query.expansion_batch_size = 8;
+  CompiledQuery compiled = CompiledQuery::compile(query, tok);
+
+  util::ThreadPool::set_shared_threads(1);
+  auto reference = ShortestPathSearch(*model, compiled, query).all();
+  ASSERT_FALSE(reference.empty());
+
+  for (std::size_t threads : {2u, 4u, 16u}) {
+    util::ThreadPool::set_shared_threads(threads);
+    auto parallel = ShortestPathSearch(*model, compiled, query).all();
+    ASSERT_EQ(parallel.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(parallel[i].tokens, reference[i].tokens);
+      EXPECT_EQ(parallel[i].text, reference[i].text);
+      EXPECT_DOUBLE_EQ(parallel[i].log_prob, reference[i].log_prob);
+      EXPECT_EQ(parallel[i].llm_calls_at_emission,
+                reference[i].llm_calls_at_emission);
+    }
+  }
+  util::ThreadPool::set_shared_threads(1);
+}
+
+TEST(ParallelBatch, ModelBatchMatchesSerialEvaluation) {
+  // The default next_log_probs_batch fans out over the shared pool; results
+  // must land in input order with values identical to serial calls.
+  auto model = fixture_model();
+  const BpeTokenizer& tok = fixture_tokenizer();
+  std::vector<std::vector<TokenId>> contexts;
+  for (const char* s : {"The cat", "The dog ran", "The", "The cat sat on",
+                        "The dog", "The mat", "The cat sat", "The dog ran far"}) {
+    contexts.push_back(tok.encode(s));
+  }
+  std::vector<std::vector<double>> serial;
+  for (const auto& ctx : contexts) serial.push_back(model->next_log_probs(ctx));
+
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    util::ThreadPool::set_shared_threads(threads);
+    EXPECT_EQ(model->next_log_probs_batch(contexts), serial)
+        << threads << " threads";
+  }
+  util::ThreadPool::set_shared_threads(1);
+}
+
+TEST(ParallelBatch, SearchStatsReportCacheActivity) {
+  // A search over a caching model attributes the cache's hit/miss deltas to
+  // its own stats; the same search on the bare model reports zeros.
+  auto inner = fixture_model();
+  SimpleSearchQuery query;
+  query.query_string = {"The ((cat)|(dog)|(mat)) ((sat)|(ran))", "The"};
+  query.max_results = 10;
+  query.expansion_batch_size = 4;
+  CompiledQuery compiled = CompiledQuery::compile(query, fixture_tokenizer());
+
+  ShortestPathSearch bare(*inner, compiled, query);
+  bare.all();
+  EXPECT_EQ(bare.stats().cache_hits, 0u);
+  EXPECT_EQ(bare.stats().cache_misses, 0u);
+  EXPECT_EQ(bare.stats().cache_hit_rate(), 0.0);
+
+  model::CachingModel cached(inner);
+  // Pre-existing counters must not leak into the search's deltas.
+  cached.next_log_probs(fixture_tokenizer().encode("The cat"));
+  const std::size_t warm_misses = cached.misses();
+  EXPECT_GT(warm_misses, 0u);
+
+  ShortestPathSearch first(cached, compiled, query);
+  first.all();
+  EXPECT_GT(first.stats().cache_misses, 0u);
+  EXPECT_EQ(first.stats().cache_misses + warm_misses, cached.misses());
+
+  // A repeated run hits what the first one populated.
+  ShortestPathSearch second(cached, compiled, query);
+  second.all();
+  EXPECT_GT(second.stats().cache_hits, 0u);
+  EXPECT_GT(second.stats().cache_hit_rate(), 0.0);
+  EXPECT_LT(second.stats().cache_misses, first.stats().cache_misses);
 }
 
 TEST(FailureInjection, ZeroExpansionBatchTreatedAsOne) {

@@ -143,6 +143,89 @@ TEST(CachingModel, DistinguishesContexts) {
   EXPECT_EQ(cached.hits(), 0u);
 }
 
+TEST(NgramModel, SuffixEquivalence) {
+  // The model's distribution depends on at most order-1 trailing tokens:
+  // next_log_probs(ctx) must equal next_log_probs(suffix) exactly. This is
+  // the contract relevant_context_length() advertises and the suffix-keyed
+  // cache relies on.
+  Fixture f;
+  ASSERT_EQ(f.model->relevant_context_length(), f.model->config().order - 1);
+  auto ctx = f.tok.encode("The dog ran to the park. The cat sat on the");
+  ASSERT_GT(ctx.size(), f.model->relevant_context_length());
+  std::vector<tokenizer::TokenId> suffix(
+      ctx.end() - static_cast<std::ptrdiff_t>(f.model->relevant_context_length()),
+      ctx.end());
+  EXPECT_EQ(f.model->next_log_probs(ctx), f.model->next_log_probs(suffix));
+
+  // relevant_suffix() computes exactly that view.
+  auto view = relevant_suffix(*f.model, ctx);
+  EXPECT_EQ(std::vector<tokenizer::TokenId>(view.begin(), view.end()), suffix);
+}
+
+TEST(CachingModel, SuffixKeyedHits) {
+  // Distinct full contexts sharing their last order-1 tokens map to one
+  // cache entry: the second lookup is a hit, not a second miss.
+  Fixture f;
+  CachingModel cached(f.model);
+  auto a = cached.next_log_probs(
+      f.tok.encode("The dog ran to the park. The cat sat on the"));
+  auto b = cached.next_log_probs(f.tok.encode("The dog sat on the"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.entries(), 1u);
+}
+
+TEST(CachingModel, EntryCountNeverExceedsCapacity) {
+  // Regression: the old half-table purge keyed on hash buckets, so the
+  // table could hold up to 2x capacity entries. The LRU bounds *entries*.
+  Fixture f;
+  const std::size_t capacity = 10;
+  CachingModel cached(f.model, capacity);
+  EXPECT_EQ(cached.capacity(), capacity);
+  for (tokenizer::TokenId t = 0; t < 100; ++t) {
+    std::vector<tokenizer::TokenId> ctx = {
+        t, static_cast<tokenizer::TokenId>(t + 1)};
+    cached.next_log_probs(ctx);
+    EXPECT_LE(cached.entries(), capacity);
+  }
+  EXPECT_EQ(cached.misses(), 100u);
+  // Every eviction and every resident entry came from a miss (with a
+  // capacity below the shard count, some inserts are dropped outright, so
+  // this is an inequality).
+  EXPECT_LE(cached.evictions() + cached.entries(), cached.misses());
+  EXPECT_GT(cached.evictions(), 0u);
+}
+
+TEST(CachingModel, BatchDeduplicatesMisses) {
+  // A batch with repeated (suffix-equivalent) contexts evaluates each
+  // distinct suffix once; duplicates count as hits.
+  Fixture f;
+  CachingModel cached(f.model);
+  auto ctx_a = f.tok.encode("The cat sat on the");
+  auto ctx_b = f.tok.encode("The dog ran to the");
+  std::vector<std::vector<tokenizer::TokenId>> batch = {ctx_a, ctx_b, ctx_a,
+                                                        ctx_b, ctx_a};
+  auto out = cached.next_log_probs_batch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  EXPECT_EQ(out[0], out[2]);
+  EXPECT_EQ(out[0], out[4]);
+  EXPECT_EQ(out[1], out[3]);
+  EXPECT_EQ(out[0], f.model->next_log_probs(ctx_a));
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(cached.hits(), 3u);
+
+  auto stats = cached.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->hits, 3u);
+  EXPECT_EQ(stats->misses, 2u);
+  EXPECT_EQ(stats->entries, 2u);
+  EXPECT_EQ(stats->evictions, 0u);
+
+  // The inner model reports no cache.
+  EXPECT_FALSE(f.model->cache_stats().has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Decoding rules
 // ---------------------------------------------------------------------------

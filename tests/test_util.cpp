@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relm::util {
 namespace {
@@ -123,6 +128,71 @@ TEST(Strings, RegexEscapeRoundTrip) {
   EXPECT_EQ(regex_escape("a.b"), "a\\.b");
   EXPECT_EQ(regex_escape("x{2}"), "x\\{2\\}");
   EXPECT_EQ(regex_escape("(a|b)*"), "\\(a\\|b\\)\\*");
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(257);
+  pool.parallel_for(touched.size(),
+                    [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ResultsInInputOrderAnyThreadCount) {
+  // out[i] must equal f(i) regardless of which thread ran it; more items
+  // than threads so the queue wraps.
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::size_t> out(1000, 0);
+    pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<int> out(16, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 16);
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Re-entrant use from a worker must not deadlock; it runs serially on
+    // the calling thread.
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool remains usable after a failed job.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, SharedPoolResizable) {
+  ThreadPool::set_shared_threads(3);
+  EXPECT_EQ(ThreadPool::shared().threads(), 3u);
+  std::vector<int> out(64, 0);
+  ThreadPool::shared().parallel_for(out.size(),
+                                    [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+  ThreadPool::set_shared_threads(1);
 }
 
 }  // namespace
