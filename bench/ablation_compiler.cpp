@@ -18,6 +18,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("ablation_compiler — design-choice ablations",
                       "DESIGN.md §4 (canonical strategies, caching, "
                       "normalization)");
@@ -112,5 +113,6 @@ int main() {
                   static_cast<double>(a_count) / samples.size(), 1.0 / 9.0);
     }
   }
+  bench::print_bench_json_footer("ablation_compiler", bench_timer.seconds());
   return 0;
 }

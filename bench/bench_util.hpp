@@ -7,12 +7,38 @@
 // the paper states them. Scale with RELM_BENCH_SCALE (default 1.0).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "experiments/setup.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace relm::bench {
+
+// True when RELM_BENCH_JSON asks for machine-readable output lines.
+inline bool bench_json_enabled() {
+  const char* v = std::getenv("RELM_BENCH_JSON");
+  return v && *v && std::string(v) != "0";
+}
+
+// Serialized metrics registry snapshot (counters, gauges, per-phase latency
+// histograms) for embedding in a BENCH_JSON line.
+inline std::string metrics_json() {
+  return obs::Registry::instance().snapshot().to_json();
+}
+
+// Appends the standard machine-readable footer: one BENCH_JSON line with the
+// binary's name, wall time, and the full metrics snapshot accumulated over
+// the run. No-op unless RELM_BENCH_JSON is set.
+inline void print_bench_json_footer(const std::string& bench,
+                                    double wall_seconds) {
+  if (!bench_json_enabled()) return;
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"scale\":%.3f,"
+              "\"wall_seconds\":%.4f,\"metrics\":%s}\n",
+              bench.c_str(), experiments::bench_scale_from_env(), wall_seconds,
+              metrics_json().c_str());
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("=============================================================\n");

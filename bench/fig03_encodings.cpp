@@ -36,6 +36,7 @@ double non_canonical_rate(const model::NgramModel& model,
 }  // namespace
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig03_encodings — encoding multiplicity & canonicality",
                       "Figure 3 / §3.2: full vs canonical encodings");
   World world = bench::build_bench_world();
@@ -69,5 +70,6 @@ int main() {
       "the simulators are trained with a deliberately higher non-canonical "
       "mixture than GPT-2 exhibits (DESIGN.md) so the Figure 7a collapse has "
       "a count-level mechanism; the measured rate reflects that choice");
+  bench::print_bench_json_footer("fig03_encodings", bench_timer.seconds());
   return 0;
 }

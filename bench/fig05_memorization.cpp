@@ -14,6 +14,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig05_memorization — URL extraction progress",
                       "Figure 5 (§4.1): ReLM extracts valid URLs faster than "
                       "fixed-stop-length random sampling");
@@ -78,5 +79,6 @@ int main() {
   bench::print_footnote(
       "paper shape: ReLM dominates every fixed-n baseline; short n truncate "
       "URLs, long n waste calls on duplicates");
+  bench::print_bench_json_footer("fig05_memorization", bench_timer.seconds());
   return 0;
 }

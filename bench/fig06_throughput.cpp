@@ -190,7 +190,7 @@ int main() {
         "\"threads\":%zu,\"expansion_batch\":16,"
         "\"speedup_1_thread\":%.3f,\"speedup_%zu_threads\":%.3f,"
         "\"deterministic_across_threads\":%s,\"same_urls_as_serial\":%s,"
-        "\"budget_truncated\":%s}\n",
+        "\"budget_truncated\":%s,\"metrics\":%s}\n",
         scale, serial_wall, relm_run.total_llm_calls(), relm_run.valid_unique(),
         bt1_wall, bt1.total_llm_calls(), bt1.search_stats.cache_hit_rate(),
         pool_threads, btn_wall, btn.total_llm_calls(),
@@ -198,7 +198,7 @@ int main() {
         bt1_wall > 0 ? serial_wall / bt1_wall : 0.0, pool_threads,
         btn_wall > 0 ? serial_wall / btn_wall : 0.0,
         deterministic ? "true" : "false", same_urls ? "true" : "false",
-        truncated ? "true" : "false");
+        truncated ? "true" : "false", bench::metrics_json().c_str());
   }
 
   // Determinism and (untruncated) set-equivalence are correctness

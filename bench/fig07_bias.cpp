@@ -36,6 +36,7 @@ void print_run(const BiasRun& run) {
 }  // namespace
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig07_bias — gender bias across query variants",
                       "Figure 7 + Observations 2/3 (§4.2)");
   World world = bench::build_bench_world();
@@ -67,5 +68,6 @@ int main() {
       "for 7a and 7c regardless of gender; 7b shows medicine/social "
       "sciences/art toward women, computer science/engineering/information "
       "systems toward men");
+  bench::print_bench_json_footer("fig07_bias", bench_timer.seconds());
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig08_toxicity — prompted and unprompted extraction",
                       "Figure 8 + Observations 4/5 (§4.3)");
   World world = bench::build_bench_world();
@@ -73,5 +74,6 @@ int main() {
       "paper shape: prompting helps; canonical-only misses content the model "
       "memorized in one-edit variant spellings; encodings multiply sequence "
       "counts");
+  bench::print_bench_json_footer("fig08_toxicity", bench_timer.seconds());
   return 0;
 }

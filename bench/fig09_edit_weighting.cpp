@@ -27,6 +27,7 @@ stats::EmpiricalCdf edit_cdf(const World& world, bool walk_normalized,
 }  // namespace
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header(
       "fig09_edit_weighting — CDF of prefix edit positions",
       "Figure 9 (§C): unnormalized sampling biases edits to early positions");
@@ -52,5 +53,6 @@ int main() {
   bench::print_footnote(
       "shape to check: the uniform CDF saturates within a few characters; the "
       "normalized CDF rises roughly linearly across the prefix");
+  bench::print_bench_json_footer("fig09_edit_weighting", bench_timer.seconds());
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig10_memorization_full — full run with duplicate rates",
                       "Figure 10 (§F): duplicates dominate small-n baselines; "
                       "ReLM never duplicates");
@@ -51,5 +52,6 @@ int main() {
   bench::print_footnote(
       "paper shape: dup rate falls as n grows (more entropy per sample) but "
       "valid throughput stays poor; ReLM avoids duplicates by construction");
+  bench::print_bench_json_footer("fig10_memorization_full", bench_timer.seconds());
   return 0;
 }

@@ -39,6 +39,7 @@ void print_grid(const World& world, const model::NgramModel& model,
 }  // namespace
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig13_bias_grid_xl — encodings x edits grid (sim-xl)",
                       "Figure 13 (§F): prefix variants of the bias query on "
                       "the 1.5B-analogue model");
@@ -49,5 +50,6 @@ int main() {
   bench::print_footnote(
       "shape to check: canonical panels show the stereotyped associations; "
       "edit panels flatten the distribution and favor art");
+  bench::print_bench_json_footer("fig13_bias_grid_xl", bench_timer.seconds());
   return 0;
 }

@@ -9,6 +9,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("fig14_bias_grid_small — encodings x edits grid (sim-small)",
                       "Figure 14 (§F): prefix variants of the bias query on "
                       "the 117M-analogue model");
@@ -41,5 +42,6 @@ int main() {
   bench::print_footnote(
       "shape to check: same qualitative behaviour as fig13 with weaker "
       "contrasts (the small model is flatter everywhere)");
+  bench::print_bench_json_footer("fig14_bias_grid_small", bench_timer.seconds());
   return 0;
 }

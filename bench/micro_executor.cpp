@@ -10,6 +10,8 @@
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
 #include "experiments/setup.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -161,6 +163,55 @@ void BM_RandomSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomSampling);
+
+// Observability overhead floor: the cost of an RELM_TRACE_SPAN at a site
+// when tracing is disabled (the default for every production run). This is
+// the per-span tax paid by the instrumented hot paths — it must stay at a
+// single relaxed atomic load (sub-nanosecond-ish), which the bench-gate's
+// shortest-path budget indirectly enforces end to end.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  if (obs::Trace::enabled()) obs::Trace::stop();
+  for (auto _ : state) {
+    RELM_TRACE_SPAN("bench.disabled_span");
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+// Span cost with tracing on: clock reads plus one per-thread buffered event
+// and one histogram observe.
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Trace::start();
+  for (auto _ : state) {
+    RELM_TRACE_SPAN("bench.enabled_span");
+    benchmark::DoNotOptimize(&state);
+  }
+  obs::Trace::stop();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+// Striped counter add — the fast path used by every executor/cache metric.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::Registry::instance().counter("bench.counter");
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+// Histogram observe: bucket search plus two striped adds.
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& h = obs::Registry::instance().histogram(
+      "bench.histogram", obs::Histogram::default_size_bounds());
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 4096.0 ? v + 1.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
 
 void BM_QueryCompilation(benchmark::State& state) {
   core::SimpleSearchQuery query = url_query(40);

@@ -11,6 +11,7 @@ using namespace relm;
 using namespace relm::experiments;
 
 int main() {
+  util::Timer bench_timer;
   bench::print_header("table1_lambada — zero-shot cloze accuracy",
                       "Table 1 + Observation 6 (§4.4)");
   World world = bench::build_bench_world();
@@ -59,5 +60,6 @@ int main() {
       "shape to check: monotone gains baseline->words->terminated->no_stop; "
       "sim-xl above sim-small; top predictions shift from generic words to "
       "content words");
+  bench::print_bench_json_footer("table1_lambada", bench_timer.seconds());
   return 0;
 }

@@ -13,11 +13,14 @@
 #   RELM_DCHECKS   force-enable RELM_DCHECK assertions even with NDEBUG
 #                  (they are on by default in Debug builds; see
 #                  util/errors.hpp and docs/STATIC_ANALYSIS.md).
+#   RELM_COVERAGE  instrument for line coverage (gcc --coverage / gcov);
+#                  pair with CMAKE_BUILD_TYPE=Debug and report with gcovr.
 
 set(RELM_SANITIZE "" CACHE STRING
     "Sanitizers to instrument with (address;undefined | thread | memory)")
 option(RELM_WERROR "Treat compiler warnings as errors" OFF)
 option(RELM_DCHECKS "Enable RELM_DCHECK assertions regardless of NDEBUG" OFF)
+option(RELM_COVERAGE "Instrument for gcov line coverage" OFF)
 
 add_library(relm_build_flags INTERFACE)
 
@@ -28,6 +31,12 @@ endif()
 
 if(RELM_DCHECKS)
   target_compile_definitions(relm_build_flags INTERFACE RELM_ENABLE_DCHECKS=1)
+endif()
+
+if(RELM_COVERAGE)
+  target_compile_options(relm_build_flags INTERFACE --coverage -O0)
+  target_link_options(relm_build_flags INTERFACE --coverage)
+  message(STATUS "relm: coverage instrumentation enabled")
 endif()
 
 if(RELM_SANITIZE)

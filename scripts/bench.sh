@@ -2,18 +2,35 @@
 # Performance snapshot driver: builds Release, runs the executor/compiler
 # microbenchmarks and the fig06 throughput comparison, and writes the
 # results to BENCH_<date>.json at the repo root (wall times, llm_calls,
-# cache hit rates; see docs/PERFORMANCE.md for how to read it).
+# cache hit rates, metrics registry snapshots; see docs/PERFORMANCE.md for
+# how to read it, and scripts/bench_compare.py for diffing two snapshots).
 #   scripts/bench.sh [scale]
 # Environment:
 #   RELM_BENCH_SCALE  workload scale for fig06 (overridden by argv[1])
+#   RELM_BENCH_OUT    output path (default BENCH_<date>.json in repo root)
 #   RELM_THREADS      default shared-pool size for the parallel batch API
 set -e
 cd "$(dirname "$0")/.."
 SCALE="${1:-${RELM_BENCH_SCALE:-1.0}}"
 BUILD=build-bench
-OUT="BENCH_$(date +%Y%m%d).json"
+OUT="${RELM_BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 
-if command -v ninja >/dev/null 2>&1; then GEN="-G Ninja"; else GEN=""; fi
+if command -v ninja >/dev/null 2>&1; then
+  GEN="-G Ninja"; GEN_NAME="Ninja"
+else
+  GEN=""; GEN_NAME="Unix Makefiles"
+fi
+# A build tree configured with a different generator (e.g. Makefiles before
+# ninja was installed) makes cmake hard-fail; detect and reconfigure instead
+# of aborting the run.
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  CACHED_GEN=$(sed -n 's/^CMAKE_GENERATOR:INTERNAL=//p' "$BUILD/CMakeCache.txt")
+  if [ -n "$CACHED_GEN" ] && [ "$CACHED_GEN" != "$GEN_NAME" ]; then
+    echo "[bench] $BUILD was configured with '$CACHED_GEN'," \
+         "reconfiguring for '$GEN_NAME'"
+    rm -rf "$BUILD"
+  fi
+fi
 # shellcheck disable=SC2086
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release $GEN >/dev/null
 cmake --build "$BUILD" -j --target micro_executor micro_compiler fig06_throughput >/dev/null
@@ -38,7 +55,10 @@ grep '^BENCH_JSON ' "$BUILD"/fig06.txt | sed 's/^BENCH_JSON //' \
     > "$BUILD"/fig06.json
 
 # Assemble the snapshot: fig06's end-to-end numbers plus both raw
-# google-benchmark reports.
+# google-benchmark reports. Written to a temp file and moved into place
+# atomically so a failed run (or a same-day rerun racing a reader) never
+# leaves a truncated $OUT behind.
+TMP_OUT=$(mktemp "$BUILD/bench_out.XXXXXX")
 {
   printf '{\n'
   printf '"date": "%s",\n' "$(date +%Y-%m-%d)"
@@ -50,10 +70,10 @@ grep '^BENCH_JSON ' "$BUILD"/fig06.txt | sed 's/^BENCH_JSON //' \
   printf ',\n"micro_compiler": '
   cat "$BUILD"/micro_compiler.json
   printf '\n}\n'
-} > "$OUT"
+} > "$TMP_OUT"
 
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool "$OUT" >/dev/null && echo "[bench] $OUT (valid JSON)"
-else
-  echo "[bench] $OUT"
+  python3 -m json.tool "$TMP_OUT" >/dev/null
 fi
+mv -f "$TMP_OUT" "$OUT"
+echo "[bench] $OUT"

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace relm::automata {
@@ -41,6 +43,9 @@ std::vector<StateId> epsilon_closure(const Nfa& nfa, std::vector<StateId> states
 }  // namespace
 
 Dfa determinize(const Nfa& nfa) {
+  RELM_TRACE_SPAN("automata.determinize");
+  static obs::Counter& runs = obs::Registry::instance().counter("automata.determinize.runs");
+  runs.add();
   RELM_DCHECK(nfa.num_states() > 0 && nfa.start() < nfa.num_states(),
               "determinize: NFA start state out of range");
   Dfa dfa(nfa.num_symbols());
@@ -206,6 +211,9 @@ Dfa bfs_renumber(const Dfa& dfa) {
 }  // namespace
 
 Dfa minimize(const Dfa& input) {
+  RELM_TRACE_SPAN("automata.minimize");
+  static obs::Counter& runs = obs::Registry::instance().counter("automata.minimize.runs");
+  runs.add();
   Dfa dfa = trim(input);
   std::size_t n = dfa.num_states();
   RELM_DCHECK(n <= input.num_states(),
@@ -261,6 +269,7 @@ Dfa minimize(const Dfa& input) {
 }
 
 Dfa minimize_hopcroft(const Dfa& input) {
+  RELM_TRACE_SPAN("automata.minimize");
   Dfa dfa = trim(input);
   const std::size_t n = dfa.num_states();
   if (n <= 1) return bfs_renumber(dfa);

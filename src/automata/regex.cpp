@@ -3,16 +3,27 @@
 #include "automata/determinize.hpp"
 #include "automata/regex_parser.hpp"
 #include "automata/thompson.hpp"
+#include "obs/trace.hpp"
 
 namespace relm::automata {
 
 Dfa compile_regex(std::string_view pattern) {
-  return minimize(compile_regex_unminimized(pattern));
+  Dfa dfa = compile_regex_unminimized(pattern);
+  RELM_TRACE_SPAN("regex.minimize");
+  return minimize(dfa);
 }
 
 Dfa compile_regex_unminimized(std::string_view pattern) {
-  RegexPtr ast = parse_regex(pattern);
-  Nfa nfa = thompson_construct(*ast);
+  RegexPtr ast;
+  {
+    RELM_TRACE_SPAN("regex.parse");
+    ast = parse_regex(pattern);
+  }
+  Nfa nfa = [&] {
+    RELM_TRACE_SPAN("regex.thompson");
+    return thompson_construct(*ast);
+  }();
+  RELM_TRACE_SPAN("regex.determinize");
   return trim(determinize(nfa));
 }
 

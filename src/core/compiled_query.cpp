@@ -4,6 +4,7 @@
 
 #include "automata/ops.hpp"
 #include "automata/regex.hpp"
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace relm::core {
@@ -14,6 +15,7 @@ using tokenizer::TokenId;
 
 CompiledQuery CompiledQuery::compile(const SimpleSearchQuery& query,
                                      const tokenizer::BpeTokenizer& tok) {
+  RELM_TRACE_SPAN("compile.query");
   const std::string body_pattern = query.query_string.body_str();
   const std::string& prefix_pattern = query.query_string.prefix_str;
 

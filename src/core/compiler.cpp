@@ -4,6 +4,7 @@
 
 #include "automata/determinize.hpp"
 #include "automata/ops.hpp"
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace relm::core {
@@ -23,6 +24,7 @@ using tokenizer::TokenId;
 // variant below on the dense cyclic automata real queries produce; the trie
 // wins only when long shared literal prefixes dominate.
 Dfa build_all_tokens(const Dfa& char_dfa, const BpeTokenizer& tok) {
+  RELM_TRACE_SPAN("compile.all_tokens");
   Dfa source = automata::trim(char_dfa);
   Dfa out(static_cast<automata::Symbol>(tok.vocab_size()));
   for (StateId s = 0; s < source.num_states(); ++s) {
@@ -90,6 +92,7 @@ Dfa build_all_tokens_trie(const Dfa& char_dfa, const BpeTokenizer& tok) {
 // trie, minimize.
 Dfa build_canonical_by_enumeration(const Dfa& char_dfa, const BpeTokenizer& tok,
                                    std::size_t count_hint) {
+  RELM_TRACE_SPAN("compile.canonical_enumeration");
   Dfa source = automata::trim(char_dfa);
   std::vector<std::string> strings = automata::enumerate_strings(
       source, count_hint, /*max_len=*/source.num_states() + 1);
@@ -121,6 +124,7 @@ TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
                                        const tokenizer::BpeTokenizer& tok,
                                        TokenizationStrategy strategy,
                                        std::size_t enumeration_budget) {
+  RELM_TRACE_SPAN("compile.token_automaton");
   if (char_dfa.num_symbols() != 256) {
     throw relm::QueryError("token compilation requires a byte-level automaton");
   }

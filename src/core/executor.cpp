@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "model/decoding.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace relm::core {
@@ -12,6 +14,31 @@ using model::allowed_tokens;
 using tokenizer::TokenId;
 
 namespace {
+
+// Registry-backed executor metrics (docs/OBSERVABILITY.md catalogue). The
+// per-search SearchStats counters stay the per-query attribution surface;
+// these accumulate the same events process-wide so --metrics and the bench
+// snapshots can attribute cost without a search handle.
+struct ExecutorMetrics {
+  obs::Counter& llm_calls;
+  obs::Counter& expansions;
+  obs::Counter& pruned_rules;
+  obs::Counter& pruned_non_canonical;
+  obs::Counter& results;
+  obs::Histogram& batch_size;
+
+  static ExecutorMetrics& get() {
+    static ExecutorMetrics m{
+        obs::Registry::instance().counter("executor.llm_calls"),
+        obs::Registry::instance().counter("executor.expansions"),
+        obs::Registry::instance().counter("executor.pruned_by_rules"),
+        obs::Registry::instance().counter("executor.pruned_non_canonical"),
+        obs::Registry::instance().counter("executor.results"),
+        obs::Registry::instance().histogram(
+            "executor.batch.size", obs::Histogram::default_size_bounds())};
+    return m;
+  }
+};
 
 // Snapshot of the model's cache counters at search start; deltas against it
 // attribute cache work to this search in SearchStats.
@@ -166,6 +193,11 @@ void ShortestPathSearch::expand(std::int32_t node_id,
 void ShortestPathSearch::pump() {
   // Pop the best frontier nodes; evaluate their contexts in one model batch
   // (default batch size 1 = strict Dijkstra); expand; queue any matches.
+  RELM_TRACE_SPAN("executor.pump");
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  const std::size_t pruned_rules_before = stats_.pruned_by_rules;
+  const std::size_t pruned_non_canonical_before = stats_.pruned_non_canonical;
+  const std::size_t results_before = pending_results_.size();
   const std::size_t batch = std::max<std::size_t>(query_.expansion_batch_size, 1);
   std::vector<std::int32_t> popped;
   while (popped.size() < batch && !frontier_.empty()) {
@@ -228,6 +260,13 @@ void ShortestPathSearch::pump() {
                                             stats_.elapsed_seconds});
   }
   refresh_cache_stats();
+  metrics.llm_calls.add(eval_contexts.size());
+  metrics.expansions.add(eval_contexts.size());
+  metrics.pruned_rules.add(stats_.pruned_by_rules - pruned_rules_before);
+  metrics.pruned_non_canonical.add(stats_.pruned_non_canonical -
+                                   pruned_non_canonical_before);
+  metrics.results.add(pending_results_.size() - results_before);
+  metrics.batch_size.observe(static_cast<double>(popped.size()));
 }
 
 std::optional<SearchResult> ShortestPathSearch::next() {
@@ -277,8 +316,18 @@ void RandomSampler::refresh_cache_stats() {
 }
 
 std::optional<SearchResult> RandomSampler::sample_once() {
+  RELM_TRACE_SPAN("executor.sample");
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  const std::size_t llm_calls_before = stats_.llm_calls;
+  const std::size_t pruned_rules_before = stats_.pruned_by_rules;
+  const std::size_t pruned_non_canonical_before = stats_.pruned_non_canonical;
   std::optional<SearchResult> result = sample_once_impl();
   refresh_cache_stats();
+  metrics.llm_calls.add(stats_.llm_calls - llm_calls_before);
+  metrics.pruned_rules.add(stats_.pruned_by_rules - pruned_rules_before);
+  metrics.pruned_non_canonical.add(stats_.pruned_non_canonical -
+                                   pruned_non_canonical_before);
+  if (result) metrics.results.add(1);
   return result;
 }
 
@@ -456,6 +505,8 @@ void BeamSearch::refresh_cache_stats() {
 }
 
 std::vector<SearchResult> BeamSearch::run() {
+  RELM_TRACE_SPAN("executor.beam");
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
   const std::size_t seq_limit = std::min(
       query_.sequence_length.value_or(model_.max_sequence_length()),
       model_.max_sequence_length());
@@ -501,12 +552,16 @@ std::vector<SearchResult> BeamSearch::run() {
   };
 
   for (std::size_t step = 0; step < seq_limit && !beams.empty(); ++step) {
+    RELM_TRACE_SPAN("executor.beam_step");
     std::vector<std::vector<double>> lps =
         model_.next_log_probs_batch(beam_contexts(beams));
     RELM_DCHECK(lps.size() == beams.size(),
                 "batched model evaluation must return one row per beam");
     stats_.llm_calls += beams.size();
     stats_.expansions += beams.size();
+    metrics.llm_calls.add(beams.size());
+    metrics.expansions.add(beams.size());
+    metrics.batch_size.observe(static_cast<double>(beams.size()));
 
     std::vector<Beam> candidates;
     for (std::size_t b = 0; b < beams.size(); ++b) {
@@ -578,6 +633,7 @@ std::vector<SearchResult> BeamSearch::run() {
       std::vector<std::vector<double>> lps =
           model_.next_log_probs_batch(beam_contexts(survivors));
       stats_.llm_calls += survivors.size();
+      metrics.llm_calls.add(survivors.size());
       for (std::size_t b = 0; b < survivors.size(); ++b) {
         record_match(survivors[b], survivors[b].log_prob + lps[b][model_.eos()]);
       }
@@ -593,6 +649,9 @@ std::vector<SearchResult> BeamSearch::run() {
   if (matches.size() > query_.max_results) matches.resize(query_.max_results);
   stats_.elapsed_seconds = timer_.seconds();
   refresh_cache_stats();
+  metrics.pruned_rules.add(stats_.pruned_by_rules);
+  metrics.pruned_non_canonical.add(stats_.pruned_non_canonical);
+  metrics.results.add(matches.size());
   return matches;
 }
 

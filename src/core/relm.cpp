@@ -1,14 +1,17 @@
 #include "core/relm.hpp"
 
 #include "core/compiled_query.hpp"
+#include "obs/trace.hpp"
 
 namespace relm {
 
 SearchOutcome search(const model::LanguageModel& model,
                      const tokenizer::BpeTokenizer& tokenizer,
                      const core::SimpleSearchQuery& query, std::uint64_t seed) {
+  RELM_TRACE_SPAN("relm.search");
   core::CompiledQuery compiled = core::CompiledQuery::compile(query, tokenizer);
   SearchOutcome outcome;
+  RELM_TRACE_SPAN("relm.traverse");
   switch (query.search_strategy) {
     case core::SearchStrategy::kShortestPath: {
       core::ShortestPathSearch search(model, compiled, query);

@@ -1,11 +1,33 @@
 #include "model/language_model.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relm::model {
 
+namespace {
+
+struct BatchMetrics {
+  obs::Counter& evals;
+  obs::Histogram& batch_size;
+
+  static BatchMetrics& get() {
+    static BatchMetrics m{
+        obs::Registry::instance().counter("model.evals"),
+        obs::Registry::instance().histogram(
+            "model.batch.size", obs::Histogram::default_size_bounds())};
+    return m;
+  }
+};
+
+}  // namespace
+
 std::vector<std::vector<double>> LanguageModel::next_log_probs_batch(
     std::span<const std::vector<TokenId>> contexts) const {
+  BatchMetrics& metrics = BatchMetrics::get();
+  metrics.evals.add(contexts.size());
+  metrics.batch_size.observe(static_cast<double>(contexts.size()));
   std::vector<std::vector<double>> out(contexts.size());
   if (contexts.size() < 2) {
     for (std::size_t i = 0; i < contexts.size(); ++i) {
@@ -16,6 +38,7 @@ std::vector<std::vector<double>> LanguageModel::next_log_probs_batch(
   // Deterministic parallel map: whichever thread evaluates contexts[i], the
   // distribution lands in out[i], so the result is byte-identical for every
   // pool size (including 1).
+  RELM_TRACE_SPAN("model.batch");
   util::ThreadPool::shared().parallel_for(
       contexts.size(), [&](std::size_t i) { out[i] = next_log_probs(contexts[i]); });
   return out;

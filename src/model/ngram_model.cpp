@@ -7,6 +7,7 @@
 #include <list>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "util/errors.hpp"
 
 namespace relm::model {
@@ -211,6 +212,30 @@ std::vector<double> UniformModel::next_log_probs(std::span<const TokenId>) const
 
 namespace {
 constexpr std::size_t kCacheShards = 16;
+
+// Process-wide cache metrics (docs/OBSERVABILITY.md). The per-shard counters
+// below remain the per-instance attribution surface (SearchStats diffs
+// cache_stats() snapshots against a baseline); the registry accumulates the
+// same events across every CachingModel so --metrics and bench snapshots see
+// global cache behaviour. "hits" counts evaluations saved, including batch
+// dedup joins; "batch_dedup" counts the joins alone.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& batch_dedup;
+  obs::Gauge& entries;
+
+  static CacheMetrics& get() {
+    static CacheMetrics m{obs::Registry::instance().counter("model.cache.hits"),
+                          obs::Registry::instance().counter("model.cache.misses"),
+                          obs::Registry::instance().counter("model.cache.evictions"),
+                          obs::Registry::instance().counter("model.cache.batch_dedup"),
+                          obs::Registry::instance().gauge("model.cache.entries")};
+    return m;
+  }
+};
+
 }  // namespace
 
 struct CachingModel::Shard {
@@ -274,11 +299,14 @@ struct CachingModel::Shard {
       if (entries.empty()) index.erase(victim_bucket);
       lru.pop_back();
       ++evictions;
+      CacheMetrics::get().evictions.add();
+      CacheMetrics::get().entries.add(-1.0);
     }
     lru.push_front(Entry{hash,
                          std::vector<TokenId>(suffix.begin(), suffix.end()),
                          log_probs});
     index[hash].push_back(lru.begin());
+    CacheMetrics::get().entries.add(1.0);
   }
 };
 
@@ -296,7 +324,11 @@ CachingModel::CachingModel(std::shared_ptr<const LanguageModel> inner,
   }
 }
 
-CachingModel::~CachingModel() = default;
+CachingModel::~CachingModel() {
+  // The entries gauge tracks live entries across every CachingModel; this
+  // instance's entries disappear with it.
+  CacheMetrics::get().entries.add(-static_cast<double>(entries()));
+}
 
 CachingModel::Shard& CachingModel::shard_for(std::uint64_t hash) const {
   // hash_tokens' per-step mixing leaves the high bits correlated for short
@@ -319,9 +351,11 @@ std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> contex
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (const std::vector<double>* cached = shard.find(hash, suffix)) {
+      CacheMetrics::get().hits.add();
       return *cached;
     }
   }
+  CacheMetrics::get().misses.add();
   std::vector<double> lp = inner_->next_log_probs(suffix);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -350,6 +384,7 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       if (const std::vector<double>* cached = shard.find(hash, suffix)) {
+        CacheMetrics::get().hits.add();
         out[i] = *cached;
         continue;
       }
@@ -368,10 +403,13 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
         std::lock_guard<std::mutex> lock(shard.mutex);
         --shard.misses;
         ++shard.hits;
+        CacheMetrics::get().hits.add();
+        CacheMetrics::get().batch_dedup.add();
         break;
       }
     }
     if (!joined) {
+      CacheMetrics::get().misses.add();
       candidates.push_back(misses.size());
       misses.push_back(Miss{hash,
                             std::vector<TokenId>(suffix.begin(), suffix.end()),

@@ -1,0 +1,270 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace relm::obs {
+
+namespace detail {
+
+std::size_t stripe_index() {
+  // Round-robin assignment spreads threads evenly across stripes even when
+  // thread ids cluster; the index is stable for the thread's lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::span<const double> Histogram::default_latency_bounds() {
+  // Seconds, x4 geometric from 1us: 1us..~17s plus the overflow bucket.
+  static const std::array<double, 13> bounds = {
+      1e-6,    4e-6,    1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3,
+      1.6384e-2, 6.5536e-2, 0.262144, 1.048576, 4.194304, 16.777216};
+  return bounds;
+}
+
+std::span<const double> Histogram::default_size_bounds() {
+  static const std::array<double, 13> bounds = {1,  2,   4,   8,    16,  32, 64,
+                                                128, 256, 512, 1024, 2048, 4096};
+  return bounds;
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), stripes_(detail::kStripes) {
+  for (auto& stripe : stripes_) {
+    stripe.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Stripe& stripe = stripes_[detail::stripe_index()];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(stripe.sum, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Stripe& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (Stripe& stripe : stripes_) {
+    for (auto& bucket : stripe.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Node-stable storage: handles returned to callers must survive rehashes.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  struct Slot {
+    MetricValue::Kind kind;
+    std::size_t index;
+  };
+  std::unordered_map<std::string, Slot> by_name;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked intentionally: metrics outlive static destruction order (atexit
+  // trace flushes may still snapshot).
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+
+[[noreturn]] void kind_mismatch(std::string_view name) {
+  throw std::logic_error("metric '" + std::string(name) +
+                         "' already registered with a different kind");
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.by_name.find(std::string(name));
+  if (it != im.by_name.end()) {
+    if (it->second.kind != MetricValue::Kind::kCounter) kind_mismatch(name);
+    return im.counters[it->second.index];
+  }
+  im.counters.emplace_back();
+  im.by_name.emplace(std::string(name),
+                     Impl::Slot{MetricValue::Kind::kCounter, im.counters.size() - 1});
+  return im.counters.back();
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.by_name.find(std::string(name));
+  if (it != im.by_name.end()) {
+    if (it->second.kind != MetricValue::Kind::kGauge) kind_mismatch(name);
+    return im.gauges[it->second.index];
+  }
+  im.gauges.emplace_back();
+  im.by_name.emplace(std::string(name),
+                     Impl::Slot{MetricValue::Kind::kGauge, im.gauges.size() - 1});
+  return im.gauges.back();
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.by_name.find(std::string(name));
+  if (it != im.by_name.end()) {
+    if (it->second.kind != MetricValue::Kind::kHistogram) kind_mismatch(name);
+    return im.histograms[it->second.index];
+  }
+  im.histograms.emplace_back(bounds);
+  im.by_name.emplace(
+      std::string(name),
+      Impl::Slot{MetricValue::Kind::kHistogram, im.histograms.size() - 1});
+  return im.histograms.back();
+}
+
+Snapshot Registry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  Snapshot snap;
+  for (const auto& [name, slot] : im.by_name) {
+    MetricValue value;
+    value.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricValue::Kind::kCounter:
+        value.counter = im.counters[slot.index].value();
+        break;
+      case MetricValue::Kind::kGauge:
+        value.gauge = im.gauges[slot.index].value();
+        break;
+      case MetricValue::Kind::kHistogram: {
+        const Histogram& h = im.histograms[slot.index];
+        value.bounds.assign(h.bounds().begin(), h.bounds().end());
+        value.buckets = h.bucket_counts();
+        value.count = h.count();
+        value.sum = h.sum();
+        break;
+      }
+    }
+    snap.metrics.emplace(name, std::move(value));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (Counter& c : im.counters) c.reset();
+  for (Gauge& g : im.gauges) g.reset();
+  for (Histogram& h : im.histograms) h.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : metrics) {
+    if (v.kind != MetricValue::Kind::kCounter) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v.counter);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : metrics) {
+    if (v.kind != MetricValue::Kind::kGauge) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    append_double(out, v.gauge);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, v] : metrics) {
+    if (v.kind != MetricValue::Kind::kHistogram) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(v.count) + ",\"sum\":";
+    append_double(out, v.sum);
+    out += ",\"mean\":";
+    append_double(out, v.count ? v.sum / static_cast<double>(v.count) : 0.0);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+      if (b) out += ',';
+      out += "[";
+      if (b < v.bounds.size()) {
+        append_double(out, v.bounds[b]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ',' + std::to_string(v.buckets[b]) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace relm::obs

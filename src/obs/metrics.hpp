@@ -1,0 +1,169 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace relm::obs {
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms. The write path is lock-free — each metric holds a small array
+// of cache-line-padded stripes and a thread adds to the stripe picked by its
+// thread-local index, so concurrent writers from the ThreadPool never
+// contend on one cache line. Readers fold the stripes on snapshot(); the
+// folded value is exact once writers have quiesced (e.g. after a
+// parallel_for join) and monotone-approximate while they run.
+//
+// Handles returned by Registry are valid for the life of the process;
+// hot call sites cache them in a function-local static:
+//
+//   static obs::Counter& hits = obs::Registry::instance().counter("x.hits");
+//   hits.add();
+//
+// Metric names form a dot-separated catalogue (docs/OBSERVABILITY.md).
+
+namespace detail {
+
+inline constexpr std::size_t kStripes = 16;
+
+// Index of the calling thread's stripe, assigned round-robin on first use.
+std::size_t stripe_index();
+
+// C++20 atomic<double>::fetch_add is not yet universal; CAS-add works
+// everywhere and the loop is uncontended by construction (striped writers).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    stripes_[detail::stripe_index()].value.fetch_add(delta,
+                                                     std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedU64 stripes_[detail::kStripes];
+};
+
+// Last-write-wins instantaneous value (pool sizes, cache entry counts).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-boundary histogram: bucket i counts observations <= bounds[i], with
+// one implicit overflow bucket. Also tracks count and sum, so snapshots can
+// report rates and means. Boundaries are fixed at construction; the write
+// path is one bucket search plus two striped adds.
+class Histogram {
+ public:
+  // Default boundaries suit latencies in seconds: ~1us to ~17s, x4 steps.
+  static std::span<const double> default_latency_bounds();
+  // Boundaries for size-ish distributions: 1, 2, 4, ... 4096.
+  static std::span<const double> default_size_bounds();
+
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v) noexcept;
+
+  std::span<const double> bounds() const { return bounds_; }
+  // Folded per-bucket counts; the last entry is the overflow bucket, so the
+  // result has bounds().size() + 1 entries.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Stripe> stripes_;
+};
+
+// One folded metric value, as reported by Registry::snapshot().
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;  // kCounter
+  double gauge = 0.0;         // kGauge
+  // kHistogram: bucket upper bounds (+inf implicit) and folded counts.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct Snapshot {
+  std::map<std::string, MetricValue> metrics;  // sorted for stable output
+
+  // Compact single-line JSON object:
+  //   {"counters":{...},"gauges":{...},"histograms":{"name":
+  //    {"count":N,"sum":S,"mean":M,"buckets":[[le,count],...]}}}
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // Requesting an existing name with a different metric kind throws
+  // std::logic_error (a programming bug, not a runtime condition).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(
+      std::string_view name,
+      std::span<const double> bounds = Histogram::default_latency_bounds());
+
+  Snapshot snapshot() const;
+
+  // Zeroes every registered metric (handles stay valid). For tests and
+  // benchmark warmup isolation.
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace relm::obs

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace relm::obs {
+
+std::atomic<bool> Trace::g_enabled{false};
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  // string literal
+  double ts_us;
+  double dur_us;
+};
+
+// One buffer per thread. The owning thread appends under the buffer's own
+// (uncontended) mutex; serializers take every buffer mutex while iterating.
+// Buffers are shared_ptr so events survive thread exit until serialized.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::string atexit_chrome_path;
+  std::string atexit_jsonl_path;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: used from atexit
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+Histogram& span_histogram(const char* name) {
+  // One registry lookup per (name, call thread) pair would still hash the
+  // string; cache per name in a tiny thread-local map keyed by pointer
+  // identity (names are literals).
+  thread_local std::vector<std::pair<const char*, Histogram*>> cache;
+  for (const auto& [key, hist] : cache) {
+    if (key == name) return *hist;
+  }
+  Histogram& hist = Registry::instance().histogram(
+      std::string("span.") + name + ".seconds",
+      Histogram::default_latency_bounds());
+  cache.emplace_back(name, &hist);
+  return hist;
+}
+
+void atexit_flush() {
+  TraceState& s = state();
+  std::string chrome_path;
+  std::string jsonl_path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    chrome_path = s.atexit_chrome_path;
+    jsonl_path = s.atexit_jsonl_path;
+  }
+  if (!chrome_path.empty()) Trace::write_chrome_trace_file(chrome_path);
+  if (!jsonl_path.empty()) Trace::write_jsonl_file(jsonl_path);
+}
+
+}  // namespace
+
+double Trace::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+void Trace::start() {
+  process_epoch();  // pin the epoch before the first event
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto& buffer : s.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+    }
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Trace::init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("RELM_TRACE");
+    const char* jsonl = std::getenv("RELM_TRACE_JSONL");
+    const bool chrome_on = env && *env && std::string(env) != "0";
+    const bool jsonl_on = jsonl && *jsonl && std::string(jsonl) != "0";
+    if (!chrome_on && !jsonl_on) return;
+    TraceState& s = state();
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (chrome_on) {
+        std::string path = env;
+        if (path == "1" || path == "true") path = "relm_trace.json";
+        s.atexit_chrome_path = path;
+      }
+      if (jsonl_on) s.atexit_jsonl_path = jsonl;
+    }
+    std::atexit(atexit_flush);
+    start();
+  });
+}
+
+void Trace::record(const char* name, double ts_us, double dur_us) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{name, ts_us, dur_us});
+}
+
+std::size_t Trace::event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void Trace::write_chrome_trace(std::ostream& out) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& e : buffer->events) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cat\":\"relm\",\"ph\":\"X\","
+                    "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                    first ? "" : ",", e.name, buffer->tid, e.ts_us, e.dur_us);
+      out << buf;
+      first = false;
+    }
+  }
+  out << "]}\n";
+}
+
+void Trace::write_jsonl(std::ostream& out) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  char buf[256];
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& e : buffer->events) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"tid\":%u,\"ts_us\":%.3f,"
+                    "\"dur_us\":%.3f}\n",
+                    e.name, buffer->tid, e.ts_us, e.dur_us);
+      out << buf;
+    }
+  }
+}
+
+void Trace::write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "relm: cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  write_chrome_trace(out);
+}
+
+void Trace::write_jsonl_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "relm: cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  write_jsonl(out);
+}
+
+void Span::finish() {
+  const double end_us = Trace::now_us();
+  const double dur_us = end_us - start_us_;
+  Trace::record(name_, start_us_, dur_us);
+  span_histogram(name_).observe(dur_us * 1e-6);
+}
+
+namespace {
+
+// Any binary linking relm_obs honors RELM_TRACE without further wiring.
+struct EnvInit {
+  EnvInit() { Trace::init_from_env(); }
+} g_env_init;
+
+}  // namespace
+
+}  // namespace relm::obs

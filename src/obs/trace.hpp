@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace relm::obs {
+
+// Scoped tracing spans with Chrome-trace-format output.
+//
+// Tracing is off by default and costs one relaxed atomic load per span when
+// disabled. It turns on either programmatically (Trace::start) or through
+// the RELM_TRACE environment variable:
+//
+//   RELM_TRACE=trace.json relm query ...     # written at process exit
+//   relm query ... --trace-out trace.json    # written by the CLI
+//
+// Spans record into per-thread buffers (one uncontended mutex each); the
+// collected events serialize as Chrome trace "X" (complete) events —
+// loadable in chrome://tracing or Perfetto — or as a JSONL stream, one
+// event object per line. Span nesting is implicit: RAII scopes on one
+// thread yield properly nested [ts, ts+dur] intervals, which the viewers
+// render as flame stacks.
+//
+// Every span also feeds the metrics registry histogram
+// "span.<name>.seconds", so --metrics reports per-phase latency
+// distributions even without a trace file.
+
+class Trace {
+ public:
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Starts collecting. Clears any previously collected events.
+  static void start();
+  // Stops collecting (events are kept until the next start()).
+  static void stop();
+
+  // If RELM_TRACE is set and non-empty, starts tracing and registers an
+  // atexit hook that writes the Chrome trace to its value ("1"/"true" fall
+  // back to "relm_trace.json"). RELM_TRACE_JSONL=<path> additionally
+  // streams events as JSONL at exit. Called once from the first span-site
+  // static initialization, so any relm binary honors the switch.
+  static void init_from_env();
+
+  // Serializes everything collected so far. Thread-safe, but concurrent
+  // spans may be missed; call after joining parallel work.
+  static void write_chrome_trace(std::ostream& out);
+  static void write_jsonl(std::ostream& out);
+  static void write_chrome_trace_file(const std::string& path);
+  static void write_jsonl_file(const std::string& path);
+
+  // Number of events currently buffered (for tests).
+  static std::size_t event_count();
+
+  // Records one completed span. `name` must be a string literal (stored by
+  // pointer). Timestamps are microseconds on the process-local monotonic
+  // clock.
+  static void record(const char* name, double ts_us, double dur_us);
+
+  // Microseconds since process start on the monotonic clock.
+  static double now_us();
+
+ private:
+  static std::atomic<bool> g_enabled;
+};
+
+// RAII span. Near-zero cost when tracing is disabled (one relaxed load, no
+// clock read). The per-phase histogram is updated only while tracing so the
+// disabled path stays free.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Trace::enabled()) {
+      name_ = name;
+      start_us_ = Trace::now_us();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void finish();
+
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace relm::obs
+
+// Scoped span with an auto-generated variable name; `name` must be a string
+// literal. Usage: RELM_TRACE_SPAN("regex.determinize");
+#define RELM_TRACE_SPAN_CAT2(a, b) a##b
+#define RELM_TRACE_SPAN_CAT(a, b) RELM_TRACE_SPAN_CAT2(a, b)
+#define RELM_TRACE_SPAN(name) \
+  ::relm::obs::Span RELM_TRACE_SPAN_CAT(relm_span_, __LINE__)(name)

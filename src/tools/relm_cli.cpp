@@ -10,12 +10,19 @@
 //               [--top-p P] [--temperature T]
 //               [--results N] [--samples N] [--require-eos] [--seed N]
 //               [--threads N] [--cache-capacity N] [--batch N]
+//               [--trace-out FILE] [--trace-jsonl FILE] [--metrics]
 //       Run a ReLM query against a saved model and stream the matches.
+//       (`relm run` is an alias.)
 //       --threads sizes the shared evaluation pool (default: RELM_THREADS or
 //       hardware concurrency); --cache-capacity bounds the suffix-keyed
 //       logit cache (default 65536 entries, 0 disables); --batch sets the
 //       shortest-path frontier expansion batch (default 1 = strict
 //       Dijkstra). See docs/PERFORMANCE.md.
+//       --trace-out writes a Chrome-trace JSON (chrome://tracing, Perfetto)
+//       of the query's phases; --trace-jsonl streams the same events as
+//       JSONL; --metrics dumps the process metrics registry (counters,
+//       gauges, per-phase latency histograms) as one JSON line on exit.
+//       See docs/OBSERVABILITY.md.
 //
 //   relm grep   --dir DIR --pattern REGEX [--max N]
 //       Scan the (regenerated) corpus with the DFA grep.
@@ -53,6 +60,8 @@
 #include "experiments/setup.hpp"
 #include "model/decoding.hpp"
 #include "model/ngram_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tokenizer/serialize.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
@@ -211,6 +220,13 @@ int cmd_build(const Args& args) {
 }
 
 int cmd_query(const Args& args) {
+  // Observability flags are read first so tracing covers artifact loading
+  // and query compilation, not just the search.
+  std::string trace_out = args.get_or("trace-out", "");
+  std::string trace_jsonl = args.get_or("trace-jsonl", "");
+  bool print_metrics = args.has("metrics");
+  if (!trace_out.empty() || !trace_jsonl.empty()) obs::Trace::start();
+
   std::string dir = args.require("dir");
   Artifacts art = load_artifacts(dir);
   std::shared_ptr<model::NgramModel> ngram =
@@ -273,6 +289,16 @@ int cmd_query(const Args& args) {
                  outcome.stats.cache_hits, outcome.stats.cache_misses,
                  100.0 * outcome.stats.cache_hit_rate(),
                  outcome.stats.cache_evictions);
+  }
+  if (!trace_out.empty()) {
+    obs::Trace::write_chrome_trace_file(trace_out);
+    std::fprintf(stderr, "[trace: %zu events -> %s]\n",
+                 obs::Trace::event_count(), trace_out.c_str());
+  }
+  if (!trace_jsonl.empty()) obs::Trace::write_jsonl_file(trace_jsonl);
+  if (print_metrics) {
+    std::printf("METRICS %s\n",
+                obs::Registry::instance().snapshot().to_json().c_str());
   }
   return 0;
 }
@@ -381,6 +407,7 @@ int cmd_verify(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: relm <build|query|analyze|grep|sample|info|verify> [flags]\n"
+               "       (`relm run` is an alias for `relm query`)\n"
                "see the header of src/tools/relm_cli.cpp for flag reference\n");
 }
 
@@ -397,7 +424,7 @@ int main(int argc, char** argv) {
     int status;
     if (command == "build") {
       status = cmd_build(args);
-    } else if (command == "query") {
+    } else if (command == "query" || command == "run") {
       status = cmd_query(args);
     } else if (command == "grep") {
       status = cmd_grep(args);

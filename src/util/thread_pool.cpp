@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace relm::util {
 
 namespace {
@@ -15,6 +18,26 @@ namespace {
 // True while the current thread is executing loop bodies for some pool;
 // nested parallel_for calls fall back to serial execution.
 thread_local bool t_in_parallel_region = false;
+
+// Scheduling metrics: one jobs/tasks add per parallel_for call (never per
+// index — the loop body is the hot path). "serial" counts the fast-path
+// dispatches (no workers, n == 1, or a nested call).
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& tasks;
+  obs::Counter& serial;
+  obs::Histogram& job_tasks;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::instance().counter("pool.jobs"),
+        obs::Registry::instance().counter("pool.tasks"),
+        obs::Registry::instance().counter("pool.serial_dispatches"),
+        obs::Registry::instance().histogram(
+            "pool.job.tasks", obs::Histogram::default_size_bounds())};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -101,9 +124,16 @@ void ThreadPool::parallel_for(std::size_t n,
   // Serial fast paths: no workers, a single index, or a nested call (which
   // would otherwise self-deadlock on caller_mutex).
   if (impl_->workers.empty() || n == 1 || t_in_parallel_region) {
+    PoolMetrics::get().serial.add();
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  RELM_TRACE_SPAN("pool.parallel_for");
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.jobs.add();
+  metrics.tasks.add(n);
+  metrics.job_tasks.observe(static_cast<double>(n));
 
   std::lock_guard<std::mutex> caller(impl_->caller_mutex);
   auto job = std::make_shared<Impl::Job>();
@@ -148,6 +178,8 @@ ThreadPool& ThreadPool::shared() {
   std::lock_guard<std::mutex> lock(g_shared_mutex);
   if (!g_shared_pool) {
     g_shared_pool = std::make_unique<ThreadPool>(default_thread_count());
+    obs::Registry::instance().gauge("pool.threads")
+        .set(static_cast<double>(g_shared_pool->threads()));
   }
   return *g_shared_pool;
 }
@@ -155,6 +187,8 @@ ThreadPool& ThreadPool::shared() {
 void ThreadPool::set_shared_threads(std::size_t threads) {
   std::lock_guard<std::mutex> lock(g_shared_mutex);
   g_shared_pool = std::make_unique<ThreadPool>(threads > 0 ? threads : 1);
+  obs::Registry::instance().gauge("pool.threads")
+      .set(static_cast<double>(g_shared_pool->threads()));
 }
 
 }  // namespace relm::util

@@ -29,6 +29,26 @@ PAR="$("$RELM" query --dir "$DIR" \
 test "$PAR" = "$OUT"
 grep -q "cache:" "$DIR/stderr.txt"
 
+# Observability: `relm run` (alias for query) with tracing and metrics. The
+# trace must be Chrome-trace JSON with the compile/executor phase spans; the
+# metrics line must carry the registry's cache and executor counters.
+RUN_OUT="$("$RELM" run --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --trace-out "$DIR/trace.json" --trace-jsonl "$DIR/trace.jsonl" \
+  --metrics 2>/dev/null)"
+test "$(echo "$RUN_OUT" | grep -v '^METRICS ')" = "$OUT"
+echo "$RUN_OUT" | grep -q '^METRICS {.*"executor.llm_calls"'
+test -f "$DIR/trace.json"
+grep -q '"traceEvents"' "$DIR/trace.json"
+grep -q '"compile.query"' "$DIR/trace.json"
+grep -q '"executor.pump"' "$DIR/trace.json"
+grep -q '"relm.search"' "$DIR/trace.json"
+grep -q '"name"' "$DIR/trace.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$DIR/trace.json" >/dev/null
+fi
+
 "$RELM" analyze --dir "$DIR" --pattern "(cat)|(dog)" | grep -q "finite"
 
 "$RELM" sample --dir "$DIR" --n 3 --seed 1 2>/dev/null | grep -q '"'
