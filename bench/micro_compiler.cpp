@@ -11,6 +11,8 @@
 #include "automata/regex.hpp"
 #include "automata/walks.hpp"
 #include "core/compiler.hpp"
+#include "core/pipeline/cache.hpp"
+#include "core/pipeline/pipeline.hpp"
 #include "experiments/setup.hpp"
 
 namespace {
@@ -122,6 +124,40 @@ void BM_WalkCounts(benchmark::State& state) {
   state.counters["token_states"] = static_cast<double>(ta.dfa.num_states());
 }
 BENCHMARK(BM_WalkCounts);
+
+// Cold vs warm query compilation through the pass pipeline and the artifact
+// cache (docs/ARCHITECTURE.md). Cold runs the full seven-pass chain every
+// iteration; warm hits the in-memory content-addressed cache. The ratio is
+// the cache's reason to exist — the CI bench gate watches both.
+core::SimpleSearchQuery cache_bench_query() {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = kDatePattern;
+  query.tokenization_strategy = core::TokenizationStrategy::kCanonicalTokens;
+  return query;
+}
+
+void BM_CompileQueryCold(benchmark::State& state) {
+  core::SimpleSearchQuery query = cache_bench_query();
+  (void)world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::pipeline::compile_query_artifact(query, *world().tokenizer));
+  }
+}
+BENCHMARK(BM_CompileQueryCold);
+
+void BM_CompileQueryWarm(benchmark::State& state) {
+  core::SimpleSearchQuery query = cache_bench_query();
+  core::pipeline::ArtifactCache cache;
+  // Prime outside the timed region; every timed iteration is a cache hit.
+  (void)core::pipeline::compile_cached(query, *world().tokenizer, &cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::pipeline::compile_cached(query, *world().tokenizer, &cache));
+  }
+  state.counters["cache_hits"] = static_cast<double>(cache.stats().hits);
+}
+BENCHMARK(BM_CompileQueryWarm);
 
 void BM_BpeEncode(benchmark::State& state) {
   const std::string text =

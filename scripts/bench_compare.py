@@ -30,12 +30,18 @@ import re
 import sys
 
 
+def die_malformed(message):
+    """Malformed input exits 2, distinct from exit 1 (= real regression)."""
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_snapshot(path):
     try:
         with open(path) as f:
             return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_compare: cannot read {path}: {e}")
+        die_malformed(f"cannot read {path}: {e}")
 
 
 def gb_times(snapshot, suite):
@@ -78,11 +84,11 @@ def parse_overrides(specs):
     for spec in specs:
         name, sep, pct = spec.partition("=")
         if not sep:
-            sys.exit(f"bench_compare: --override expects REGEX=PCT, got {spec!r}")
+            die_malformed(f"--override expects REGEX=PCT, got {spec!r}")
         try:
             overrides.append((re.compile(name), float(pct)))
         except (re.error, ValueError) as e:
-            sys.exit(f"bench_compare: bad override {spec!r}: {e}")
+            die_malformed(f"bad override {spec!r}: {e}")
     return overrides
 
 
@@ -144,8 +150,7 @@ def main():
               f"comparison")
 
     if not comparisons:
-        sys.exit("bench_compare: no comparable benchmarks found "
-                 "(malformed snapshots?)")
+        die_malformed("no comparable benchmarks found (malformed snapshots?)")
 
     regressions = []
     width = max(len(name) for name, *_ in comparisons)

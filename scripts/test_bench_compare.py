@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py.
+
+Run directly (`python3 scripts/test_bench_compare.py`) or via ctest as the
+`bench_compare_unit` test. Pure stdlib (unittest), no third-party deps.
+
+Covers the contract the CI bench-gate relies on:
+  - threshold math: deltas at/over/under the limit, per-benchmark overrides
+    (first match wins), zero baselines;
+  - missing/corrupt baseline files exit 2 (malformed input), never 1 (which
+    means a real regression);
+  - renamed benchmarks degrade to notes, not failures, and a snapshot pair
+    with no overlap at all is malformed;
+  - fig06 wall times compare only when scales agree, with the noise floor.
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_compare = load_module()
+
+
+def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None):
+    """Builds a bench.sh-shaped snapshot from {name: real_time_ns}."""
+    snapshot = {
+        suite: {
+            "benchmarks": [
+                {"name": name, "real_time": value} for name, value in times.items()
+            ]
+        }
+    }
+    if scale is not None:
+        snapshot["scale"] = scale
+    if fig06 is not None:
+        snapshot["fig06_throughput"] = {
+            key: {"wall_seconds": value} for key, value in fig06.items()
+        }
+    return snapshot
+
+
+def run_compare(baseline, candidate, *extra_args):
+    """Runs the script on two snapshot dicts; returns (exit_code, output)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cand_path = os.path.join(tmp, "cand.json")
+        for path, snapshot in ((base_path, baseline), (cand_path, candidate)):
+            with open(path, "w") as f:
+                json.dump(snapshot, f)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, base_path, cand_path, *extra_args],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class ThresholdMathTest(unittest.TestCase):
+    def test_threshold_for_default_and_override_order(self):
+        overrides = bench_compare.parse_overrides(
+            ["BM_Compile.*=3", "BM_.*=50"])
+        # First matching override wins, not the tightest.
+        self.assertEqual(
+            bench_compare.threshold_for("BM_CompileQueryCold", 15.0, overrides),
+            3.0)
+        self.assertEqual(
+            bench_compare.threshold_for("BM_WalkCounts", 15.0, overrides), 50.0)
+        self.assertEqual(
+            bench_compare.threshold_for("fig06.x.wall_seconds", 15.0, overrides),
+            15.0)
+
+    def test_within_threshold_passes(self):
+        # +14.9% against a 15% limit: not a regression.
+        code, out = run_compare(gb_snapshot({"BM_A": 1000.0}),
+                                gb_snapshot({"BM_A": 1149.0}))
+        self.assertEqual(code, 0, out)
+        self.assertIn("within threshold", out)
+
+    def test_over_threshold_fails(self):
+        code, out = run_compare(gb_snapshot({"BM_A": 1000.0}),
+                                gb_snapshot({"BM_A": 1200.0}))
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_override_tightens_single_benchmark(self):
+        base = gb_snapshot({"BM_A": 1000.0, "BM_B": 1000.0})
+        cand = gb_snapshot({"BM_A": 1100.0, "BM_B": 1100.0})
+        # +10% passes at the default 15%...
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        # ...but a 5% override on BM_A alone turns it into a regression.
+        code, out = run_compare(base, cand, "--override", "BM_A=5")
+        self.assertEqual(code, 1, out)
+        self.assertIn("BM_A", out)
+        self.assertNotIn("BM_B: ", out)
+
+    def test_zero_baseline_never_divides(self):
+        code, out = run_compare(gb_snapshot({"BM_A": 0.0}),
+                                gb_snapshot({"BM_A": 5000.0}))
+        # Delta is defined as 0 for a zero baseline: no crash, no regression.
+        self.assertEqual(code, 0, out)
+
+    def test_improvement_is_not_a_regression(self):
+        code, out = run_compare(gb_snapshot({"BM_A": 2000.0}),
+                                gb_snapshot({"BM_A": 500.0}))
+        self.assertEqual(code, 0, out)
+
+
+class MalformedInputTest(unittest.TestCase):
+    def test_missing_baseline_exits_2(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cand = os.path.join(tmp, "cand.json")
+            with open(cand, "w") as f:
+                json.dump(gb_snapshot({"BM_A": 1.0}), f)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, os.path.join(tmp, "missing.json"),
+                 cand],
+                capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_corrupt_json_exits_2(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "base.json")
+            cand = os.path.join(tmp, "cand.json")
+            with open(base, "w") as f:
+                f.write("{not json")
+            with open(cand, "w") as f:
+                json.dump(gb_snapshot({"BM_A": 1.0}), f)
+            proc = subprocess.run([sys.executable, SCRIPT, base, cand],
+                                  capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_no_overlap_exits_2(self):
+        code, out = run_compare(gb_snapshot({"BM_Old": 1.0}),
+                                gb_snapshot({"BM_New": 1.0}))
+        self.assertEqual(code, 2, out)
+        self.assertIn("no comparable benchmarks", out)
+
+    def test_bad_override_exits_2(self):
+        code, out = run_compare(gb_snapshot({"BM_A": 1.0}),
+                                gb_snapshot({"BM_A": 1.0}),
+                                "--override", "no-equals-sign")
+        self.assertEqual(code, 2, out)
+
+
+class RenamedBenchmarkTest(unittest.TestCase):
+    def test_rename_notes_but_passes_when_others_compare(self):
+        base = gb_snapshot({"BM_Kept": 1000.0, "BM_Old": 1000.0})
+        cand = gb_snapshot({"BM_Kept": 1000.0, "BM_New": 1000.0})
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("BM_Old present in baseline only", out)
+        self.assertIn("BM_New is new", out)
+
+    def test_aggregate_median_preferred_over_raw_runs(self):
+        base = gb_snapshot({"BM_A": 1000.0})
+        cand = {
+            "micro_compiler": {
+                "benchmarks": [
+                    # Raw repetition rows plus aggregates; the median row must
+                    # win over both raw runs and the mean.
+                    {"name": "BM_A/repeats:2", "run_name": "BM_A",
+                     "real_time": 5000.0},
+                    {"name": "BM_A/repeats:2", "run_name": "BM_A",
+                     "real_time": 900.0},
+                    {"name": "BM_A_mean", "run_name": "BM_A",
+                     "aggregate_name": "mean", "real_time": 2950.0},
+                    {"name": "BM_A_median", "run_name": "BM_A",
+                     "aggregate_name": "median", "real_time": 1010.0},
+                ]
+            }
+        }
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("+1.0%", out)
+
+
+class Fig06Test(unittest.TestCase):
+    def test_same_scale_compares_wall_seconds(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06={"relm_shortest": 10.0})
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06={"relm_shortest": 20.0})
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("fig06.relm_shortest.wall_seconds", out)
+
+    def test_scale_mismatch_skips_fig06(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06={"relm_shortest": 10.0})
+        cand = gb_snapshot({"BM_A": 1.0}, scale=0.5,
+                           fig06={"relm_shortest": 99.0})
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("scales differ", out)
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0, fig06={"fast": 0.01})
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0, fig06={"fast": 1.0})
+        code, out = run_compare(base, cand, "--min-seconds", "0.5")
+        self.assertEqual(code, 0, out)
+        self.assertIn("noise floor", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

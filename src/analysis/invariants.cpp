@@ -440,4 +440,38 @@ void check_compiled_query(const core::CompiledQuery& compiled,
   }
 }
 
+void check_query_artifact(const core::pipeline::QueryArtifact& artifact,
+                          const tokenizer::BpeTokenizer* tok,
+                          InvariantReport& report, const std::string& name) {
+  // File-level checksum validation happens in load_artifact; here the
+  // artifact is already in memory, so the audit is structural.
+  check_dfa(artifact.prefix.dfa, report, name + ".prefix");
+  check_dfa(artifact.body.dfa, report, name + ".body");
+  check_trim(artifact.prefix.dfa, report, name + ".prefix");
+  check_trim(artifact.body.dfa, report, name + ".body");
+
+  if (artifact.prefix.dfa.num_symbols() != artifact.body.dfa.num_symbols()) {
+    report.fail("artifact.alphabet",
+                name + " prefix alphabet (" +
+                    std::to_string(artifact.prefix.dfa.num_symbols()) +
+                    ") does not match body alphabet (" +
+                    std::to_string(artifact.body.dfa.num_symbols()) + ")");
+  }
+  // All-tokens automata admit every encoding by construction; a set
+  // dynamic-canonical flag under that strategy marks a buggy writer (and
+  // would make the executor prune encodings the query asked for).
+  if (artifact.strategy == core::TokenizationStrategy::kAllTokens &&
+      (artifact.prefix.dynamic_canonical || artifact.body.dynamic_canonical)) {
+    report.fail("artifact.strategy-flags",
+                name + " uses the all-tokens strategy but has a "
+                       "dynamic-canonical flag set");
+  }
+
+  if (tok != nullptr &&
+      artifact.vocab_fingerprint == core::pipeline::vocab_fingerprint(*tok)) {
+    check_token_automaton(artifact.prefix.dfa, *tok, report, name + ".prefix");
+    check_token_automaton(artifact.body.dfa, *tok, report, name + ".body");
+  }
+}
+
 }  // namespace relm::analysis

@@ -6,6 +6,7 @@
 
 #include "automata/automaton.hpp"
 #include "core/compiled_query.hpp"
+#include "core/pipeline/artifact.hpp"
 #include "model/language_model.hpp"
 #include "model/ngram_model.hpp"
 #include "tokenizer/bpe.hpp"
@@ -136,5 +137,19 @@ void check_ngram_model(const model::NgramModel& model, InvariantReport& report,
 void check_compiled_query(const core::CompiledQuery& compiled,
                           InvariantReport& report,
                           const std::string& name = "query");
+
+// Pipeline-artifact audit (what `relm verify --cache DIR` runs on every
+// cached .relmq entry): the embedded checksum must re-verify, both token
+// automata must pass check_dfa and check_trim, and the strategy flags must
+// be coherent — an all-tokens artifact never needs dynamic canonical
+// pruning. When `tok` is non-null and the artifact's vocabulary fingerprint
+// matches it, the automata are additionally audited as token automata over
+// that vocabulary (alphabet totality, no EOS edges); a fingerprint mismatch
+// alone is NOT a violation (a shared cache directory can legitimately hold
+// entries for several vocabularies).
+void check_query_artifact(const core::pipeline::QueryArtifact& artifact,
+                          const tokenizer::BpeTokenizer* tok,
+                          InvariantReport& report,
+                          const std::string& name = "artifact");
 
 }  // namespace relm::analysis

@@ -1,8 +1,11 @@
 #include "analysis/verify.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <unordered_set>
 
 #include "core/compiled_query.hpp"
+#include "core/pipeline/artifact.hpp"
 #include "core/query.hpp"
 #include "tokenizer/serialize.hpp"
 #include "util/errors.hpp"
@@ -120,6 +123,53 @@ InvariantReport verify_artifact_dir(const std::string& dir,
     verify_query_compilation(tok, options.probe_patterns, report);
   }
   return report;
+}
+
+std::size_t verify_compile_cache_dir(const std::string& cache_dir,
+                                     const tokenizer::BpeTokenizer* tok,
+                                     InvariantReport& report) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(cache_dir, ec)) {
+    report.fail("cache.missing-dir",
+                cache_dir + " is not a readable directory");
+    return 0;
+  }
+
+  // Sort for deterministic report ordering across filesystems.
+  std::vector<std::string> entries;
+  for (const fs::directory_entry& entry : fs::directory_iterator(cache_dir)) {
+    if (entry.path().extension() == ".relmq") {
+      entries.push_back(entry.path().string());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  for (const std::string& path : entries) {
+    const std::string stem = fs::path(path).stem().string();
+    core::pipeline::QueryArtifact artifact;
+    try {
+      artifact = core::pipeline::load_artifact_file(path);
+    } catch (const relm::Error& e) {
+      // The cache treats a corrupt entry as a miss and recompiles over it;
+      // verify's job is to surface it anyway.
+      report.fail("cache.corrupt-entry", path + ": " + e.what());
+      continue;
+    }
+    // The filename is the lookup key: a mismatch means the entry can be
+    // served for a query it was not compiled from.
+    auto expected = core::pipeline::ArtifactKey::from_hex(stem);
+    if (!expected) {
+      report.fail("cache.entry-name",
+                  path + ": filename is not a 32-hex-digit artifact key");
+    } else if (!(artifact.key == *expected)) {
+      report.fail("cache.key-mismatch",
+                  path + ": stored key " + artifact.key.hex() +
+                      " does not match the filename");
+    }
+    check_query_artifact(artifact, tok, report, "cache[" + stem + "]");
+  }
+  return entries.size();
 }
 
 }  // namespace relm::analysis

@@ -26,28 +26,57 @@ void save_dfa(const Dfa& dfa, std::ostream& out) {
 Dfa load_dfa(std::istream& in) {
   std::string magic, version;
   in >> magic >> version;
+  if (!in) throw relm::Error("DFA file: truncated before header");
   if (magic != "RELM_DFA" || version != "v1") {
-    throw relm::Error("not a RELM_DFA v1 file");
+    throw relm::Error("not a RELM_DFA v1 file (got \"" + magic + " " + version +
+                      "\")");
   }
   Symbol num_symbols = 0;
   std::size_t num_states = 0, num_edges = 0;
   StateId start = 0;
   in >> num_symbols >> num_states >> start >> num_edges;
+  if (!in) throw relm::Error("DFA file: truncated header");
+  if (num_states == 0) throw relm::Error("DFA file: zero states");
+  if (num_symbols == 0) throw relm::Error("DFA file: empty alphabet");
+  if (start >= num_states) {
+    throw relm::Error("DFA file: start state " + std::to_string(start) +
+                      " out of range (num_states " + std::to_string(num_states) +
+                      ")");
+  }
+  // A deterministic machine has at most one edge per (state, symbol); an
+  // edge count beyond that bound cannot describe a DFA and would otherwise
+  // let a corrupt header demand an absurd read loop.
+  if (num_edges > num_states * static_cast<std::size_t>(num_symbols)) {
+    throw relm::Error("DFA file: edge count " + std::to_string(num_edges) +
+                      " exceeds num_states * num_symbols");
+  }
   std::string finality;
   in >> finality;
-  if (!in || finality.size() != num_states || start >= num_states ||
-      num_states == 0) {
-    throw relm::Error("DFA file: corrupt header");
+  if (!in || finality.size() != num_states) {
+    throw relm::Error("DFA file: finality bits truncated or wrong length");
   }
   Dfa dfa(num_symbols);
-  for (std::size_t s = 0; s < num_states; ++s) dfa.add_state(finality[s] == '1');
+  for (std::size_t s = 0; s < num_states; ++s) {
+    char bit = finality[s];
+    if (bit != '0' && bit != '1') {
+      throw relm::Error("DFA file: finality bit for state " + std::to_string(s) +
+                        " is not 0/1");
+    }
+    dfa.add_state(bit == '1');
+  }
   dfa.set_start(start);
   for (std::size_t i = 0; i < num_edges; ++i) {
     StateId from = 0, to = 0;
     Symbol symbol = 0;
     in >> from >> symbol >> to;
-    if (!in || from >= num_states || to >= num_states || symbol >= num_symbols) {
-      throw relm::Error("DFA file: corrupt edge");
+    if (!in) {
+      throw relm::Error("DFA file: truncated at edge " + std::to_string(i) +
+                        " of " + std::to_string(num_edges));
+    }
+    if (from >= num_states || to >= num_states || symbol >= num_symbols) {
+      throw relm::Error("DFA file: edge " + std::to_string(i) +
+                        " out of range (" + std::to_string(from) + " " +
+                        std::to_string(symbol) + " " + std::to_string(to) + ")");
     }
     dfa.add_edge(from, symbol, to);
   }
@@ -64,6 +93,34 @@ Dfa load_dfa_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw relm::Error("cannot open for reading: " + path);
   return load_dfa(in);
+}
+
+namespace {
+
+// FNV-1a with a 64-bit avalanche finalizer per field, so adjacent small
+// integers do not produce near-collisions.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t dfa_structural_hash(const Dfa& dfa) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, dfa.num_symbols());
+  h = mix(h, dfa.num_states());
+  h = mix(h, dfa.start());
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    h = mix(h, dfa.is_final(s) ? 0x2bull : 0x2dull);
+    for (const Edge& e : dfa.edges(s)) {
+      h = mix(h, s);
+      h = mix(h, e.symbol);
+      h = mix(h, e.to);
+    }
+  }
+  return h;
 }
 
 }  // namespace relm::automata

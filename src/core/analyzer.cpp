@@ -4,9 +4,9 @@
 #include <cstdio>
 
 #include "automata/ops.hpp"
-#include "automata/regex.hpp"
 #include "automata/walks.hpp"
 #include "core/compiled_query.hpp"
+#include "core/pipeline/pipeline.hpp"
 
 namespace relm::core {
 
@@ -14,29 +14,26 @@ QueryAnalysis analyze_query(const SimpleSearchQuery& query,
                             const tokenizer::BpeTokenizer& tok) {
   QueryAnalysis analysis;
 
-  // Character automata, with preprocessors applied (same pipeline as
-  // CompiledQuery::compile).
-  automata::Dfa body_chars = automata::compile_regex(query.query_string.body_str());
-  automata::Dfa prefix_chars =
-      automata::compile_regex(query.query_string.prefix_str);
-  for (const auto& pre : query.preprocessors) {
-    using Target = Preprocessor::Target;
-    Target t = pre->target();
-    if (t == Target::kBody || t == Target::kBoth) body_chars = pre->apply(body_chars);
-    if ((t == Target::kPrefix || t == Target::kBoth) &&
-        !query.query_string.prefix_str.empty()) {
-      prefix_chars = pre->apply(prefix_chars);
-    }
-  }
-  analysis.prefix_char_states = prefix_chars.num_states();
+  // One pipeline run yields both the post-preprocessor character automata
+  // (intermediates of the preprocess pass) and the final token artifact —
+  // the analyzer no longer re-derives the char DFAs on its own.
+  pipeline::CompileState state =
+      pipeline::Pipeline::standard().run_to_state(query, tok);
+  const automata::Dfa& body_chars = *state.body_chars;
+  // An empty prefix never enters the char pipeline; its language is {ε},
+  // a single-state machine.
+  analysis.prefix_char_states =
+      state.prefix_chars ? state.prefix_chars->num_states() : 1;
   analysis.body_char_states = body_chars.num_states();
   analysis.body_infinite = automata::is_infinite_language(body_chars);
   analysis.body_string_count = automata::count_strings(
       body_chars, analysis.body_infinite ? 64 : body_chars.num_states() + 1);
   analysis.shortest_match_length = automata::shortest_string_length(body_chars);
 
-  // Token automata via the real compiled query.
-  CompiledQuery compiled = CompiledQuery::compile(query, tok);
+  // Token automata via the real compiled artifact.
+  CompiledQuery compiled = CompiledQuery::from_artifact(
+      std::make_shared<pipeline::QueryArtifact>(std::move(*state.artifact)),
+      tok);
   const automata::Dfa& prefix_ta = compiled.prefix_automaton();
   const automata::Dfa& body_ta = compiled.body_automaton();
   analysis.prefix_token_states = prefix_ta.num_states();

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "automata/ops.hpp"
-#include "automata/regex.hpp"
+#include "core/pipeline/cache.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
 
@@ -15,56 +14,44 @@ using tokenizer::TokenId;
 
 CompiledQuery CompiledQuery::compile(const SimpleSearchQuery& query,
                                      const tokenizer::BpeTokenizer& tok) {
-  RELM_TRACE_SPAN("compile.query");
-  const std::string body_pattern = query.query_string.body_str();
-  const std::string& prefix_pattern = query.query_string.prefix_str;
+  return from_artifact(pipeline::compile_cached(query, tok), tok);
+}
 
-  automata::Dfa body_chars = automata::compile_regex(body_pattern);
-  automata::Dfa prefix_chars =
-      prefix_pattern.empty() ? automata::compile_regex("")
-                             : automata::compile_regex(prefix_pattern);
-
-  for (const auto& pre : query.preprocessors) {
-    using Target = Preprocessor::Target;
-    Target t = pre->target();
-    if (t == Target::kBody || t == Target::kBoth) {
-      body_chars = pre->apply(body_chars);
-    }
-    if ((t == Target::kPrefix || t == Target::kBoth) && !prefix_pattern.empty()) {
-      prefix_chars = pre->apply(prefix_chars);
-    }
+CompiledQuery CompiledQuery::from_artifact(
+    std::shared_ptr<const pipeline::QueryArtifact> artifact,
+    const tokenizer::BpeTokenizer& tok) {
+  if (!artifact) throw relm::QueryError("null query artifact");
+  if (artifact->vocab_fingerprint != pipeline::vocab_fingerprint(tok)) {
+    throw relm::QueryError(
+        "query artifact was compiled against a different vocabulary "
+        "(stale cache entry?)");
   }
-
-  if (automata::is_empty_language(body_chars)) {
-    throw relm::QueryError("query body matches no strings after preprocessing");
+  if (artifact->prefix.dfa.num_symbols() != tok.vocab_size() ||
+      artifact->body.dfa.num_symbols() != tok.vocab_size()) {
+    throw relm::QueryError(
+        "query artifact alphabet does not match the tokenizer vocabulary");
   }
-
-  TokenAutomaton body = compile_token_automaton(
-      body_chars, tok, query.tokenization_strategy,
-      query.canonical_enumeration_budget);
-  TokenAutomaton prefix =
-      prefix_pattern.empty()
-          ? epsilon_token_automaton(tok)
-          : compile_token_automaton(prefix_chars, tok, query.tokenization_strategy,
-                                    query.canonical_enumeration_budget);
-  return CompiledQuery(std::move(prefix), std::move(body), tok);
+  return CompiledQuery(std::move(artifact), tok);
 }
 
 CompiledQuery::StateSet CompiledQuery::initial() const {
+  const pipeline::QueryArtifact& a = *artifact_;
   StateSet set;
-  set.prefix_state = prefix_.dfa.start();
-  if (prefix_.dfa.is_final(set.prefix_state)) {
-    set.body_state = body_.dfa.start();
+  set.prefix_state = a.prefix.dfa.start();
+  if (a.prefix.dfa.is_final(set.prefix_state)) {
+    set.body_state = a.body.dfa.start();
   }
   return set;
 }
 
 std::vector<CompiledQuery::Step> CompiledQuery::expand(const StateSet& set) const {
+  const automata::Dfa& prefix = artifact_->prefix.dfa;
+  const automata::Dfa& body = artifact_->body.dfa;
   std::vector<Step> steps;
 
   // Body transitions.
   if (set.body_state != kNoState) {
-    for (const automata::Edge& e : body_.dfa.edges(set.body_state)) {
+    for (const automata::Edge& e : body.edges(set.body_state)) {
       steps.push_back(Step{static_cast<TokenId>(e.symbol),
                            StateSet{kNoState, e.to}, /*prefix_only=*/false,
                            /*body_advanced=*/true});
@@ -73,10 +60,10 @@ std::vector<CompiledQuery::Step> CompiledQuery::expand(const StateSet& set) cons
 
   // Prefix transitions (merged with body steps on the same token).
   if (set.prefix_state != kNoState) {
-    for (const automata::Edge& e : prefix_.dfa.edges(set.prefix_state)) {
+    for (const automata::Edge& e : prefix.edges(set.prefix_state)) {
       TokenId token = static_cast<TokenId>(e.symbol);
       StateId body_after = kNoState;
-      if (prefix_.dfa.is_final(e.to)) body_after = body_.dfa.start();
+      if (prefix.is_final(e.to)) body_after = body.start();
 
       auto it = std::find_if(steps.begin(), steps.end(),
                              [&](const Step& s) { return s.token == token; });
@@ -97,14 +84,16 @@ std::vector<CompiledQuery::Step> CompiledQuery::expand(const StateSet& set) cons
 }
 
 bool CompiledQuery::is_match(const StateSet& set) const {
-  return set.body_state != kNoState && body_.dfa.is_final(set.body_state);
+  return set.body_state != kNoState && artifact_->body.dfa.is_final(set.body_state);
 }
 
 bool CompiledQuery::has_continuation(const StateSet& set) const {
-  if (set.body_state != kNoState && !body_.dfa.edges(set.body_state).empty()) {
+  const pipeline::QueryArtifact& a = *artifact_;
+  if (set.body_state != kNoState && !a.body.dfa.edges(set.body_state).empty()) {
     return true;
   }
-  if (set.prefix_state != kNoState && !prefix_.dfa.edges(set.prefix_state).empty()) {
+  if (set.prefix_state != kNoState &&
+      !a.prefix.dfa.edges(set.prefix_state).empty()) {
     return true;
   }
   return false;
@@ -112,7 +101,7 @@ bool CompiledQuery::has_continuation(const StateSet& set) const {
 
 bool CompiledQuery::canonical_prefix_ok(std::span<const TokenId> body_tokens,
                                         const std::string& body_text) const {
-  if (!body_.dynamic_canonical || body_tokens.empty()) return true;
+  if (!artifact_->body.dynamic_canonical || body_tokens.empty()) return true;
 
   // Greedy longest-match decisions are final ("settled") at byte offset p as
   // soon as p + max_token_length <= len: every candidate token starting at p

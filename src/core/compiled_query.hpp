@@ -1,18 +1,25 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/pipeline/artifact.hpp"
 #include "core/query.hpp"
 #include "tokenizer/bpe.hpp"
 
 namespace relm::core {
 
-// A fully compiled query: the prefix and body token automata plus the glue
-// the executor needs. The prefix automaton's strings bypass decoding rules
-// (§2.4/§3.3); the body automaton's transitions are subject to them.
+// A fully compiled query: an immutable pipeline::QueryArtifact (the prefix
+// and body token automata plus identity metadata) bound to the tokenizer,
+// with the glue the executor needs. The prefix automaton's strings bypass
+// decoding rules (§2.4/§3.3); the body automaton's transitions are subject
+// to them. The artifact is shared, not owned: the same compiled artifact —
+// fresh from the pass pipeline, from the in-memory cache, or reloaded from
+// disk — backs any number of CompiledQuery instances, which is what makes
+// cached and fresh compiles byte-identical by construction.
 //
 // Execution state is a (prefix state, body state) pair with kNoState marking
 // an inactive machine. Both machines are DFAs; nondeterminism only arises at
@@ -40,10 +47,19 @@ class CompiledQuery {
     bool body_advanced;
   };
 
-  // Compiles a query against a tokenizer: parses the prefix and body
-  // regexes, applies preprocessors (§3.4), and runs the graph compiler.
+  // Compiles a query against a tokenizer through the pass pipeline
+  // (src/core/pipeline/), consulting the process-global artifact cache: a
+  // hot (pattern, preprocessors, strategy, vocabulary) tuple is served from
+  // memory or disk instead of recompiled.
   static CompiledQuery compile(const SimpleSearchQuery& query,
                                const tokenizer::BpeTokenizer& tok);
+
+  // Binds an already-compiled artifact (cache hit, disk load) to the
+  // tokenizer. Throws relm::QueryError when the artifact was compiled
+  // against a different vocabulary (fingerprint or alphabet mismatch).
+  static CompiledQuery from_artifact(
+      std::shared_ptr<const pipeline::QueryArtifact> artifact,
+      const tokenizer::BpeTokenizer& tok);
 
   StateSet initial() const;
 
@@ -58,10 +74,12 @@ class CompiledQuery {
   // stop; used for EOS disambiguation in sampling, §3.3).
   bool has_continuation(const StateSet& set) const;
 
-  const automata::Dfa& prefix_automaton() const { return prefix_.dfa; }
-  const automata::Dfa& body_automaton() const { return body_.dfa; }
-  bool dynamic_canonical() const { return body_.dynamic_canonical; }
-  bool prefix_dynamic_canonical() const { return prefix_.dynamic_canonical; }
+  const automata::Dfa& prefix_automaton() const { return artifact_->prefix.dfa; }
+  const automata::Dfa& body_automaton() const { return artifact_->body.dfa; }
+  bool dynamic_canonical() const { return artifact_->body.dynamic_canonical; }
+  bool prefix_dynamic_canonical() const {
+    return artifact_->prefix.dynamic_canonical;
+  }
 
   // Dynamic canonicality pruning (§3.2 option 2). `body_text` is the decoded
   // body-so-far and `body_tokens` its token path; returns false when the
@@ -72,14 +90,17 @@ class CompiledQuery {
                            const std::string& body_text) const;
 
   const tokenizer::BpeTokenizer& tokenizer() const { return *tok_; }
+  const pipeline::QueryArtifact& artifact() const { return *artifact_; }
+  std::shared_ptr<const pipeline::QueryArtifact> shared_artifact() const {
+    return artifact_;
+  }
 
  private:
-  CompiledQuery(TokenAutomaton prefix, TokenAutomaton body,
+  CompiledQuery(std::shared_ptr<const pipeline::QueryArtifact> artifact,
                 const tokenizer::BpeTokenizer& tok)
-      : prefix_(std::move(prefix)), body_(std::move(body)), tok_(&tok) {}
+      : artifact_(std::move(artifact)), tok_(&tok) {}
 
-  TokenAutomaton prefix_;
-  TokenAutomaton body_;
+  std::shared_ptr<const pipeline::QueryArtifact> artifact_;
   const tokenizer::BpeTokenizer* tok_;
 };
 

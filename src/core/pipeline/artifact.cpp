@@ -1,0 +1,227 @@
+#include "core/pipeline/artifact.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+#include "automata/serialize.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core::pipeline {
+
+namespace {
+
+// Two independent FNV-1a streams over the same tagged bytes give the
+// 128-bit content address. Fields are length-prefixed so no two distinct
+// field sequences serialize to the same stream.
+struct KeyHasher {
+  std::uint64_t a = 0xcbf29ce484222325ull;
+  std::uint64_t b = 0x84222325cbf29ce4ull;
+
+  void byte(unsigned char c) {
+    a = (a ^ c) * 0x100000001b3ull;
+    b = (b ^ c) * 0x100000001b3ull;
+    b ^= b >> 29;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (unsigned char c : s) byte(c);
+  }
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+const char* strategy_tag(TokenizationStrategy s) {
+  return s == TokenizationStrategy::kAllTokens ? "all" : "canonical";
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw relm::Error("RELM_ARTIFACT file: " + what);
+}
+
+// Reads "<label> <value>" and returns the value, diagnosing a wrong label
+// or truncation.
+std::string read_field(std::istream& in, const char* label) {
+  std::string got, value;
+  in >> got >> value;
+  if (!in) corrupt(std::string("truncated at field \"") + label + "\"");
+  if (got != label) {
+    corrupt("expected field \"" + std::string(label) + "\", got \"" + got +
+            "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string ArtifactKey::hex() const { return hex64(hi) + hex64(lo); }
+
+std::optional<ArtifactKey> ArtifactKey::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  auto hi = parse_hex64(hex.substr(0, 16));
+  auto lo = parse_hex64(hex.substr(16));
+  if (!hi || !lo) return std::nullopt;
+  return ArtifactKey{*hi, *lo};
+}
+
+std::uint64_t vocab_fingerprint(const tokenizer::BpeTokenizer& tok) {
+  KeyHasher h;
+  h.u64(tok.vocab_size());
+  h.u64(tok.eos());
+  h.u64(tok.max_token_length());
+  for (tokenizer::TokenId t = 0; t < tok.vocab_size(); ++t) {
+    h.str(tok.token_string(t));
+  }
+  return h.a;
+}
+
+std::optional<ArtifactKey> derive_artifact_key(
+    const SimpleSearchQuery& query, const tokenizer::BpeTokenizer& tok) {
+  KeyHasher h;
+  h.u64(QueryArtifact::kFormatVersion);
+  h.str(query.query_string.prefix_str);
+  h.str(query.query_string.body_str());
+  h.str(strategy_tag(query.tokenization_strategy));
+  h.u64(query.canonical_enumeration_budget);
+  h.u64(query.preprocessors.size());
+  for (const auto& pre : query.preprocessors) {
+    std::string key = pre->cache_key();
+    if (key.empty()) return std::nullopt;  // unkeyable preprocessor
+    h.str(key);
+  }
+  h.u64(vocab_fingerprint(tok));
+  ArtifactKey key{h.a, h.b};
+  if (key.is_zero()) key.lo = 1;  // zero is reserved for "no key"
+  return key;
+}
+
+std::uint64_t artifact_checksum(const QueryArtifact& artifact) {
+  KeyHasher h;
+  h.u64(automata::dfa_structural_hash(artifact.prefix.dfa));
+  h.byte(artifact.prefix.dynamic_canonical ? 1 : 0);
+  h.u64(automata::dfa_structural_hash(artifact.body.dfa));
+  h.byte(artifact.body.dynamic_canonical ? 1 : 0);
+  return h.a;
+}
+
+void save_artifact(const QueryArtifact& artifact, std::ostream& out) {
+  out << "RELM_ARTIFACT v" << QueryArtifact::kFormatVersion << "\n";
+  out << "key " << artifact.key.hex() << "\n";
+  out << "vocab " << hex64(artifact.vocab_fingerprint) << "\n";
+  out << "strategy " << strategy_tag(artifact.strategy) << "\n";
+  out << "prefix_dynamic_canonical " << (artifact.prefix.dynamic_canonical ? 1 : 0)
+      << "\n";
+  out << "body_dynamic_canonical " << (artifact.body.dynamic_canonical ? 1 : 0)
+      << "\n";
+  out << "checksum " << hex64(artifact_checksum(artifact)) << "\n";
+  out << "prefix\n";
+  automata::save_dfa(artifact.prefix.dfa, out);
+  out << "body\n";
+  automata::save_dfa(artifact.body.dfa, out);
+}
+
+QueryArtifact load_artifact(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in) corrupt("truncated before header");
+  if (magic != "RELM_ARTIFACT") corrupt("bad magic \"" + magic + "\"");
+  if (version != "v" + std::to_string(QueryArtifact::kFormatVersion)) {
+    corrupt("unsupported version \"" + version + "\" (this build reads v" +
+            std::to_string(QueryArtifact::kFormatVersion) + ")");
+  }
+
+  QueryArtifact artifact;
+  auto key = ArtifactKey::from_hex(read_field(in, "key"));
+  if (!key) corrupt("malformed key");
+  artifact.key = *key;
+
+  auto vocab = parse_hex64(read_field(in, "vocab"));
+  if (!vocab) corrupt("malformed vocab fingerprint");
+  artifact.vocab_fingerprint = *vocab;
+
+  std::string strategy = read_field(in, "strategy");
+  if (strategy == "all") {
+    artifact.strategy = TokenizationStrategy::kAllTokens;
+  } else if (strategy == "canonical") {
+    artifact.strategy = TokenizationStrategy::kCanonicalTokens;
+  } else {
+    corrupt("unknown strategy \"" + strategy + "\"");
+  }
+
+  for (auto [label, flag] :
+       {std::pair<const char*, bool*>{"prefix_dynamic_canonical",
+                                      &artifact.prefix.dynamic_canonical},
+        std::pair<const char*, bool*>{"body_dynamic_canonical",
+                                      &artifact.body.dynamic_canonical}}) {
+    std::string value = read_field(in, label);
+    if (value != "0" && value != "1") {
+      corrupt(std::string(label) + " must be 0/1");
+    }
+    *flag = value == "1";
+  }
+
+  auto checksum = parse_hex64(read_field(in, "checksum"));
+  if (!checksum) corrupt("malformed checksum");
+
+  for (auto [label, ta] :
+       {std::pair<const char*, TokenAutomaton*>{"prefix", &artifact.prefix},
+        std::pair<const char*, TokenAutomaton*>{"body", &artifact.body}}) {
+    std::string section;
+    in >> section;
+    if (!in || section != label) {
+      corrupt(std::string("missing \"") + label + "\" automaton section");
+    }
+    ta->dfa = automata::load_dfa(in);  // throws relm::Error with its own detail
+  }
+
+  if (artifact_checksum(artifact) != *checksum) {
+    corrupt("checksum mismatch (payload corrupted)");
+  }
+  // Semantic invariant, not just integrity: all-tokens artifacts never need
+  // dynamic pruning, so a set flag means the writer was buggy.
+  if (artifact.strategy == TokenizationStrategy::kAllTokens &&
+      (artifact.prefix.dynamic_canonical || artifact.body.dynamic_canonical)) {
+    corrupt("dynamic_canonical set on an all-tokens artifact");
+  }
+  return artifact;
+}
+
+void save_artifact_file(const QueryArtifact& artifact, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw relm::Error("cannot open for writing: " + path);
+  save_artifact(artifact, out);
+  out.flush();
+  if (!out) throw relm::Error("write failed: " + path);
+}
+
+QueryArtifact load_artifact_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw relm::Error("cannot open for reading: " + path);
+  return load_artifact(in);
+}
+
+}  // namespace relm::core::pipeline

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "core/query.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core::pipeline {
+
+// Content address of a compiled query: a stable 128-bit hash over everything
+// that determines the compile output — prefix pattern, body pattern, the
+// ordered preprocessor configuration (Preprocessor::cache_key), tokenization
+// strategy, enumeration budget, artifact format version, and the vocabulary
+// fingerprint. Equal keys imply byte-identical artifacts, which is what lets
+// the cache substitute a stored artifact for a fresh compile.
+struct ArtifactKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool is_zero() const { return hi == 0 && lo == 0; }
+  std::string hex() const;  // 32 lowercase hex chars
+  static std::optional<ArtifactKey> from_hex(std::string_view hex);
+
+  friend bool operator==(const ArtifactKey&, const ArtifactKey&) = default;
+};
+
+// The pipeline's end product: a self-contained compiled query. Everything
+// the executors need — both token automata, their dynamic-canonical flags —
+// plus the identity metadata that makes it safe to reuse: the content
+// address, the fingerprint of the vocabulary it was compiled against, and
+// the format version. Immutable after construction; CompiledQuery and the
+// cache share artifacts by shared_ptr<const>.
+struct QueryArtifact {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  ArtifactKey key;                      // zero when the query is unkeyable
+  std::uint64_t vocab_fingerprint = 0;  // tokenizer identity at compile time
+  TokenizationStrategy strategy = TokenizationStrategy::kCanonicalTokens;
+  // Dfa has no default constructor; a 1-symbol empty machine stands in
+  // until the assemble pass (or the loader) fills these.
+  TokenAutomaton prefix{automata::Dfa(1), false};
+  TokenAutomaton body{automata::Dfa(1), false};
+};
+
+// Order-sensitive fingerprint of a tokenizer's observable identity: every
+// token string, the EOS id, and max_token_length. Token automata are defined
+// over token *ids*, so any vocabulary change invalidates them — the cache
+// folds this into the key and artifact loading re-checks it.
+std::uint64_t vocab_fingerprint(const tokenizer::BpeTokenizer& tok);
+
+// Derives the content address, or nullopt when the query carries a
+// preprocessor without a stable cache_key() (such queries compile fine but
+// bypass the cache).
+std::optional<ArtifactKey> derive_artifact_key(
+    const SimpleSearchQuery& query, const tokenizer::BpeTokenizer& tok);
+
+// RELM_ARTIFACT v1 container — a versioned envelope around two RELM_DFA
+// sections plus the TokenAutomaton metadata:
+//
+//   RELM_ARTIFACT v1
+//   key <32 hex>
+//   vocab <16 hex>
+//   strategy <all|canonical>
+//   prefix_dynamic_canonical <0|1>
+//   body_dynamic_canonical <0|1>
+//   checksum <16 hex>          (structural hash over both DFAs + flags)
+//   prefix
+//   RELM_DFA v1 ...
+//   body
+//   RELM_DFA v1 ...
+//
+// load_artifact validates the version, every field, both DFA sections
+// (hardened automata::load_dfa), and the payload checksum, throwing
+// relm::Error with a located diagnostic on any mismatch — a truncated or
+// bit-flipped file is always detected, never half-loaded.
+void save_artifact(const QueryArtifact& artifact, std::ostream& out);
+QueryArtifact load_artifact(std::istream& in);
+
+void save_artifact_file(const QueryArtifact& artifact, const std::string& path);
+QueryArtifact load_artifact_file(const std::string& path);
+
+// The checksum stored in the container: structural hash of both automata
+// and their flags (not the key/fingerprint header lines, which are covered
+// by their own validation).
+std::uint64_t artifact_checksum(const QueryArtifact& artifact);
+
+}  // namespace relm::core::pipeline

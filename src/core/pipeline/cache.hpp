@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/pipeline/artifact.hpp"
+
+namespace relm::core::pipeline {
+
+struct ArtifactCacheConfig {
+  // In-memory entries across all shards. 0 disables the cache entirely
+  // (lookups miss unconditionally and inserts drop, including disk).
+  std::size_t capacity = 256;
+
+  // Optional on-disk store. When non-empty, misses fall through to
+  // "<disk_dir>/<key hex>.relmq" and fresh compiles are persisted there, so
+  // hot queries survive process restarts. Created on first store.
+  std::string disk_dir;
+};
+
+// Content-addressed cache of compiled query artifacts: a sharded in-memory
+// LRU in front of an optional on-disk store, keyed by ArtifactKey (see
+// artifact.hpp for what the key covers — notably the vocabulary
+// fingerprint, so a retrained tokenizer can never serve stale automata).
+//
+// Correctness stance: a cache hit hands back the artifact shared_ptr
+// verbatim; artifacts are immutable, so cached and fresh compiles are
+// byte-identical by construction (tests/test_pipeline.cpp proves it
+// end-to-end through the executors). A corrupt or truncated disk entry is
+// counted, discarded, and recompiled over — never trusted, never fatal.
+//
+// Thread-safe. Counters also mirror into the obs registry as
+// compile_cache.{hit,miss,evict,load,store,corrupt}.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(ArtifactCacheConfig config = {});
+  ~ArtifactCache();
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  // Memory first, then disk (a disk hit is promoted into memory). Null on
+  // miss or when `key` is zero (unkeyable query).
+  std::shared_ptr<const QueryArtifact> lookup(const ArtifactKey& key);
+
+  // Inserts into memory (evicting LRU entries beyond capacity) and, when a
+  // disk store is configured, persists atomically (temp file + rename).
+  // Zero keys are ignored.
+  void insert(const ArtifactKey& key,
+              std::shared_ptr<const QueryArtifact> artifact);
+
+  struct Stats {
+    std::size_t hits = 0;         // memory or disk
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t disk_loads = 0;   // hits served from disk
+    std::size_t disk_stores = 0;
+    std::size_t disk_errors = 0;  // corrupt/unreadable entries skipped
+    std::size_t entries = 0;      // current in-memory size
+  };
+  Stats stats() const;
+
+  const ArtifactCacheConfig& config() const { return config_; }
+  bool enabled() const { return config_.capacity > 0; }
+
+  // The process-global cache relm::search and the CLI compile through.
+  // Defaults to in-memory only; RELM_COMPILE_CACHE=<dir> in the environment
+  // adds a disk store and RELM_COMPILE_CACHE=off disables caching.
+  static ArtifactCache& global();
+
+  // Replaces the global cache's configuration (CLI flags). Existing entries
+  // are dropped.
+  static void configure_global(ArtifactCacheConfig config);
+
+ private:
+  struct Shard;
+  Shard& shard_for(const ArtifactKey& key);
+  std::string disk_path(const ArtifactKey& key) const;
+  void insert_memory_(Shard& shard, const ArtifactKey& key,
+                      const std::shared_ptr<const QueryArtifact>& artifact);
+
+  ArtifactCacheConfig config_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+// Compile-through-cache: derives the query's content address, serves a hit
+// or compiles via Pipeline::standard() and stores the result. Queries with
+// unkeyable preprocessors (or a null/disabled cache) compile fresh. This is
+// the entry point relm::search and CompiledQuery::compile route through.
+std::shared_ptr<const QueryArtifact> compile_cached(
+    const SimpleSearchQuery& query, const tokenizer::BpeTokenizer& tok,
+    ArtifactCache* cache = &ArtifactCache::global());
+
+}  // namespace relm::core::pipeline

@@ -1,0 +1,188 @@
+#include "core/pipeline/pipeline.hpp"
+
+#include "automata/determinize.hpp"
+#include "automata/ops.hpp"
+#include "automata/regex_parser.hpp"
+#include "automata/thompson.hpp"
+#include "obs/trace.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+
+namespace relm::core::pipeline {
+
+namespace {
+
+// Each pass opens its own trace span with a distinct literal (the macro
+// stores names by pointer), so flame graphs show the compile chain stage by
+// stage alongside the aggregate "compile.query" span.
+
+class ParsePass : public Pass {
+ public:
+  const char* name() const override { return "parse"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.parse");
+    RELM_TRACE_SPAN("regex.parse");  // legacy name, kept for trace tooling
+    s.body_pattern = s.query->query_string.body_str();
+    s.prefix_pattern = s.query->query_string.prefix_str;
+    s.body_ast = automata::parse_regex(s.body_pattern);
+    if (!s.prefix_pattern.empty()) {
+      s.prefix_ast = automata::parse_regex(s.prefix_pattern);
+    }
+  }
+};
+
+class ThompsonPass : public Pass {
+ public:
+  const char* name() const override { return "thompson"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.thompson");
+    RELM_TRACE_SPAN("regex.thompson");  // legacy name, kept for trace tooling
+    s.body_nfa = automata::thompson_construct(*s.body_ast);
+    if (s.prefix_ast) {
+      s.prefix_nfa = automata::thompson_construct(*s.prefix_ast);
+    }
+  }
+};
+
+class DeterminizePass : public Pass {
+ public:
+  const char* name() const override { return "determinize"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.determinize");
+    s.body_chars = automata::trim(automata::determinize(*s.body_nfa));
+    if (s.prefix_nfa) {
+      s.prefix_chars = automata::trim(automata::determinize(*s.prefix_nfa));
+    }
+  }
+};
+
+class MinimizePass : public Pass {
+ public:
+  const char* name() const override { return "minimize"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.minimize");
+    s.body_chars = automata::minimize(*s.body_chars);
+    if (s.prefix_chars) {
+      s.prefix_chars = automata::minimize(*s.prefix_chars);
+    }
+  }
+};
+
+class PreprocessPass : public Pass {
+ public:
+  const char* name() const override { return "preprocess"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.preprocess");
+    for (const auto& pre : s.query->preprocessors) {
+      using Target = Preprocessor::Target;
+      Target t = pre->target();
+      if (t == Target::kBody || t == Target::kBoth) {
+        s.body_chars = pre->apply(*s.body_chars);
+      }
+      if ((t == Target::kPrefix || t == Target::kBoth) && s.prefix_chars) {
+        s.prefix_chars = pre->apply(*s.prefix_chars);
+      }
+    }
+    if (automata::is_empty_language(*s.body_chars)) {
+      throw relm::QueryError(
+          "query body matches no strings after preprocessing");
+    }
+  }
+};
+
+class TokenLiftPass : public Pass {
+ public:
+  const char* name() const override { return "token_lift"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.token_lift");
+    const SimpleSearchQuery& q = *s.query;
+    s.body_tokens = compile_token_automaton(*s.body_chars, *s.tok,
+                                            q.tokenization_strategy,
+                                            q.canonical_enumeration_budget);
+    s.prefix_tokens =
+        s.prefix_chars
+            ? compile_token_automaton(*s.prefix_chars, *s.tok,
+                                      q.tokenization_strategy,
+                                      q.canonical_enumeration_budget)
+            : epsilon_token_automaton(*s.tok);
+  }
+};
+
+class AssemblePass : public Pass {
+ public:
+  const char* name() const override { return "assemble"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.assemble");
+    QueryArtifact artifact;
+    artifact.key = derive_artifact_key(*s.query, *s.tok)
+                       .value_or(ArtifactKey{});  // zero = unkeyable
+    artifact.vocab_fingerprint = vocab_fingerprint(*s.tok);
+    artifact.strategy = s.query->tokenization_strategy;
+    artifact.prefix = std::move(*s.prefix_tokens);
+    artifact.body = std::move(*s.body_tokens);
+    s.artifact = std::move(artifact);
+  }
+};
+
+}  // namespace
+
+const Pipeline& Pipeline::standard() {
+  static const Pipeline pipeline = [] {
+    Pipeline p;
+    p.add(std::make_unique<ParsePass>());
+    p.add(std::make_unique<ThompsonPass>());
+    p.add(std::make_unique<DeterminizePass>());
+    p.add(std::make_unique<MinimizePass>());
+    p.add(std::make_unique<PreprocessPass>());
+    p.add(std::make_unique<TokenLiftPass>());
+    p.add(std::make_unique<AssemblePass>());
+    return p;
+  }();
+  return pipeline;
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<const char*> Pipeline::pass_names() const {
+  std::vector<const char*> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass->name());
+  return names;
+}
+
+CompileState Pipeline::run_to_state(const SimpleSearchQuery& query,
+                                    const tokenizer::BpeTokenizer& tok,
+                                    std::vector<PassRecord>* records) const {
+  RELM_TRACE_SPAN("compile.query");
+  CompileState state;
+  state.query = &query;
+  state.tok = &tok;
+  for (const auto& pass : passes_) {
+    util::Timer timer;
+    pass->run(state);
+    if (records) records->push_back({pass->name(), timer.seconds()});
+  }
+  return state;
+}
+
+CompileResult Pipeline::run(const SimpleSearchQuery& query,
+                            const tokenizer::BpeTokenizer& tok) const {
+  CompileResult result;
+  CompileState state = run_to_state(query, tok, &result.passes);
+  if (!state.artifact) {
+    throw relm::QueryError(
+        "compile pipeline produced no artifact (missing assemble pass?)");
+  }
+  result.artifact = std::move(*state.artifact);
+  return result;
+}
+
+QueryArtifact compile_query_artifact(const SimpleSearchQuery& query,
+                                     const tokenizer::BpeTokenizer& tok) {
+  return Pipeline::standard().run(query, tok).artifact;
+}
+
+}  // namespace relm::core::pipeline

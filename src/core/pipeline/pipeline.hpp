@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "automata/regex_ast.hpp"
+#include "core/pipeline/artifact.hpp"
+#include "core/query.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core::pipeline {
+
+// The query compile path as an explicit pass pipeline. Each pass is a
+// named, introspectable stage that reads the intermediates earlier passes
+// produced and fills in its own; the standard sequence mirrors the paper's
+// compile chain:
+//
+//   parse -> thompson -> determinize -> minimize -> preprocess
+//         -> token_lift -> assemble
+//
+// ending in a self-contained QueryArtifact. Intermediates are write-once
+// (each pass only fills fields that are still empty-for-it), so a completed
+// CompileState is a faithful record of the compilation that tools can
+// inspect — `relm analyze` reports sizes from it and tests assert on
+// individual stages without re-deriving them.
+
+// Shared scratchpad. `prefix_*` fields stay unset (nullopt / null AST) for
+// an empty prefix pattern — the lift pass then produces the epsilon token
+// automaton directly, like the paper's unconditional-generation case.
+struct CompileState {
+  const SimpleSearchQuery* query = nullptr;
+  const tokenizer::BpeTokenizer* tok = nullptr;
+
+  // parse
+  std::string prefix_pattern;
+  std::string body_pattern;
+  automata::RegexPtr prefix_ast;
+  automata::RegexPtr body_ast;
+  // thompson
+  std::optional<automata::Nfa> prefix_nfa;
+  std::optional<automata::Nfa> body_nfa;
+  // determinize / minimize / preprocess (each pass replaces these)
+  std::optional<automata::Dfa> prefix_chars;
+  std::optional<automata::Dfa> body_chars;
+  // token_lift
+  std::optional<TokenAutomaton> prefix_tokens;
+  std::optional<TokenAutomaton> body_tokens;
+  // assemble
+  std::optional<QueryArtifact> artifact;
+};
+
+// One named stage. `name()` must return a string literal (trace spans store
+// it by pointer).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual void run(CompileState& state) const = 0;
+};
+
+// Per-pass execution record, for introspection and tests.
+struct PassRecord {
+  const char* name;
+  double seconds;
+};
+
+struct CompileResult {
+  QueryArtifact artifact;
+  std::vector<PassRecord> passes;
+};
+
+class Pipeline {
+ public:
+  // The standard compile sequence above. Built once; immutable thereafter.
+  static const Pipeline& standard();
+
+  Pipeline() = default;
+  Pipeline& add(std::unique_ptr<Pass> pass);
+
+  std::vector<const char*> pass_names() const;
+
+  // Runs every pass in order. Each pass runs under a "compile.pass.<name>"
+  // trace span and its wall time lands in the returned records. Throws
+  // relm::RegexError / relm::QueryError exactly like the pre-pipeline
+  // compile path did.
+  CompileResult run(const SimpleSearchQuery& query,
+                    const tokenizer::BpeTokenizer& tok) const;
+
+  // As run(), but hands back the full CompileState for callers that want
+  // the intermediates (relm analyze, tests).
+  CompileState run_to_state(const SimpleSearchQuery& query,
+                            const tokenizer::BpeTokenizer& tok,
+                            std::vector<PassRecord>* records = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Convenience: standard pipeline, artifact only.
+QueryArtifact compile_query_artifact(const SimpleSearchQuery& query,
+                                     const tokenizer::BpeTokenizer& tok);
+
+}  // namespace relm::core::pipeline

@@ -1,12 +1,36 @@
 #include "core/preprocessors.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
 #include "automata/determinize.hpp"
 #include "automata/levenshtein.hpp"
 #include "automata/ops.hpp"
 #include "automata/regex.hpp"
+#include "automata/serialize.hpp"
 #include "util/errors.hpp"
 
 namespace relm::core {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+const char* Preprocessor::target_tag(Target t) {
+  switch (t) {
+    case Target::kBody: return "body";
+    case Target::kPrefix: return "prefix";
+    case Target::kBoth: return "both";
+  }
+  return "?";
+}
 
 LevenshteinPreprocessor::LevenshteinPreprocessor(int distance, Target target,
                                                  automata::ByteSet alphabet)
@@ -20,6 +44,17 @@ automata::Dfa LevenshteinPreprocessor::apply(const automata::Dfa& language) cons
 
 std::string LevenshteinPreprocessor::name() const {
   return "levenshtein(" + std::to_string(distance_) + ")";
+}
+
+std::string LevenshteinPreprocessor::cache_key() const {
+  // The alphabet participates: distance-1 over digits and distance-1 over
+  // printable ASCII are different rewrites.
+  std::uint64_t alpha_hash = 0xcbf29ce484222325ull;
+  for (std::size_t c = 0; c < alphabet_.size(); ++c) {
+    alpha_hash = (alpha_hash ^ (alphabet_[c] ? 0x31u : 0x30u)) * 0x100000001b3ull;
+  }
+  return "levenshtein:d=" + std::to_string(distance_) + ":t=" +
+         target_tag(target_) + ":a=" + hex64(alpha_hash);
 }
 
 namespace {
@@ -53,6 +88,17 @@ automata::Dfa FilterPreprocessor::apply(const automata::Dfa& language) const {
       language, forbidden_, automata::printable_ascii_and_ws()));
 }
 
+std::string FilterPreprocessor::cache_key() const {
+  // Both constructors normalize to a minimized DFA, whose canonical
+  // numbering makes the structural hash a language fingerprint.
+  return std::string("filter:t=") + target_tag(target_) + ":l=" +
+         hex64(automata::dfa_structural_hash(forbidden_));
+}
+
+std::string CaseInsensitivePreprocessor::cache_key() const {
+  return std::string("case_insensitive:t=") + target_tag(target_);
+}
+
 automata::Dfa CaseInsensitivePreprocessor::apply(
     const automata::Dfa& language) const {
   automata::Nfa nfa(256);
@@ -84,6 +130,21 @@ SynonymPreprocessor::SynonymPreprocessor(
       if (alt.empty()) throw relm::QueryError("synonym alternative is empty");
     }
   }
+}
+
+std::string SynonymPreprocessor::cache_key() const {
+  // Length-prefixed concatenation: unambiguous under any word/alternative
+  // contents, so distinct synonym tables cannot collide textually.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](std::string_view s) {
+    h = (h ^ s.size()) * 0x100000001b3ull;
+    for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ull;
+  };
+  for (const auto& [word, alternatives] : synonyms_) {
+    fold(word);
+    for (const auto& alt : alternatives) fold(alt);
+  }
+  return std::string("synonyms:t=") + target_tag(target_) + ":s=" + hex64(h);
 }
 
 automata::Dfa SynonymPreprocessor::apply(const automata::Dfa& language) const {

@@ -21,6 +21,18 @@ class Preprocessor {
   virtual automata::Dfa apply(const automata::Dfa& language) const = 0;
   virtual Target target() const { return Target::kBody; }
   virtual std::string name() const = 0;
+
+  // Stable fingerprint of the preprocessor's *full* configuration — two
+  // preprocessors with equal cache_key() must rewrite every language
+  // identically. The artifact cache (src/core/pipeline/cache.hpp) folds
+  // these into the query's content address; an empty string marks the
+  // preprocessor unkeyable and makes queries carrying it bypass the cache
+  // (correct, just never cached). All built-ins are keyable.
+  virtual std::string cache_key() const { return ""; }
+
+ protected:
+  // "body" / "prefix" / "both", for composing cache keys and diagnostics.
+  static const char* target_tag(Target t);
 };
 
 // Levenshtein automaton composition: expands the language to all strings
@@ -34,6 +46,7 @@ class LevenshteinPreprocessor : public Preprocessor {
   automata::Dfa apply(const automata::Dfa& language) const override;
   Target target() const override { return target_; }
   std::string name() const override;
+  std::string cache_key() const override;
 
  private:
   int distance_;
@@ -55,6 +68,7 @@ class FilterPreprocessor : public Preprocessor {
   automata::Dfa apply(const automata::Dfa& language) const override;
   Target target() const override { return target_; }
   std::string name() const override { return "filter"; }
+  std::string cache_key() const override;
 
  private:
   automata::Dfa forbidden_;
@@ -71,6 +85,7 @@ class CaseInsensitivePreprocessor : public Preprocessor {
   automata::Dfa apply(const automata::Dfa& language) const override;
   Target target() const override { return target_; }
   std::string name() const override { return "case_insensitive"; }
+  std::string cache_key() const override;
 
  private:
   Target target_;
@@ -90,6 +105,7 @@ class SynonymPreprocessor : public Preprocessor {
   automata::Dfa apply(const automata::Dfa& language) const override;
   Target target() const override { return target_; }
   std::string name() const override { return "synonyms"; }
+  std::string cache_key() const override;
 
  private:
   std::vector<std::pair<std::string, std::vector<std::string>>> synonyms_;

@@ -10,6 +10,7 @@
 //               [--top-p P] [--temperature T]
 //               [--results N] [--samples N] [--require-eos] [--seed N]
 //               [--threads N] [--cache-capacity N] [--batch N]
+//               [--compile-cache [DIR]] [--no-compile-cache]
 //               [--trace-out FILE] [--trace-jsonl FILE] [--metrics]
 //       Run a ReLM query against a saved model and stream the matches.
 //       (`relm run` is an alias.)
@@ -18,6 +19,12 @@
 //       logit cache (default 65536 entries, 0 disables); --batch sets the
 //       shortest-path frontier expansion batch (default 1 = strict
 //       Dijkstra). See docs/PERFORMANCE.md.
+//       --compile-cache persists compiled query artifacts to DIR (default
+//       .relm-cache) so repeated queries skip compilation entirely;
+//       --no-compile-cache disables the artifact cache (memory and disk).
+//       RELM_COMPILE_CACHE=<dir|off> is the env equivalent. Cache hit/miss
+//       counters appear in --metrics output (compile_cache.*). See
+//       docs/ARCHITECTURE.md.
 //       --trace-out writes a Chrome-trace JSON (chrome://tracing, Perfetto)
 //       of the query's phases; --trace-jsonl streams the same events as
 //       JSONL; --metrics dumps the process metrics registry (counters,
@@ -35,9 +42,13 @@
 //       Show artifact metadata.
 //
 //   relm verify --dir DIR [--tolerance T] [--probes N] [--skip-queries]
+//               [--cache DIR] [--compile-cache [DIR]] [--no-compile-cache]
 //       Structurally verify saved artifacts: automata, model tables, model
 //       distributions, and probe-query compilation (src/analysis). Prints a
 //       diagnostic report and exits non-zero if any invariant is violated.
+//       --cache DIR additionally audits an on-disk compile-cache directory:
+//       every .relmq entry must load, checksum, match its filename key, and
+//       pass the query-artifact invariants.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime error (including
 // failed verification).
@@ -55,6 +66,7 @@
 #include "automata/grep.hpp"
 #include "automata/regex.hpp"
 #include "core/analyzer.hpp"
+#include "core/pipeline/cache.hpp"
 #include "core/relm.hpp"
 #include "corpus/corpus.hpp"
 #include "experiments/setup.hpp"
@@ -194,6 +206,61 @@ corpus::Corpus regen_corpus(double scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared option groups. Subcommands that accept the same flags parse them
+// through these helpers so each flag is declared (and documented) once and
+// `relm query` / `relm run` / `relm analyze` / `relm verify` cannot drift.
+// ---------------------------------------------------------------------------
+
+// Query-shape flags: --pattern, --prefix, --encodings, --edits. Used by
+// `relm query` and `relm analyze`.
+core::SimpleSearchQuery query_from_flags(const Args& args) {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = args.require("pattern");
+  query.query_string.prefix_str = args.get_or("prefix", "");
+  query.tokenization_strategy = args.get_or("encodings", "canonical") == "all"
+                                    ? core::TokenizationStrategy::kAllTokens
+                                    : core::TokenizationStrategy::kCanonicalTokens;
+  long edits = args.get_long("edits", 0);
+  if (edits > 0) {
+    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
+        static_cast<int>(edits)));
+  }
+  return query;
+}
+
+// Compile-cache flags: --compile-cache [DIR] adds an on-disk artifact store
+// (default directory .relm-cache when DIR is omitted); --no-compile-cache
+// disables artifact caching entirely. Without either flag the global cache
+// keeps its RELM_COMPILE_CACHE-derived configuration (see
+// src/core/pipeline/cache.hpp). Used by `relm query` and `relm verify`.
+void apply_compile_cache_flags(const Args& args) {
+  using core::pipeline::ArtifactCache;
+  using core::pipeline::ArtifactCacheConfig;
+  if (args.has("no-compile-cache")) {
+    ArtifactCacheConfig config;
+    config.capacity = 0;
+    ArtifactCache::configure_global(config);
+    return;
+  }
+  if (auto dir = args.get("compile-cache")) {
+    ArtifactCacheConfig config;
+    config.disk_dir = dir->empty() ? ".relm-cache" : *dir;
+    ArtifactCache::configure_global(config);
+  }
+}
+
+void print_compile_cache_stats(std::FILE* out) {
+  const auto& cache = core::pipeline::ArtifactCache::global();
+  if (!cache.enabled()) return;
+  core::pipeline::ArtifactCache::Stats s = cache.stats();
+  if (s.hits + s.misses == 0) return;
+  std::fprintf(out,
+               "[compile cache: %zu hits / %zu misses, %zu disk loads, "
+               "%zu disk stores, %zu corrupt entries]\n",
+               s.hits, s.misses, s.disk_loads, s.disk_stores, s.disk_errors);
+}
+
+// ---------------------------------------------------------------------------
 // Subcommands
 // ---------------------------------------------------------------------------
 
@@ -228,6 +295,7 @@ int cmd_query(const Args& args) {
   if (!trace_out.empty() || !trace_jsonl.empty()) obs::Trace::start();
 
   std::string dir = args.require("dir");
+  apply_compile_cache_flags(args);
   Artifacts art = load_artifacts(dir);
   std::shared_ptr<model::NgramModel> ngram =
       args.get_or("model", "xl") == "small" ? art.small : art.xl;
@@ -244,15 +312,10 @@ int cmd_query(const Args& args) {
         ngram, static_cast<std::size_t>(cache_capacity));
   }
 
-  core::SimpleSearchQuery query;
-  query.query_string.query_str = args.require("pattern");
-  query.query_string.prefix_str = args.get_or("prefix", "");
+  core::SimpleSearchQuery query = query_from_flags(args);
   query.search_strategy = args.get_or("strategy", "shortest") == "sample"
                               ? core::SearchStrategy::kRandomSampling
                               : core::SearchStrategy::kShortestPath;
-  query.tokenization_strategy = args.get_or("encodings", "canonical") == "all"
-                                    ? core::TokenizationStrategy::kAllTokens
-                                    : core::TokenizationStrategy::kCanonicalTokens;
   long top_k = args.get_long("top-k", 0);
   if (top_k > 0) query.decoding.top_k = static_cast<int>(top_k);
   if (auto top_p = args.get_double("top-p")) query.decoding.top_p = *top_p;
@@ -264,11 +327,6 @@ int cmd_query(const Args& args) {
   query.require_eos = args.has("require-eos");
   long batch = args.get_long("batch", 1);
   if (batch > 1) query.expansion_batch_size = static_cast<std::size_t>(batch);
-  long edits = args.get_long("edits", 0);
-  if (edits > 0) {
-    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
-        static_cast<int>(edits)));
-  }
   std::uint64_t seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
 
   util::Timer timer;
@@ -290,6 +348,7 @@ int cmd_query(const Args& args) {
                  100.0 * outcome.stats.cache_hit_rate(),
                  outcome.stats.cache_evictions);
   }
+  print_compile_cache_stats(stderr);
   if (!trace_out.empty()) {
     obs::Trace::write_chrome_trace_file(trace_out);
     std::fprintf(stderr, "[trace: %zu events -> %s]\n",
@@ -350,17 +409,7 @@ int cmd_sample(const Args& args) {
 int cmd_analyze(const Args& args) {
   std::string dir = args.require("dir");
   Artifacts art = load_artifacts(dir);
-  core::SimpleSearchQuery query;
-  query.query_string.query_str = args.require("pattern");
-  query.query_string.prefix_str = args.get_or("prefix", "");
-  query.tokenization_strategy = args.get_or("encodings", "canonical") == "all"
-                                    ? core::TokenizationStrategy::kAllTokens
-                                    : core::TokenizationStrategy::kCanonicalTokens;
-  long edits = args.get_long("edits", 0);
-  if (edits > 0) {
-    query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
-        static_cast<int>(edits)));
-  }
+  core::SimpleSearchQuery query = query_from_flags(args);
   core::QueryAnalysis analysis = core::analyze_query(query, art.tokenizer);
   std::printf("%s", analysis.summary().c_str());
   return 0;
@@ -383,6 +432,7 @@ int cmd_info(const Args& args) {
 
 int cmd_verify(const Args& args) {
   std::string dir = args.require("dir");
+  apply_compile_cache_flags(args);
   analysis::VerifyOptions options;
   if (auto tolerance = args.get_double("tolerance")) {
     options.model.tolerance = *tolerance;
@@ -390,17 +440,28 @@ int cmd_verify(const Args& args) {
   long probes = args.get_long("probes", 0);
   if (probes > 0) options.model.probe_contexts = static_cast<std::size_t>(probes);
   if (args.has("skip-queries")) options.check_queries = false;
+  std::string cache_dir = args.get_or("cache", "");
 
   util::Timer timer;
   analysis::InvariantReport report = analysis::verify_artifact_dir(dir, options);
+  std::size_t cache_entries = 0;
+  if (!cache_dir.empty()) {
+    tokenizer::BpeTokenizer tok =
+        tokenizer::load_tokenizer_file(dir + "/tokenizer.relm");
+    cache_entries = analysis::verify_compile_cache_dir(cache_dir, &tok, report);
+  }
   if (!report.ok()) {
     std::fprintf(stderr, "verify: %s FAILED\n%s", dir.c_str(),
                  report.to_string().c_str());
     return 2;
   }
-  std::printf("verify: %s ok (tokenizer, sim-xl, sim-small%s in %.2fs)\n",
+  std::string cache_note =
+      cache_dir.empty()
+          ? ""
+          : ", " + std::to_string(cache_entries) + " cached artifacts";
+  std::printf("verify: %s ok (tokenizer, sim-xl, sim-small%s%s in %.2fs)\n",
               dir.c_str(), options.check_queries ? ", probe queries" : "",
-              timer.seconds());
+              cache_note.c_str(), timer.seconds());
   return 0;
 }
 

@@ -69,6 +69,53 @@ awk 'NR == 4 { $2 = $2 + 1000 } { print }' "$DIR/sim-small.relm" \
 if "$RELM" verify --dir "$CORRUPT" 2>/dev/null; then exit 1; fi
 "$RELM" verify --dir "$CORRUPT" 2>&1 >/dev/null | grep -q "ngram.row-total"
 
+# Compile-cache lifecycle: cold compile stores an artifact on disk, a warm
+# run serves it back (identical results), and a corrupted entry falls back
+# to a recompile instead of crashing.
+CACHE="$DIR/compile-cache"
+COLD="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --compile-cache "$CACHE" 2>"$DIR/cold.txt")"
+test "$COLD" = "$OUT"
+grep -q "compile cache: 0 hits / 1 misses" "$DIR/cold.txt"
+ENTRY="$(ls "$CACHE"/*.relmq)"
+test -f "$ENTRY"
+
+WARM="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --compile-cache "$CACHE" --metrics 2>"$DIR/warm.txt")"
+test "$(echo "$WARM" | grep -v '^METRICS ')" = "$OUT"
+grep -q "compile cache: 1 hits / 0 misses, 1 disk loads" "$DIR/warm.txt"
+echo "$WARM" | grep -q '"compile_cache.hit":1'
+
+# The cache directory passes verification while its entries are intact.
+"$RELM" verify --dir "$DIR" --cache "$CACHE" --skip-queries | grep -q "ok"
+
+# Truncate the stored entry: the query must recompile (corrupt counted, same
+# results), and verify must flag the directory.
+head -c 60 "$ENTRY" > "$ENTRY.tmp" && mv "$ENTRY.tmp" "$ENTRY"
+if "$RELM" verify --dir "$DIR" --cache "$CACHE" --skip-queries 2>/dev/null; then exit 1; fi
+"$RELM" verify --dir "$DIR" --cache "$CACHE" --skip-queries 2>&1 >/dev/null \
+  | grep -q "cache.corrupt-entry"
+CORRUPTED="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --compile-cache "$CACHE" 2>"$DIR/corrupted.txt")"
+test "$CORRUPTED" = "$OUT"
+grep -q "1 corrupt entries" "$DIR/corrupted.txt"
+# The recompile overwrote the bad entry; the cache verifies clean again.
+"$RELM" verify --dir "$DIR" --cache "$CACHE" --skip-queries | grep -q "ok"
+
+# --no-compile-cache must run without touching the cache machinery.
+NOCACHE="$("$RELM" query --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --prefix 'The ((man)|(woman)) was trained in' --results 4 \
+  --no-compile-cache 2>"$DIR/nocache.txt")"
+test "$NOCACHE" = "$OUT"
+if grep -q "compile cache:" "$DIR/nocache.txt"; then exit 1; fi
+
 # Error paths: bad flag usage and bad regex exit non-zero with a message.
 if "$RELM" query --dir "$DIR" 2>/dev/null; then exit 1; fi
 if "$RELM" query --dir "$DIR" --pattern '(((' 2>/dev/null; then exit 1; fi

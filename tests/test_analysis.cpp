@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/invariants.hpp"
@@ -11,6 +14,8 @@
 #include "automata/regex.hpp"
 #include "core/compiled_query.hpp"
 #include "core/compiler.hpp"
+#include "core/pipeline/artifact.hpp"
+#include "core/pipeline/pipeline.hpp"
 #include "model/mlp_model.hpp"
 #include "model/ngram_model.hpp"
 #include "tokenizer/bpe.hpp"
@@ -400,6 +405,104 @@ TEST(Verify, ModelTokenizerMismatchIsFlagged) {
   InvariantReport report;
   verify_model(*model, tok, "mismatched", report);
   EXPECT_TRUE(report.has("artifact.vocab-mismatch")) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// pipeline artifacts / compile-cache auditing
+// ---------------------------------------------------------------------------
+
+core::pipeline::QueryArtifact tiny_artifact(
+    const tokenizer::BpeTokenizer& tok,
+    core::TokenizationStrategy strategy =
+        core::TokenizationStrategy::kCanonicalTokens) {
+  core::SimpleSearchQuery query;
+  query.query_string.query_str = "(cat)|(dog)";
+  query.tokenization_strategy = strategy;
+  return core::pipeline::compile_query_artifact(query, tok);
+}
+
+TEST(CheckQueryArtifact, PipelineOutputIsClean) {
+  tokenizer::BpeTokenizer tok = tiny_tokenizer();
+  for (auto strategy : {core::TokenizationStrategy::kCanonicalTokens,
+                        core::TokenizationStrategy::kAllTokens}) {
+    core::pipeline::QueryArtifact artifact = tiny_artifact(tok, strategy);
+    InvariantReport report;
+    check_query_artifact(artifact, &tok, report);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(CheckQueryArtifact, FlagsIncoherentStrategyFlags) {
+  tokenizer::BpeTokenizer tok = tiny_tokenizer();
+  core::pipeline::QueryArtifact artifact =
+      tiny_artifact(tok, core::TokenizationStrategy::kAllTokens);
+  artifact.body.dynamic_canonical = true;
+  InvariantReport report;
+  check_query_artifact(artifact, &tok, report);
+  EXPECT_TRUE(report.has("artifact.strategy-flags")) << report.to_string();
+}
+
+TEST(CheckQueryArtifact, FlagsAlphabetSplit) {
+  tokenizer::BpeTokenizer tok = tiny_tokenizer();
+  core::pipeline::QueryArtifact artifact = tiny_artifact(tok);
+  // Replace the prefix machine with one over a different alphabet.
+  Dfa other(7);
+  other.set_start(other.add_state(true));
+  artifact.prefix = core::TokenAutomaton{std::move(other), false};
+  InvariantReport report;
+  check_query_artifact(artifact, /*tok=*/nullptr, report);
+  EXPECT_TRUE(report.has("artifact.alphabet")) << report.to_string();
+}
+
+TEST(CheckQueryArtifact, SkipsVocabularyChecksOnFingerprintMismatch) {
+  // An artifact from another vocabulary is structurally audited but not
+  // flagged: shared cache directories legitimately mix vocabularies.
+  tokenizer::BpeTokenizer tok = tiny_tokenizer();
+  core::pipeline::QueryArtifact artifact = tiny_artifact(tok);
+  artifact.vocab_fingerprint ^= 1;
+  InvariantReport report;
+  check_query_artifact(artifact, &tok, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(VerifyCompileCacheDir, CleanStoreAndEveryCorruptionMode) {
+  namespace fs = std::filesystem;
+  tokenizer::BpeTokenizer tok = tiny_tokenizer();
+  const fs::path dir =
+      fs::temp_directory_path() / "relm_test_verify_cache_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  core::pipeline::QueryArtifact artifact = tiny_artifact(tok);
+  core::pipeline::save_artifact_file(
+      artifact, (dir / (artifact.key.hex() + ".relmq")).string());
+  InvariantReport clean;
+  EXPECT_EQ(verify_compile_cache_dir(dir.string(), &tok, clean), 1u);
+  EXPECT_TRUE(clean.ok()) << clean.to_string();
+
+  // Truncated entry, misnamed entry, key/filename mismatch — each must be
+  // reported with its own check id; non-.relmq files are ignored.
+  std::ofstream(dir / (std::string(32, '0') + ".relmq")) << "RELM_ART";
+  core::pipeline::save_artifact_file(artifact,
+                                     (dir / "notakey.relmq").string());
+  core::pipeline::save_artifact_file(
+      artifact, (dir / (std::string(31, '0') + "1.relmq")).string());
+  std::ofstream(dir / "README.txt") << "not an artifact";
+
+  InvariantReport report;
+  EXPECT_EQ(verify_compile_cache_dir(dir.string(), &tok, report), 4u);
+  EXPECT_TRUE(report.has("cache.corrupt-entry")) << report.to_string();
+  EXPECT_TRUE(report.has("cache.entry-name")) << report.to_string();
+  EXPECT_TRUE(report.has("cache.key-mismatch")) << report.to_string();
+  fs::remove_all(dir);
+}
+
+TEST(VerifyCompileCacheDir, MissingDirectoryIsAViolation) {
+  InvariantReport report;
+  EXPECT_EQ(verify_compile_cache_dir("/nonexistent/cache-dir", nullptr,
+                                     report),
+            0u);
+  EXPECT_TRUE(report.has("cache.missing-dir"));
 }
 
 }  // namespace

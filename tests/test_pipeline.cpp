@@ -1,0 +1,620 @@
+// Tests for the compile pass pipeline, the RELM_ARTIFACT container, and the
+// content-addressed artifact cache (src/core/pipeline/).
+//
+// The load-bearing guarantee is byte-identity: a query compiled fresh, served
+// from the in-memory cache, or reloaded from a serialized artifact must drive
+// the executors to exactly the same matches at exactly the same costs. The
+// Equivalence tests prove that end to end for both tokenization strategies,
+// including the dynamic-canonical fallback.
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "core/pipeline/artifact.hpp"
+#include "core/pipeline/cache.hpp"
+#include "core/pipeline/pipeline.hpp"
+#include "core/preprocessors.hpp"
+#include "model/ngram_model.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/errors.hpp"
+
+namespace relm {
+namespace {
+
+using core::SimpleSearchQuery;
+using core::TokenizationStrategy;
+using core::pipeline::ArtifactCache;
+using core::pipeline::ArtifactCacheConfig;
+using core::pipeline::ArtifactKey;
+using core::pipeline::QueryArtifact;
+using tokenizer::BpeTokenizer;
+
+const BpeTokenizer& fixture_tokenizer() {
+  static const BpeTokenizer tok = [] {
+    std::string text;
+    for (int i = 0; i < 60; ++i) {
+      text += "The cat sat on the mat. The dog ran far. ";
+      text += "abe acde abbbe fine dine. ";
+    }
+    BpeTokenizer::TrainConfig config;
+    config.vocab_size = 400;
+    return BpeTokenizer::train(text, config);
+  }();
+  return tok;
+}
+
+std::shared_ptr<model::NgramModel> fixture_model() {
+  static const std::shared_ptr<model::NgramModel> model = [] {
+    model::NgramModel::Config config;
+    config.order = 4;
+    config.alpha = 0.3;
+    config.max_sequence_length = 48;
+    std::vector<std::string> docs;
+    for (int i = 0; i < 30; ++i) {
+      docs.push_back("The cat sat on the mat.");
+      docs.push_back("The dog ran far.");
+      docs.push_back("abe acde abbbe.");
+    }
+    return model::NgramModel::train(fixture_tokenizer(), docs, config);
+  }();
+  return model;
+}
+
+SimpleSearchQuery make_query(const std::string& pattern,
+                             TokenizationStrategy strategy,
+                             const std::string& prefix = "") {
+  SimpleSearchQuery query;
+  query.query_string.query_str = pattern;
+  query.query_string.prefix_str = prefix;
+  query.tokenization_strategy = strategy;
+  query.max_results = 20;
+  return query;
+}
+
+// A scratch directory unique to the test, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() /
+             ("relm_pipeline_test_" + name)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline structure
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, StandardPassSequence) {
+  std::vector<std::string> names;
+  for (const char* name : core::pipeline::Pipeline::standard().pass_names()) {
+    names.push_back(name);
+  }
+  EXPECT_THAT(names,
+              testing::ElementsAre("parse", "thompson", "determinize",
+                                   "minimize", "preprocess", "token_lift",
+                                   "assemble"));
+}
+
+TEST(Pipeline, RunRecordsEveryPass) {
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  core::pipeline::CompileResult result =
+      core::pipeline::Pipeline::standard().run(query, fixture_tokenizer());
+  ASSERT_EQ(result.passes.size(), 7u);
+  EXPECT_STREQ(result.passes.front().name, "parse");
+  EXPECT_STREQ(result.passes.back().name, "assemble");
+  for (const auto& record : result.passes) {
+    EXPECT_GE(record.seconds, 0.0) << record.name;
+  }
+  EXPECT_FALSE(result.artifact.key.is_zero());
+}
+
+TEST(Pipeline, StateExposesIntermediates) {
+  SimpleSearchQuery query = make_query(
+      "The ((cat)|(dog))", TokenizationStrategy::kCanonicalTokens, "The ");
+  core::pipeline::CompileState state =
+      core::pipeline::Pipeline::standard().run_to_state(query,
+                                                        fixture_tokenizer());
+  ASSERT_TRUE(state.body_ast != nullptr);
+  ASSERT_TRUE(state.body_nfa.has_value());
+  ASSERT_TRUE(state.body_chars.has_value());
+  ASSERT_TRUE(state.prefix_chars.has_value());
+  ASSERT_TRUE(state.body_tokens.has_value());
+  ASSERT_TRUE(state.artifact.has_value());
+  EXPECT_EQ(state.body_pattern, "((cat)|(dog))");
+  EXPECT_EQ(state.prefix_pattern, "The ");
+  // The char-level DFA operates over bytes; the token automaton over the
+  // vocabulary.
+  EXPECT_EQ(state.body_chars->num_symbols(), 256u);
+  EXPECT_EQ(state.body_tokens->dfa.num_symbols(),
+            fixture_tokenizer().vocab_size());
+}
+
+TEST(Pipeline, EmptyPrefixSkipsPrefixStages) {
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  core::pipeline::CompileState state =
+      core::pipeline::Pipeline::standard().run_to_state(query,
+                                                        fixture_tokenizer());
+  EXPECT_TRUE(state.prefix_ast == nullptr);
+  EXPECT_FALSE(state.prefix_chars.has_value());
+  ASSERT_TRUE(state.artifact.has_value());
+  // The epsilon prefix automaton: accepts only the empty token sequence.
+  EXPECT_EQ(state.artifact->prefix.dfa.num_states(), 1u);
+  EXPECT_TRUE(
+      state.artifact->prefix.dfa.is_final(state.artifact->prefix.dfa.start()));
+}
+
+TEST(Pipeline, InvalidRegexThrowsRegexError) {
+  SimpleSearchQuery query =
+      make_query("(unclosed", TokenizationStrategy::kCanonicalTokens);
+  EXPECT_THROW(
+      core::pipeline::Pipeline::standard().run(query, fixture_tokenizer()),
+      relm::RegexError);
+}
+
+// ---------------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactKey, StableAcrossCalls) {
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  auto k1 = core::pipeline::derive_artifact_key(query, fixture_tokenizer());
+  auto k2 = core::pipeline::derive_artifact_key(query, fixture_tokenizer());
+  ASSERT_TRUE(k1 && k2);
+  EXPECT_EQ(*k1, *k2);
+  EXPECT_FALSE(k1->is_zero());
+}
+
+TEST(ArtifactKey, SensitiveToEveryInput) {
+  const BpeTokenizer& tok = fixture_tokenizer();
+  SimpleSearchQuery base =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  auto base_key = core::pipeline::derive_artifact_key(base, tok);
+  ASSERT_TRUE(base_key);
+
+  SimpleSearchQuery other = base;
+  other.query_string.query_str = "(cat)|(dot)";
+  EXPECT_NE(*core::pipeline::derive_artifact_key(other, tok), *base_key);
+
+  other = base;
+  other.tokenization_strategy = TokenizationStrategy::kAllTokens;
+  EXPECT_NE(*core::pipeline::derive_artifact_key(other, tok), *base_key);
+
+  other = base;
+  other.canonical_enumeration_budget = 7;
+  EXPECT_NE(*core::pipeline::derive_artifact_key(other, tok), *base_key);
+
+  other = base;
+  other.preprocessors.push_back(
+      std::make_shared<core::LevenshteinPreprocessor>(1));
+  EXPECT_NE(*core::pipeline::derive_artifact_key(other, tok), *base_key);
+
+  // Same pattern against a different vocabulary must produce a different key.
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 300;
+  BpeTokenizer other_tok =
+      BpeTokenizer::train("cat dog cat dog cat dog mat hat", config);
+  EXPECT_NE(*core::pipeline::derive_artifact_key(base, other_tok), *base_key);
+}
+
+TEST(ArtifactKey, PrefixVersusPatternSplit) {
+  // "The cat" with and without a prefix are different compiles (the prefix
+  // machine bypasses decoding rules) and must not share a key.
+  const BpeTokenizer& tok = fixture_tokenizer();
+  SimpleSearchQuery no_prefix =
+      make_query("The cat", TokenizationStrategy::kCanonicalTokens);
+  SimpleSearchQuery with_prefix =
+      make_query("The cat", TokenizationStrategy::kCanonicalTokens, "The ");
+  auto k1 = core::pipeline::derive_artifact_key(no_prefix, tok);
+  auto k2 = core::pipeline::derive_artifact_key(with_prefix, tok);
+  ASSERT_TRUE(k1 && k2);
+  EXPECT_NE(*k1, *k2);
+}
+
+TEST(ArtifactKey, EquivalentPreprocessorConfigsShareKeys) {
+  const BpeTokenizer& tok = fixture_tokenizer();
+  SimpleSearchQuery a =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  a.preprocessors.push_back(std::make_shared<core::FilterPreprocessor>(
+      std::vector<std::string>{"dog"}, core::Preprocessor::Target::kBody));
+  SimpleSearchQuery b =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  b.preprocessors.push_back(std::make_shared<core::FilterPreprocessor>(
+      "dog", core::Preprocessor::Target::kBody));
+  auto ka = core::pipeline::derive_artifact_key(a, tok);
+  auto kb = core::pipeline::derive_artifact_key(b, tok);
+  ASSERT_TRUE(ka && kb);
+  // Both preprocessors forbid the same language; their cache keys hash the
+  // minimized forbidden DFA, so the configs collide deliberately.
+  EXPECT_EQ(*ka, *kb);
+}
+
+TEST(ArtifactKey, UnkeyablePreprocessorDisablesKey) {
+  // A preprocessor without a stable cache_key must make the whole query
+  // unkeyable (compiling is fine; caching would risk wrong hits).
+  class OpaquePreprocessor : public core::Preprocessor {
+   public:
+    automata::Dfa apply(const automata::Dfa& dfa) const override { return dfa; }
+    Target target() const override { return Target::kBody; }
+    std::string name() const override { return "opaque"; }
+  };
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  query.preprocessors.push_back(std::make_shared<OpaquePreprocessor>());
+  EXPECT_FALSE(
+      core::pipeline::derive_artifact_key(query, fixture_tokenizer()));
+}
+
+TEST(ArtifactKey, HexRoundTrip) {
+  ArtifactKey key{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  std::string hex = key.hex();
+  EXPECT_EQ(hex.size(), 32u);
+  auto parsed = ArtifactKey::from_hex(hex);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, key);
+  EXPECT_FALSE(ArtifactKey::from_hex("short"));
+  EXPECT_FALSE(ArtifactKey::from_hex(std::string(32, 'z')));
+}
+
+// ---------------------------------------------------------------------------
+// Artifact serialization
+// ---------------------------------------------------------------------------
+
+QueryArtifact compile_artifact(const SimpleSearchQuery& query) {
+  return core::pipeline::compile_query_artifact(query, fixture_tokenizer());
+}
+
+TEST(ArtifactSerialize, RoundTripPreservesEverything) {
+  SimpleSearchQuery query = make_query(
+      "The ((cat)|(dog))", TokenizationStrategy::kCanonicalTokens, "The ");
+  QueryArtifact artifact = compile_artifact(query);
+  std::stringstream buffer;
+  core::pipeline::save_artifact(artifact, buffer);
+  QueryArtifact loaded = core::pipeline::load_artifact(buffer);
+  EXPECT_EQ(loaded.key, artifact.key);
+  EXPECT_EQ(loaded.vocab_fingerprint, artifact.vocab_fingerprint);
+  EXPECT_EQ(loaded.strategy, artifact.strategy);
+  EXPECT_EQ(loaded.prefix.dynamic_canonical, artifact.prefix.dynamic_canonical);
+  EXPECT_EQ(loaded.body.dynamic_canonical, artifact.body.dynamic_canonical);
+  EXPECT_EQ(loaded.prefix.dfa, artifact.prefix.dfa);
+  EXPECT_EQ(loaded.body.dfa, artifact.body.dfa);
+}
+
+TEST(ArtifactSerialize, RejectsCorruptContainers) {
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  QueryArtifact artifact = compile_artifact(query);
+  std::stringstream buffer;
+  core::pipeline::save_artifact(artifact, buffer);
+  const std::string good = buffer.str();
+
+  auto load_from = [](const std::string& text) {
+    std::stringstream in(text);
+    return core::pipeline::load_artifact(in);
+  };
+
+  EXPECT_THROW(load_from(""), relm::Error);
+  EXPECT_THROW(load_from("RELM_NOPE v1\n"), relm::Error);
+  EXPECT_THROW(load_from("RELM_ARTIFACT v999\n"), relm::Error);
+  // Truncation anywhere must be detected.
+  EXPECT_THROW(load_from(good.substr(0, 40)), relm::Error);
+  EXPECT_THROW(load_from(good.substr(0, good.size() / 2)), relm::Error);
+  EXPECT_THROW(load_from(good.substr(0, good.size() - 4)), relm::Error);
+
+  // A bit-flip in the DFA payload must fail the checksum (flip a digit in
+  // the last edge line, keeping the file well-formed).
+  std::string flipped = good;
+  std::size_t digit = flipped.find_last_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  flipped[digit] = flipped[digit] == '0' ? '1' : '0';
+  EXPECT_THROW(load_from(flipped), relm::Error);
+}
+
+TEST(ArtifactSerialize, RejectsIncoherentStrategyFlags) {
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kAllTokens);
+  QueryArtifact artifact = compile_artifact(query);
+  ASSERT_FALSE(artifact.body.dynamic_canonical);
+  // Forge the flag (and its checksum, to get past integrity) — the semantic
+  // invariant must still reject it.
+  artifact.body.dynamic_canonical = true;
+  std::stringstream buffer;
+  core::pipeline::save_artifact(artifact, buffer);
+  std::stringstream in(buffer.str());
+  EXPECT_THROW(core::pipeline::load_artifact(in), relm::Error);
+}
+
+TEST(ArtifactSerialize, FileRoundTrip) {
+  TempDir dir("file_roundtrip");
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kAllTokens);
+  QueryArtifact artifact = compile_artifact(query);
+  const std::string path = dir.str() + "/artifact.relmq";
+  core::pipeline::save_artifact_file(artifact, path);
+  QueryArtifact loaded = core::pipeline::load_artifact_file(path);
+  EXPECT_EQ(loaded.body.dfa, artifact.body.dfa);
+  EXPECT_THROW(core::pipeline::load_artifact_file(dir.str() + "/missing"),
+               relm::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: fresh vs cached vs serialized+reloaded compiles
+// ---------------------------------------------------------------------------
+
+std::vector<core::SearchResult> run_search(const core::CompiledQuery& compiled,
+                                           const SimpleSearchQuery& query) {
+  core::ShortestPathSearch search(*fixture_model(), compiled, query);
+  return search.all();
+}
+
+// Matches and costs must be *identical* — not approximately equal. The
+// artifact stores exact automata and the model is deterministic, so any
+// deviation marks a real semantic difference between the compile paths.
+void expect_identical_results(const std::vector<core::SearchResult>& a,
+                              const std::vector<core::SearchResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens) << "result " << i;
+    EXPECT_EQ(a[i].text, b[i].text) << "result " << i;
+    // Bitwise equality: same automaton + same model = same float ops.
+    EXPECT_EQ(a[i].log_prob, b[i].log_prob) << "result " << i;
+  }
+}
+
+void check_equivalence(const SimpleSearchQuery& query) {
+  const BpeTokenizer& tok = fixture_tokenizer();
+
+  // Fresh compile through the pipeline, no cache involved.
+  auto fresh = std::make_shared<const QueryArtifact>(
+      core::pipeline::compile_query_artifact(query, tok));
+  core::CompiledQuery from_fresh = core::CompiledQuery::from_artifact(fresh, tok);
+
+  // Serialize, reload, rebind.
+  std::stringstream buffer;
+  core::pipeline::save_artifact(*fresh, buffer);
+  auto reloaded = std::make_shared<const QueryArtifact>(
+      core::pipeline::load_artifact(buffer));
+  core::CompiledQuery from_disk =
+      core::CompiledQuery::from_artifact(reloaded, tok);
+
+  // Serve the same query through a private cache: miss then hit.
+  ArtifactCache cache(ArtifactCacheConfig{});
+  auto first = core::pipeline::compile_cached(query, tok, &cache);
+  auto second = core::pipeline::compile_cached(query, tok, &cache);
+  EXPECT_EQ(first.get(), second.get());  // the hit IS the stored artifact
+  core::CompiledQuery from_cache =
+      core::CompiledQuery::from_artifact(second, tok);
+
+  std::vector<core::SearchResult> baseline = run_search(from_fresh, query);
+  ASSERT_FALSE(baseline.empty());
+  expect_identical_results(baseline, run_search(from_disk, query));
+  expect_identical_results(baseline, run_search(from_cache, query));
+}
+
+TEST(Equivalence, CanonicalTokens) {
+  check_equivalence(make_query("The ((cat)|(dog))",
+                               TokenizationStrategy::kCanonicalTokens, "The "));
+}
+
+TEST(Equivalence, AllTokens) {
+  check_equivalence(
+      make_query("The ((cat)|(dog))", TokenizationStrategy::kAllTokens));
+}
+
+TEST(Equivalence, DynamicCanonicalFallback) {
+  // An infinite language cannot be enumerated within any budget, so the
+  // canonical strategy falls back to the all-tokens machine with dynamic
+  // pruning — the flag must survive serialization and keep pruning.
+  SimpleSearchQuery query =
+      make_query("a(b|(cd))*e", TokenizationStrategy::kCanonicalTokens);
+  auto artifact = std::make_shared<const QueryArtifact>(
+      core::pipeline::compile_query_artifact(query, fixture_tokenizer()));
+  ASSERT_TRUE(artifact->body.dynamic_canonical);
+  check_equivalence(query);
+}
+
+TEST(Equivalence, CompiledQueryCompileMatchesPipeline) {
+  // The public entry point must be a thin wrapper over the same pipeline.
+  SimpleSearchQuery query = make_query(
+      "The ((cat)|(dog))", TokenizationStrategy::kCanonicalTokens, "The ");
+  const BpeTokenizer& tok = fixture_tokenizer();
+  core::CompiledQuery a = core::CompiledQuery::compile(query, tok);
+  auto b_artifact = std::make_shared<const QueryArtifact>(
+      core::pipeline::compile_query_artifact(query, tok));
+  core::CompiledQuery b = core::CompiledQuery::from_artifact(b_artifact, tok);
+  EXPECT_EQ(a.prefix_automaton(), b.prefix_automaton());
+  EXPECT_EQ(a.body_automaton(), b.body_automaton());
+  EXPECT_EQ(a.dynamic_canonical(), b.dynamic_canonical());
+}
+
+TEST(Equivalence, FromArtifactRejectsWrongVocabulary) {
+  SimpleSearchQuery query =
+      make_query("cat dog", TokenizationStrategy::kCanonicalTokens);
+  auto artifact = std::make_shared<const QueryArtifact>(
+      core::pipeline::compile_query_artifact(query, fixture_tokenizer()));
+  BpeTokenizer::TrainConfig config;
+  config.vocab_size = 280;
+  BpeTokenizer other = BpeTokenizer::train("cat dog cat dog hat mat", config);
+  EXPECT_THROW(core::CompiledQuery::from_artifact(artifact, other),
+               relm::QueryError);
+}
+
+// ---------------------------------------------------------------------------
+// Cache behavior
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactCache, MissThenHitAndStats) {
+  ArtifactCache cache(ArtifactCacheConfig{});
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  auto key = core::pipeline::derive_artifact_key(query, fixture_tokenizer());
+  ASSERT_TRUE(key);
+
+  EXPECT_EQ(cache.lookup(*key), nullptr);
+  auto artifact = core::pipeline::compile_cached(query, fixture_tokenizer(),
+                                                 &cache);
+  ASSERT_TRUE(artifact);
+  EXPECT_EQ(cache.lookup(*key).get(), artifact.get());
+
+  ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // explicit lookup + compile_cached's probe
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ArtifactCache, ZeroKeyNeverCached) {
+  ArtifactCache cache(ArtifactCacheConfig{});
+  auto artifact = std::make_shared<const QueryArtifact>(compile_artifact(
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens)));
+  cache.insert(ArtifactKey{}, artifact);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.lookup(ArtifactKey{}), nullptr);
+  // The zero-key lookup must not even count as a miss (nothing was keyed).
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ArtifactCache, DisabledCacheCompilesEveryTime) {
+  ArtifactCacheConfig config;
+  config.capacity = 0;
+  ArtifactCache cache(config);
+  EXPECT_FALSE(cache.enabled());
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  auto a = core::pipeline::compile_cached(query, fixture_tokenizer(), &cache);
+  auto b = core::pipeline::compile_cached(query, fixture_tokenizer(), &cache);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
+  // Capacity 8 spread over 8 shards = 1 entry per shard: inserting two keys
+  // landing in the same shard must evict the older one.
+  ArtifactCacheConfig config;
+  config.capacity = 8;
+  ArtifactCache cache(config);
+  auto artifact = std::make_shared<const QueryArtifact>(compile_artifact(
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens)));
+  ArtifactKey k1{1, 8};   // shard 0
+  ArtifactKey k2{2, 16};  // shard 0
+  cache.insert(k1, artifact);
+  cache.insert(k2, artifact);
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_NE(cache.lookup(k2), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(ArtifactCache, DiskStoreSurvivesProcessRestart) {
+  TempDir dir("disk_store");
+  SimpleSearchQuery query = make_query(
+      "The ((cat)|(dog))", TokenizationStrategy::kCanonicalTokens, "The ");
+  ArtifactCacheConfig config;
+  config.disk_dir = dir.str();
+
+  ArtifactKey key;
+  {
+    ArtifactCache warm(config);
+    auto artifact =
+        core::pipeline::compile_cached(query, fixture_tokenizer(), &warm);
+    key = artifact->key;
+    EXPECT_EQ(warm.stats().disk_stores, 1u);
+  }
+  // A fresh cache instance simulates a new process: the entry must come back
+  // from disk, not from a recompile.
+  ArtifactCache cold(config);
+  auto loaded = cold.lookup(key);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->key, key);
+  EXPECT_EQ(cold.stats().disk_loads, 1u);
+  EXPECT_EQ(cold.stats().hits, 1u);
+}
+
+TEST(ArtifactCache, CorruptDiskEntryFallsBackToRecompile) {
+  TempDir dir("corrupt_entry");
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  ArtifactCacheConfig config;
+  config.disk_dir = dir.str();
+
+  ArtifactKey key;
+  {
+    ArtifactCache warm(config);
+    key = core::pipeline::compile_cached(query, fixture_tokenizer(), &warm)
+              ->key;
+  }
+  // Truncate the stored entry mid-payload.
+  const std::string path = dir.str() + "/" + key.hex() + ".relmq";
+  {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    ASSERT_GT(contents.size(), 20u);
+    std::ofstream out(path, std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+
+  ArtifactCache cold(config);
+  EXPECT_EQ(cold.lookup(key), nullptr);  // corrupt = miss, never a crash
+  EXPECT_EQ(cold.stats().disk_errors, 1u);
+  EXPECT_EQ(cold.stats().misses, 1u);
+
+  // compile_cached must recover transparently and overwrite the bad entry.
+  auto artifact =
+      core::pipeline::compile_cached(query, fixture_tokenizer(), &cold);
+  ASSERT_TRUE(artifact);
+  QueryArtifact reread = core::pipeline::load_artifact_file(path);
+  EXPECT_EQ(reread.key, key);
+}
+
+TEST(ArtifactCache, MismatchedKeyOnDiskTreatedAsCorrupt) {
+  TempDir dir("key_mismatch");
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  QueryArtifact artifact = compile_artifact(query);
+  // Store a valid artifact under a *different* key's filename.
+  ArtifactKey wrong{0xdead, 0xbeef};
+  core::pipeline::save_artifact_file(artifact,
+                                     dir.str() + "/" + wrong.hex() + ".relmq");
+  ArtifactCacheConfig config;
+  config.disk_dir = dir.str();
+  ArtifactCache cache(config);
+  EXPECT_EQ(cache.lookup(wrong), nullptr);
+  EXPECT_EQ(cache.stats().disk_errors, 1u);
+}
+
+TEST(ArtifactCache, UnkeyableQueryBypassesCache) {
+  class OpaquePreprocessor : public core::Preprocessor {
+   public:
+    automata::Dfa apply(const automata::Dfa& dfa) const override { return dfa; }
+    Target target() const override { return Target::kBody; }
+    std::string name() const override { return "opaque"; }
+  };
+  ArtifactCache cache(ArtifactCacheConfig{});
+  SimpleSearchQuery query =
+      make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
+  query.preprocessors.push_back(std::make_shared<OpaquePreprocessor>());
+  auto a = core::pipeline::compile_cached(query, fixture_tokenizer(), &cache);
+  auto b = core::pipeline::compile_cached(query, fixture_tokenizer(), &cache);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,3 +1,4 @@
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -154,6 +155,84 @@ TEST(DfaSerialize, RejectsCorruptInput) {
   EXPECT_THROW(automata::load_dfa(bad_edge), relm::Error);
   std::stringstream bad_start("RELM_DFA v1\n256 2 7 0\n01\n");
   EXPECT_THROW(automata::load_dfa(bad_start), relm::Error);
+}
+
+// Each corruption mode must fail with a *located* diagnostic, not a generic
+// parse error — the message is what a user sees when a cache entry or saved
+// artifact goes bad.
+std::string load_error(const std::string& text) {
+  std::stringstream in(text);
+  try {
+    automata::load_dfa(in);
+  } catch (const relm::Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(DfaSerialize, CorruptHeaderDiagnostics) {
+  EXPECT_NE(load_error(""), "");
+  EXPECT_THAT(load_error(""), testing::HasSubstr("truncated before header"));
+  EXPECT_THAT(load_error("RELM_NOPE v1\n"), testing::HasSubstr("not a RELM_DFA"));
+  EXPECT_THAT(load_error("RELM_DFA v9\n"), testing::HasSubstr("not a RELM_DFA"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2"),
+              testing::HasSubstr("truncated header"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 0 0 0\n"),
+              testing::HasSubstr("zero states"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n0 2 0 0\n01\n"),
+              testing::HasSubstr("empty alphabet"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 9 0\n01\n"),
+              testing::HasSubstr("start state 9 out of range"));
+}
+
+TEST(DfaSerialize, RejectsAbsurdEdgeCount) {
+  // 2 states x 4 symbols bounds a DFA at 8 edges; a count of 9 cannot be a
+  // DFA and must be rejected before the read loop trusts it.
+  EXPECT_THAT(load_error("RELM_DFA v1\n4 2 0 9\n01\n"),
+              testing::HasSubstr("exceeds num_states * num_symbols"));
+}
+
+TEST(DfaSerialize, RejectsBadFinality) {
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 3 0 0\n01\n"),
+              testing::HasSubstr("finality bits"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 0 0\n0x\n"),
+              testing::HasSubstr("not 0/1"));
+}
+
+TEST(DfaSerialize, RejectsShortRead) {
+  // Header promises two edges; the file ends after one.
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 0 2\n01\n0 97 1\n"),
+              testing::HasSubstr("truncated at edge 1 of 2"));
+}
+
+TEST(DfaSerialize, RejectsOutOfRangeEdgeFields) {
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 0 1\n01\n5 97 1\n"),
+              testing::HasSubstr("edge 0 out of range"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 0 1\n01\n0 97 5\n"),
+              testing::HasSubstr("edge 0 out of range"));
+  EXPECT_THAT(load_error("RELM_DFA v1\n256 2 0 1\n01\n0 400 1\n"),
+              testing::HasSubstr("edge 0 out of range"));
+}
+
+TEST(DfaStructuralHash, DistinguishesStructureAndMatchesSelf) {
+  automata::Dfa a = automata::compile_regex("(cat)|(dog)");
+  automata::Dfa b = automata::compile_regex("(cat)|(dog)");
+  automata::Dfa c = automata::compile_regex("(cat)|(dot)");
+  EXPECT_EQ(automata::dfa_structural_hash(a), automata::dfa_structural_hash(b));
+  EXPECT_NE(automata::dfa_structural_hash(a), automata::dfa_structural_hash(c));
+
+  // Finality flips and edge retargets must change the hash.
+  automata::Dfa d(2);
+  auto s0 = d.add_state(false);
+  auto s1 = d.add_state(true);
+  d.set_start(s0);
+  d.add_edge(s0, 0, s1);
+  automata::Dfa e(2);
+  auto t0 = e.add_state(false);
+  auto t1 = e.add_state(true);
+  e.set_start(t0);
+  e.add_edge(t0, 1, t1);
+  EXPECT_NE(automata::dfa_structural_hash(d), automata::dfa_structural_hash(e));
 }
 
 }  // namespace
