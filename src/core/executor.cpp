@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "model/decoding.hpp"
 #include "obs/metrics.hpp"
@@ -253,11 +254,15 @@ void ShortestPathSearch::pump() {
         continue;
       }
     }
-    if (dedup_text_ && !emitted_texts_.insert(text).second) continue;
+    // No dedup here: a costlier encoding of a text can reach this point
+    // before a cheaper one is discovered (batched rounds pop ahead of
+    // discovery). Dedup happens at release time in next(), once the result
+    // is provably optimal.
     stats_.elapsed_seconds = timer_.seconds();
-    pending_results_.push_back(SearchResult{std::move(tokens), std::move(text),
-                                            -nodes_[id].cost, stats_.llm_calls,
-                                            stats_.elapsed_seconds});
+    pending_results_.push(PendingResult{
+        nodes_[id].cost,
+        SearchResult{std::move(tokens), std::move(text), -nodes_[id].cost,
+                     stats_.llm_calls, stats_.elapsed_seconds}});
   }
   refresh_cache_stats();
   metrics.llm_calls.add(eval_contexts.size());
@@ -271,15 +276,26 @@ void ShortestPathSearch::pump() {
 
 std::optional<SearchResult> ShortestPathSearch::next() {
   for (;;) {
-    if (!pending_results_.empty()) {
+    // A pending match is settled once no frontier node is cheaper: every
+    // undiscovered path must extend some frontier node, so it can only cost
+    // more. When the expansion budget is spent the frontier is dead and the
+    // held-back matches drain in cost order. With batch size 1 a match is
+    // always settled the moment it pops (strict Dijkstra), so this releases
+    // immediately.
+    const bool budget_spent = stats_.expansions >= query_.max_expansions;
+    while (!pending_results_.empty() &&
+           (budget_spent || frontier_.empty() ||
+            pending_results_.top().cost <= frontier_.top().cost)) {
       if (emitted_ >= query_.max_results) return std::nullopt;
+      SearchResult result =
+          std::move(const_cast<PendingResult&>(pending_results_.top()).result);
+      pending_results_.pop();
+      if (dedup_text_ && !emitted_texts_.insert(result.text).second) continue;
       ++emitted_;
-      SearchResult result = std::move(pending_results_.front());
-      pending_results_.pop_front();
       return result;
     }
     if (emitted_ >= query_.max_results) return std::nullopt;
-    if (stats_.expansions >= query_.max_expansions) return std::nullopt;
+    if (budget_spent) return std::nullopt;
     if (frontier_.empty()) {
       stats_.elapsed_seconds = timer_.seconds();
       return std::nullopt;
@@ -382,13 +398,20 @@ std::optional<SearchResult> RandomSampler::sample_once_impl() {
 
   for (;;) {
     if (context.size() >= seq_limit) {
-      if (ba.is_final(body_state)) break;  // budget exhausted at a final state
+      // Budget exhausted. A plain query accepts whatever the automaton
+      // accepts; a terminated (require_eos) query cannot accept here — the
+      // EOS token it still owes would exceed the sequence budget.
+      if (ba.is_final(body_state) && !query_.require_eos) break;
       ++stats_.sample_dead_ends;
       return std::nullopt;
     }
     auto edges = ba.edges(body_state);
     bool at_final = ba.is_final(body_state);
-    if (edges.empty() && at_final) break;  // unambiguous stop
+    // An unambiguous stop (final state, no way to continue) ends a plain
+    // sample for free. A terminated query still owes p(EOS | string): fall
+    // through so the candidate loop below offers EOS as the only option —
+    // paying its probability and respecting the decoding mask.
+    if (edges.empty() && at_final && !query_.require_eos) break;
 
     std::vector<double> lp = model_.next_log_probs(context);
     ++stats_.llm_calls;
@@ -514,7 +537,7 @@ std::vector<SearchResult> BeamSearch::run() {
 
   std::vector<Beam> beams{Beam{{}, compiled_.initial(), 0.0, 0}};
   std::vector<SearchResult> matches;
-  std::unordered_set<std::string> emitted;
+  std::unordered_map<std::string, std::size_t> emitted;  // text -> match index
 
   auto record_match = [&](const Beam& beam, double final_log_prob) {
     if (compiled_.dynamic_canonical()) {
@@ -531,7 +554,21 @@ std::vector<SearchResult> BeamSearch::run() {
       }
     }
     std::string text = compiled_.tokenizer().decode(beam.tokens);
-    if (!emitted.insert(text).second) return;
+    // Text dedup keeps the most probable token path for each string —
+    // matching ShortestPathSearch, whose cheapest-first pops make its
+    // first-wins dedup equivalent. Beam matches are recorded in depth
+    // order, not cost order, so first-wins here would keep an arbitrary
+    // (possibly worse) encoding of the same string.
+    auto [it, inserted] = emitted.emplace(text, matches.size());
+    if (!inserted) {
+      if (final_log_prob > matches[it->second].log_prob) {
+        stats_.elapsed_seconds = timer_.seconds();
+        matches[it->second] =
+            SearchResult{beam.tokens, std::move(text), final_log_prob,
+                         stats_.llm_calls, stats_.elapsed_seconds};
+      }
+      return;
+    }
     stats_.elapsed_seconds = timer_.seconds();
     matches.push_back(SearchResult{beam.tokens, std::move(text), final_log_prob,
                                    stats_.llm_calls, stats_.elapsed_seconds});
@@ -621,24 +658,13 @@ std::vector<SearchResult> BeamSearch::run() {
   }
 
   // Sequence limit reached: surviving beams that sit on a match state are
-  // still results (their EOS cost cannot be paid without one more call; for
-  // require_eos queries they are charged one final model evaluation, folded
-  // into a single batch across all surviving matches).
-  std::vector<Beam> survivors;
-  for (Beam& beam : beams) {
-    if (compiled_.is_match(beam.set)) survivors.push_back(std::move(beam));
-  }
-  if (!survivors.empty()) {
-    if (query_.require_eos) {
-      std::vector<std::vector<double>> lps =
-          model_.next_log_probs_batch(beam_contexts(survivors));
-      stats_.llm_calls += survivors.size();
-      metrics.llm_calls.add(survivors.size());
-      for (std::size_t b = 0; b < survivors.size(); ++b) {
-        record_match(survivors[b], survivors[b].log_prob + lps[b][model_.eos()]);
-      }
-    } else {
-      for (const Beam& beam : survivors) record_match(beam, beam.log_prob);
+  // still results — unless the query requires EOS termination, in which case
+  // the EOS token itself would exceed the sequence budget. That mirrors
+  // ShortestPathSearch, whose EOS closure refuses to extend a path already
+  // at the limit: a terminated match needs room for its EOS.
+  if (!query_.require_eos) {
+    for (const Beam& beam : beams) {
+      if (compiled_.is_match(beam.set)) record_match(beam, beam.log_prob);
     }
   }
 

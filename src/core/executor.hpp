@@ -86,6 +86,20 @@ class ShortestPathSearch {
     bool operator>(const QueueEntry& other) const { return cost > other.cost; }
   };
 
+  // A match held back until it is provably optimal. With expansion_batch > 1
+  // a round pops the k cheapest *discovered* nodes, so a popped match can be
+  // costlier than a not-yet-discovered encoding of the same text (its parent
+  // may sit in the same batch). Matches therefore wait in a cost-ordered
+  // heap and are released only once no frontier node could still beat them;
+  // text dedup happens at release time, keeping the most probable path.
+  struct PendingResult {
+    double cost;
+    SearchResult result;
+    bool operator>(const PendingResult& other) const {
+      return cost > other.cost;
+    }
+  };
+
   std::vector<tokenizer::TokenId> path_of(std::int32_t node) const;
   // The model-visible context for a node: the last
   // model_.relevant_context_length() tokens of its path (the full path when
@@ -94,7 +108,7 @@ class ShortestPathSearch {
   std::vector<tokenizer::TokenId> context_of(std::int32_t node) const;
   void expand(std::int32_t node_id, const std::vector<double>& lp);
   // Pops up to expansion_batch_size nodes, batch-evaluates their contexts,
-  // expands them, and appends any matches to pending_results_.
+  // expands them, and pushes any matches onto pending_results_.
   void pump();
   void refresh_cache_stats();
 
@@ -104,7 +118,8 @@ class ShortestPathSearch {
   std::vector<Node> nodes_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier_;
   std::unordered_set<std::string> emitted_texts_;
-  std::deque<SearchResult> pending_results_;
+  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
+      pending_results_;
   std::size_t emitted_ = 0;
   bool dedup_text_ = true;
   SearchStats stats_;

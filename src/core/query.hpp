@@ -62,11 +62,13 @@ struct SimpleSearchQuery {
   std::size_t max_sample_attempts_factor = 16;  // retries per requested sample
   std::size_t beam_width = 8;           // beam search: live paths per step
 
-  // Shortest path: nodes expanded per model round. 1 = strict Dijkstra
-  // (exact most-probable-first emission). Larger values batch frontier
-  // expansions through LanguageModel::next_log_probs_batch — the CPU
-  // analogue of the paper's GPU test-vector scheduling (§3.3) — at the cost
-  // of emission order being exact only up to a batch window.
+  // Shortest path: nodes expanded per model round. 1 = strict Dijkstra.
+  // Larger values batch frontier expansions through
+  // LanguageModel::next_log_probs_batch — the CPU analogue of the paper's
+  // GPU test-vector scheduling (§3.3). Results are identical for every
+  // batch size: matches found ahead of settlement are held back until no
+  // frontier node can beat them, so emission stays exact
+  // most-probable-first.
   std::size_t expansion_batch_size = 1;
 
   // Random sampling: weigh prefix edges by walk counts (the paper's

@@ -1,0 +1,231 @@
+#include "testing/differential.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/executor.hpp"
+#include "core/pipeline/cache.hpp"
+#include "model/ngram_model.hpp"
+#include "util/errors.hpp"
+
+namespace relm::testing {
+
+using core::BeamSearch;
+using core::CompiledQuery;
+using core::RandomSampler;
+using core::SearchResult;
+using core::ShortestPathSearch;
+using core::SimpleSearchQuery;
+using model::LanguageModel;
+using tokenizer::BpeTokenizer;
+
+namespace {
+
+// Everything one configuration produces. Only (tokens, text, log_prob) are
+// compared; the timing/attribution fields legitimately differ per run.
+struct ExecutorOutputs {
+  std::vector<SearchResult> shortest1;  // expansion_batch_size = 1 (ordered)
+  std::vector<SearchResult> shortest3;  // expansion_batch_size = 3 (batched)
+  std::vector<SearchResult> beam;
+  std::vector<SearchResult> samples;
+};
+
+ExecutorOutputs run_executors(const LanguageModel& model,
+                              const CompiledQuery& compiled,
+                              const SimpleSearchQuery& base,
+                              std::uint64_t sampler_seed) {
+  ExecutorOutputs out;
+  {
+    SimpleSearchQuery q = base;
+    q.expansion_batch_size = 1;
+    ShortestPathSearch search(model, compiled, q);
+    out.shortest1 = search.all();
+  }
+  {
+    SimpleSearchQuery q = base;
+    q.expansion_batch_size = 3;
+    ShortestPathSearch search(model, compiled, q);
+    out.shortest3 = search.all();
+  }
+  {
+    BeamSearch beam(model, compiled, base);
+    out.beam = beam.run();
+  }
+  {
+    RandomSampler sampler(model, compiled, base, sampler_seed);
+    out.samples = sampler.sample_all();
+  }
+  return out;
+}
+
+// Byte-identical comparison across cache configurations: the caches replay
+// stored vectors and the artifact roundtrip reloads identical automata, so
+// every double must match EXACTLY — tolerance here would mask a cache that
+// recomputes instead of replaying.
+std::optional<std::string> diff_exact(const std::vector<SearchResult>& a,
+                                      const std::vector<SearchResult>& b,
+                                      const char* what) {
+  auto describe = [&](std::size_t i) {
+    std::ostringstream err;
+    err << what << " diverges across cache configurations at index " << i;
+    if (i < a.size() && i < b.size()) {
+      err << ": \"" << a[i].text << "\" (log_prob " << a[i].log_prob
+          << ") vs \"" << b[i].text << "\" (log_prob " << b[i].log_prob << ")";
+    } else {
+      err << ": length " << a.size() << " vs " << b.size();
+    }
+    return err.str();
+  };
+  if (a.size() != b.size()) return describe(std::min(a.size(), b.size()));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tokens != b[i].tokens || a[i].text != b[i].text ||
+        a[i].log_prob != b[i].log_prob) {
+      return describe(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void apply_mutation(std::vector<SearchResult>& results, Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      return;
+    case Mutation::kDropResult:
+      if (!results.empty()) results.pop_back();
+      return;
+    case Mutation::kPerturbLogProb:
+      if (!results.empty()) results.front().log_prob += 1e-6;
+      return;
+    case Mutation::kSwapOrder:
+      if (results.size() >= 2) std::swap(results[0], results[1]);
+      return;
+    case Mutation::kDuplicateResult:
+      if (!results.empty()) results.push_back(results.front());
+      return;
+  }
+}
+
+}  // namespace
+
+TrialReport run_trial(const TrialCase& trial,
+                      const DifferentialOptions& options) {
+  TrialReport report;
+  auto fail = [&](std::string kind, std::string detail) {
+    report.status = TrialReport::Status::kFail;
+    report.failure_kind = std::move(kind);
+    report.detail = std::move(detail);
+    return report;
+  };
+
+  try {
+    BpeTokenizer tok = BpeTokenizer::from_vocab(trial.vocab);
+    std::shared_ptr<LanguageModel> base_model = trial.model.build();
+    SimpleSearchQuery query = trial.query();
+    query.num_samples = options.num_samples;
+
+    // Fresh compile, no cache anywhere (nullptr = compile-through only).
+    auto artifact = core::pipeline::compile_cached(query, tok, nullptr);
+    CompiledQuery compiled = CompiledQuery::from_artifact(artifact, tok);
+
+    Oracle oracle = build_oracle(*base_model, compiled, query, options.oracle);
+    report.language_size = oracle.by_text.size();
+    report.oracle_nodes = oracle.nodes_explored;
+    report.max_width = oracle.max_width;
+    if (oracle.truncated) {
+      report.status = TrialReport::Status::kSkip;
+      report.detail = "oracle truncated (language too large to enumerate)";
+      return report;
+    }
+
+    // Budgets sized from ground truth so no executor limit bites: every
+    // executor must exhaust the language, and the beam is wide enough to be
+    // exact (beam_width >= the oracle's max frontier width).
+    query.max_results = oracle.by_text.size() + 8;
+    query.max_expansions = oracle.nodes_explored * 4 + 64;
+    query.beam_width = std::max<std::size_t>(oracle.max_width, 1);
+
+    // Configuration A: plain (the oracle's comparison target).
+    ExecutorOutputs plain =
+        run_executors(*base_model, compiled, query, trial.sampler_seed);
+
+    // Compares another configuration's outputs against plain, filling the
+    // report on the first divergence.
+    auto check_config = [&](const ExecutorOutputs& out,
+                            const char* config) -> bool {
+      for (auto [got, want, what] :
+           {std::tuple{&out.shortest1, &plain.shortest1, "shortest1"},
+            std::tuple{&out.shortest3, &plain.shortest3, "shortest3"},
+            std::tuple{&out.beam, &plain.beam, "beam"},
+            std::tuple{&out.samples, &plain.samples, "samples"}}) {
+        if (auto diff = diff_exact(*got, *want, what)) {
+          fail(std::string("config:") + what,
+               std::string(config) + ": " + *diff);
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // Configuration B: logit cache between the executors and the model.
+    {
+      model::CachingModel cached(base_model, /*capacity=*/1 << 12);
+      ExecutorOutputs out =
+          run_executors(cached, compiled, query, trial.sampler_seed);
+      if (!check_config(out, "logit-cache")) return report;
+    }
+
+    // Configuration C: second compile through a warm artifact cache. The
+    // cached artifact must drive executors to byte-identical output.
+    {
+      core::pipeline::ArtifactCache cache({/*capacity=*/16, /*disk_dir=*/""});
+      (void)core::pipeline::compile_cached(query, tok, &cache);   // cold
+      auto warm = core::pipeline::compile_cached(query, tok, &cache);
+      CompiledQuery recompiled = CompiledQuery::from_artifact(warm, tok);
+      ExecutorOutputs out =
+          run_executors(*base_model, recompiled, query, trial.sampler_seed);
+      if (!check_config(out, "compile-cache")) return report;
+    }
+
+    // Configuration D: artifact serialized and reloaded, plus the logit
+    // cache — the belt-and-braces stack a real deployment runs with.
+    {
+      std::ostringstream sink;
+      core::pipeline::save_artifact(*artifact, sink);
+      std::istringstream source(sink.str());
+      auto reloaded = std::make_shared<core::pipeline::QueryArtifact>(
+          core::pipeline::load_artifact(source));
+      CompiledQuery rebound = CompiledQuery::from_artifact(reloaded, tok);
+      model::CachingModel cached(base_model, /*capacity=*/1 << 12);
+      ExecutorOutputs out =
+          run_executors(cached, rebound, query, trial.sampler_seed);
+      if (!check_config(out, "artifact-io")) return report;
+    }
+
+    // Oracle comparison (on the plain configuration, optionally mutated for
+    // harness self-tests).
+    apply_mutation(plain.shortest1, options.mutate);
+    if (auto diff = compare_results(oracle, plain.shortest1, options.tolerance,
+                                    /*check_order=*/true)) {
+      return fail("oracle:shortest1", *diff);
+    }
+    if (auto diff = compare_results(oracle, plain.shortest3, options.tolerance,
+                                    /*check_order=*/false)) {
+      return fail("oracle:shortest3", *diff);
+    }
+    if (auto diff = compare_results(oracle, plain.beam, options.tolerance,
+                                    /*check_order=*/true)) {
+      return fail("oracle:beam", *diff);
+    }
+    if (auto diff = check_samples(*base_model, compiled, query, plain.samples,
+                                  options.tolerance)) {
+      return fail("oracle:samples", *diff);
+    }
+  } catch (const std::exception& e) {
+    return fail("exception", e.what());
+  }
+
+  report.status = TrialReport::Status::kPass;
+  return report;
+}
+
+}  // namespace relm::testing

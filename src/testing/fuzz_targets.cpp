@@ -1,0 +1,116 @@
+#include "testing/fuzz_targets.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "analysis/invariants.hpp"
+#include "automata/regex_parser.hpp"
+#include "automata/serialize.hpp"
+#include "core/pipeline/artifact.hpp"
+#include "testing/generators.hpp"
+#include "testing/json.hpp"
+#include "util/errors.hpp"
+
+namespace relm::testing {
+
+namespace {
+
+// Invariant failure inside a fuzz target: print and abort so both libFuzzer
+// and the fallback driver register a crash at this input.
+[[noreturn]] void die(const char* target, const std::string& why) {
+  std::fprintf(stderr, "%s: invariant violated: %s\n", target, why.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int fuzz_regex_parser(const std::uint8_t* data, std::size_t size) {
+  std::string pattern(reinterpret_cast<const char*>(data), size);
+  automata::RegexPtr ast;
+  try {
+    ast = automata::parse_regex(pattern);
+  } catch (const relm::Error&) {
+    return 0;  // rejection is the expected path for malformed patterns
+  }
+  // Renderer/parser agreement: what the parser accepted, pattern_of must be
+  // able to print, and the printed form must parse again.
+  std::string rendered;
+  try {
+    rendered = pattern_of(*ast);
+  } catch (const relm::Error& e) {
+    // Only the empty-set node is unprintable, and the parser never emits it.
+    die("fuzz_regex_parser", std::string("unprintable parsed AST: ") + e.what());
+  }
+  try {
+    automata::RegexPtr again = automata::parse_regex(rendered);
+    (void)again;
+  } catch (const relm::Error& e) {
+    die("fuzz_regex_parser",
+        "re-render of accepted pattern failed to parse: \"" + rendered +
+            "\": " + e.what());
+  }
+  return 0;
+}
+
+int fuzz_dfa_loader(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  automata::Dfa dfa(1);  // placeholder; Dfa has no default constructor
+  try {
+    dfa = automata::load_dfa(in);
+  } catch (const relm::Error&) {
+    return 0;
+  }
+  analysis::InvariantReport report;
+  analysis::check_dfa(dfa, report, "fuzzed");
+  if (!report.ok()) die("fuzz_dfa_loader", report.to_string());
+  return 0;
+}
+
+int fuzz_artifact_loader(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  core::pipeline::QueryArtifact artifact;
+  try {
+    artifact = core::pipeline::load_artifact(in);
+  } catch (const relm::Error&) {
+    return 0;
+  }
+  analysis::InvariantReport report;
+  analysis::check_query_artifact(artifact, /*tok=*/nullptr, report, "fuzzed");
+  if (!report.ok()) die("fuzz_artifact_loader", report.to_string());
+  return 0;
+}
+
+int fuzz_repro_json(const std::uint8_t* data, std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const relm::Error&) {
+    return 0;
+  }
+  TrialCase trial;
+  try {
+    trial = TrialCase::from_json(doc);
+  } catch (const relm::Error&) {
+    return 0;  // structurally valid JSON that is not a repro file
+  }
+  // A loaded case must round-trip: dump -> parse -> from_json -> dump equal.
+  std::string dumped = trial.to_json().dump();
+  TrialCase again;
+  try {
+    again = TrialCase::from_json(Json::parse(dumped));
+  } catch (const relm::Error& e) {
+    die("fuzz_repro_json",
+        std::string("serialized case failed to re-load: ") + e.what());
+  }
+  if (again.to_json().dump() != dumped) {
+    die("fuzz_repro_json", "case does not round-trip byte-identically");
+  }
+  return 0;
+}
+
+}  // namespace relm::testing

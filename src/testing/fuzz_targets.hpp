@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relm::testing {
+
+// Structured fuzz entry points (libFuzzer signature: return 0, crash/abort
+// on a bug). Each target feeds attacker-controlled bytes into one of the
+// codebase's parse boundaries; the declared error type (relm::Error and
+// subclasses) is the ONLY acceptable rejection path — any other exception,
+// signal, or sanitizer report is a finding. See fuzz/ for the drivers (real
+// libFuzzer under Clang, a seeded replay loop elsewhere) and docs/TESTING.md
+// for how to run them.
+
+// Regex dialect parser: parse; on success re-render via pattern_of and
+// re-parse, which must succeed (renderer and parser must agree).
+int fuzz_regex_parser(const std::uint8_t* data, std::size_t size);
+
+// Hardened DFA deserializer (RELM_DFA v1). A successful load must satisfy
+// the check_dfa structural invariants.
+int fuzz_dfa_loader(const std::uint8_t* data, std::size_t size);
+
+// Compiled-query artifact deserializer (RELM_ARTIFACT v1, the compile
+// cache's disk format). A successful load must satisfy check_query_artifact.
+int fuzz_artifact_loader(const std::uint8_t* data, std::size_t size);
+
+// Fuzz-repro JSON reader: strict Json::parse, then TrialCase::from_json on
+// schema-tagged documents; a successfully loaded case must survive a
+// serialize/parse round-trip.
+int fuzz_repro_json(const std::uint8_t* data, std::size_t size);
+
+}  // namespace relm::testing

@@ -1,0 +1,415 @@
+#include "testing/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace relm::testing {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw relm::Error("json: " + what + " (at byte " + std::to_string(pos) + ")");
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document", pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't': parse_literal("true"); return Json::boolean(true);
+      case 'f': parse_literal("false"); return Json::boolean(false);
+      case 'n': parse_literal("null"); return Json::null();
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(const char* lit) {
+    std::size_t len = std::strlen(lit);
+    if (text_.substr(pos_, len) != lit) fail("invalid literal", pos_);
+    pos_ += len;
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed here).
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      fail("leading zero in number", start);
+    }
+    bool digits = false;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail("invalid number", start);
+    std::string lexeme(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(lexeme.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        return Json::number(static_cast<std::int64_t>(v));
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(lexeme.c_str(), &end);
+    if (!end || *end != '\0') fail("invalid number '" + lexeme + "'", start);
+    return Json::number(d);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape", pos_);
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape", pos_ - 1);
+            }
+            // The writer only emits \u00NN (single bytes); decode larger
+            // code points as UTF-8 so foreign files still round-trip.
+            if (value < 0x80) {
+              out += static_cast<char>(value);
+            } else if (value < 0x800) {
+              out += static_cast<char>(0xc0 | (value >> 6));
+              out += static_cast<char>(0x80 | (value & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (value >> 12));
+              out += static_cast<char>(0x80 | ((value >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (value & 0x3f));
+            }
+            break;
+          }
+          default: fail(std::string("invalid escape '\\") + e + "'", pos_ - 1);
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+      } else if (c == ']') {
+        ++pos_;
+        return arr;
+      } else {
+        fail("expected ',' or ']'", pos_);
+      }
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      if (obj.has(key)) fail("duplicate key \"" + key + "\"", pos_);
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+      } else if (c == '}') {
+        ++pos_;
+        return obj;
+      } else {
+        fail("expected ',' or '}'", pos_);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double d) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = d;
+  return j;
+}
+
+Json Json::number(std::int64_t i) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = static_cast<double>(i);
+  j.num_is_int_ = true;
+  j.int_ = i;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array(std::vector<Json> items) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(items);
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw relm::Error("json: not a boolean");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::kNumber) throw relm::Error("json: not a number");
+  return num_is_int_ ? static_cast<double>(int_) : num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::kNumber) throw relm::Error("json: not a number");
+  if (num_is_int_) return int_;
+  double rounded = std::nearbyint(num_);
+  if (rounded != num_) throw relm::Error("json: number is not an integer");
+  return static_cast<std::int64_t>(rounded);
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw relm::Error("json: not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  if (kind_ != Kind::kArray) throw relm::Error("json: not an array");
+  return items_;
+}
+
+bool Json::has(const std::string& key) const { return get(key) != nullptr; }
+
+const Json* Json::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &values_[i];
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = get(key);
+  if (!v) throw relm::Error("json: missing key \"" + key + "\"");
+  return *v;
+}
+
+void Json::push_back(Json value) {
+  if (kind_ != Kind::kArray) throw relm::Error("json: push_back on non-array");
+  items_.push_back(std::move(value));
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) throw relm::Error("json: set on non-object");
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      values_[i] = std::move(value);
+      return;
+    }
+  }
+  keys_.push_back(key);
+  values_.push_back(std::move(value));
+}
+
+void Json::dump_to(std::string& out, bool pretty, int indent) const {
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(level) * 2, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: {
+      char buf[40];
+      if (num_is_int_) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      } else if (std::isfinite(num_)) {
+        // %.17g is lossless for doubles; the parser's strtod restores the
+        // identical bit pattern.
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+      } else {
+        // JSON has no Inf/NaN; the repro schema never stores them, but be
+        // defensive rather than emitting an unparseable token.
+        std::snprintf(buf, sizeof buf, "null");
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline(indent + 1);
+        items_[i].dump_to(out, pretty, indent + 1);
+      }
+      newline(indent);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (keys_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out += ',';
+        newline(indent + 1);
+        append_escaped(out, keys_[i]);
+        out += pretty ? ": " : ":";
+        values_[i].dump_to(out, pretty, indent + 1);
+      }
+      newline(indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(bool pretty) const {
+  std::string out;
+  dump_to(out, pretty, 0);
+  if (pretty) out += '\n';
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Reader(text).parse_document(); }
+
+}  // namespace relm::testing

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relm::testing {
+
+// Minimal JSON document model for the fuzz-repro files (fuzz-repro-<seed>.json).
+//
+// This is deliberately not a general-purpose JSON library: it supports
+// exactly the subset the differential harness writes — objects, arrays,
+// strings, doubles, integers, booleans, null — with strict parsing (trailing
+// garbage, duplicate keys, unterminated strings and malformed escapes are
+// errors, thrown as relm::Error). Numbers round-trip losslessly for the
+// integer-valued fields the repro schema uses (seeds, token ids, counts) and
+// via shortest-round-trip formatting for doubles. The obs registry has a
+// JSON *writer*; this adds the reader the replay path needs without pulling
+// in an external dependency.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json null();
+  static Json boolean(bool b);
+  static Json number(double d);
+  static Json number(std::int64_t i);
+  static Json number(std::uint64_t u) { return number(static_cast<std::int64_t>(u)); }
+  static Json string(std::string s);
+  static Json array(std::vector<Json> items = {});
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Typed accessors. Throw relm::Error on a kind mismatch, so a malformed
+  // repro file fails with a diagnostic instead of reading garbage.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;        // requires an integer-valued number
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+
+  // Object access. `get` returns nullptr when the key is absent; `at` throws.
+  bool has(const std::string& key) const;
+  const Json* get(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+
+  // Mutation (building documents).
+  void push_back(Json value);                      // arrays
+  void set(const std::string& key, Json value);    // objects
+
+  // Serialization. `pretty` indents nested structures two spaces per level.
+  std::string dump(bool pretty = false) const;
+
+  // Strict parse of a complete document. Throws relm::Error with the byte
+  // offset of the first problem.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, bool pretty, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  bool num_is_int_ = false;
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  // Insertion-ordered object representation: keys_ and values_ are parallel.
+  std::vector<std::string> keys_;
+  std::vector<Json> values_;
+};
+
+}  // namespace relm::testing

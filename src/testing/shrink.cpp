@@ -1,0 +1,215 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+
+#include "automata/regex_parser.hpp"
+
+namespace relm::testing {
+
+using automata::RegexKind;
+using automata::RegexNode;
+using automata::RegexPtr;
+using tokenizer::TokenId;
+
+namespace {
+
+// All one-step reductions of an AST, most aggressive first. Every candidate
+// is strictly smaller by node_count (or equal-size but structurally simpler,
+// e.g. a narrowed char class), so greedy acceptance terminates.
+std::vector<RegexPtr> reductions(const RegexNode& node) {
+  std::vector<RegexPtr> out;
+  if (node.kind != RegexKind::kEpsilon) out.push_back(RegexNode::epsilon());
+  for (const RegexPtr& child : node.children) out.push_back(child->clone());
+
+  switch (node.kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      break;
+    case RegexKind::kCharClass:
+      if (node.char_class.count() > 1) {
+        for (std::size_t b = 0; b < 256; ++b) {
+          if (node.char_class.test(b)) {
+            automata::ByteSet single;
+            single.set(b);
+            out.push_back(RegexNode::char_class_node(single));
+            break;
+          }
+        }
+      }
+      break;
+    case RegexKind::kConcat:
+    case RegexKind::kAlternate: {
+      // Drop one child at a time (the factories collapse singletons).
+      for (std::size_t skip = 0; skip < node.children.size(); ++skip) {
+        std::vector<RegexPtr> rest;
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          if (i != skip) rest.push_back(node.children[i]->clone());
+        }
+        out.push_back(node.kind == RegexKind::kConcat
+                          ? RegexNode::concat(std::move(rest))
+                          : RegexNode::alternate(std::move(rest)));
+      }
+      // Reduce one child in place.
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        for (RegexPtr& variant : reductions(*node.children[i])) {
+          std::vector<RegexPtr> rebuilt;
+          for (std::size_t j = 0; j < node.children.size(); ++j) {
+            rebuilt.push_back(i == j ? std::move(variant)
+                                     : node.children[j]->clone());
+          }
+          out.push_back(node.kind == RegexKind::kConcat
+                            ? RegexNode::concat(std::move(rebuilt))
+                            : RegexNode::alternate(std::move(rebuilt)));
+        }
+      }
+      break;
+    }
+    case RegexKind::kRepeat: {
+      const RegexNode& child = *node.children.front();
+      if (node.repeat_max == automata::kUnbounded) {
+        out.push_back(RegexNode::repeat(child.clone(), node.repeat_min,
+                                        std::max(node.repeat_min, 1)));
+      } else if (node.repeat_max > node.repeat_min) {
+        out.push_back(
+            RegexNode::repeat(child.clone(), node.repeat_min, node.repeat_min));
+      }
+      if (node.repeat_min > 0) {
+        out.push_back(RegexNode::repeat(child.clone(), 0, node.repeat_max));
+      }
+      for (RegexPtr& variant : reductions(child)) {
+        out.push_back(RegexNode::repeat(std::move(variant), node.repeat_min,
+                                        node.repeat_max));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void set_body(TrialCase& trial, const RegexNode& ast) {
+  trial.body = pattern_of(ast);
+  // Top-level alternation must stay grouped so prefix + body concatenation
+  // (and QueryString's textual-prefix contract) is unambiguous.
+  if (ast.kind == RegexKind::kAlternate) trial.body = "(" + trial.body + ")";
+}
+
+// Removes the multi-char vocab entry at `index`, remapping model token ids
+// (ids above the removed one shift down; occurrences of it are dropped from
+// the training sequences).
+TrialCase without_vocab_entry(const TrialCase& trial, std::size_t index) {
+  TrialCase out = trial;
+  TokenId removed = static_cast<TokenId>(index);
+  out.vocab.erase(out.vocab.begin() + static_cast<std::ptrdiff_t>(index));
+  out.model.vocab_size = out.vocab.size();
+  for (std::vector<TokenId>& seq : out.model.sequences) {
+    std::vector<TokenId> remapped;
+    for (TokenId t : seq) {
+      if (t == removed) continue;
+      remapped.push_back(t > removed ? t - 1 : t);
+    }
+    seq = std::move(remapped);
+  }
+  return out;
+}
+
+// Parameter-level simplifications, cheapest and most effective first.
+std::vector<TrialCase> parameter_candidates(const TrialCase& trial) {
+  std::vector<TrialCase> out;
+  auto push = [&](auto&& edit) {
+    TrialCase candidate = trial;
+    edit(candidate);
+    out.push_back(std::move(candidate));
+  };
+  if (trial.model.kind != ModelSpec::Kind::kUniform) {
+    push([](TrialCase& c) {
+      c.model.kind = ModelSpec::Kind::kUniform;
+      c.model.sequences.clear();
+    });
+  }
+  for (std::size_t i = trial.vocab.size(); i-- > 0;) {
+    if (trial.vocab[i].size() > 1) {
+      out.push_back(without_vocab_entry(trial, i));
+    }
+  }
+  if (!trial.prefix.empty()) push([](TrialCase& c) { c.prefix.clear(); });
+  if (trial.require_eos) push([](TrialCase& c) { c.require_eos = false; });
+  if (trial.all_tokens) push([](TrialCase& c) { c.all_tokens = false; });
+  if (trial.top_k > 0 || trial.top_p < 1.0 || trial.temperature != 1.0) {
+    push([](TrialCase& c) {
+      c.top_k = 0;
+      c.top_p = 1.0;
+      c.temperature = 1.0;
+    });
+  }
+  if (trial.canonical_enumeration_budget == 0) {
+    push([](TrialCase& c) { c.canonical_enumeration_budget = 50000; });
+  }
+  if (trial.sequence_length > 1) {
+    push([](TrialCase& c) { c.sequence_length -= 1; });
+    if (trial.sequence_length > 2) {
+      push([](TrialCase& c) { c.sequence_length = 2; });
+    }
+  }
+  if (trial.num_samples > 8) push([](TrialCase& c) { c.num_samples = 8; });
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const TrialCase& failing,
+                         const DifferentialOptions& options,
+                         std::size_t max_trials) {
+  ShrinkResult result;
+  result.best = failing;
+  result.report = run_trial(failing, options);
+  result.trials = 1;
+  if (!result.report.failed()) return result;
+  const std::string kind = result.report.failure_kind;
+
+  auto try_candidate = [&](const TrialCase& candidate) {
+    if (result.trials >= max_trials) return false;
+    ++result.trials;
+    TrialReport report = run_trial(candidate, options);
+    if (report.failed() && report.failure_kind == kind) {
+      result.best = candidate;
+      result.report = std::move(report);
+      result.changed = true;
+      return true;
+    }
+    return false;
+  };
+
+  bool improved = true;
+  while (improved && result.trials < max_trials) {
+    improved = false;
+    for (TrialCase& candidate : parameter_candidates(result.best)) {
+      if (try_candidate(candidate)) {
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    RegexPtr ast;
+    try {
+      ast = automata::parse_regex(result.best.body);
+    } catch (const std::exception&) {
+      break;  // unparseable body (hand-written repro?) — keep as-is
+    }
+    for (RegexPtr& variant : reductions(*ast)) {
+      TrialCase candidate = result.best;
+      try {
+        set_body(candidate, *variant);
+      } catch (const std::exception&) {
+        continue;  // e.g. empty-set has no syntax
+      }
+      if (try_candidate(candidate)) {
+        improved = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace relm::testing

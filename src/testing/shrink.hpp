@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "testing/differential.hpp"
+
+namespace relm::testing {
+
+// Greedy failing-case minimizer.
+//
+// Given a trial that fails, repeatedly tries smaller candidates — simplified
+// query parameters, a uniform model, a pruned vocabulary, reduced regex ASTs
+// — and keeps any candidate that still fails with the SAME failure kind
+// (TrialReport::failure_kind), so minimization cannot drift onto an
+// unrelated bug. Candidates are ordered most-aggressive-first (replace a
+// subtree by epsilon before trimming a repeat bound), which converges in few
+// trials on typical executor bugs: the mutation self-test in
+// tests/test_testing.cpp requires the final regex to be <= 3 AST nodes.
+
+struct ShrinkResult {
+  TrialCase best;            // smallest same-kind-failing case found
+  TrialReport report;        // its failure report
+  std::size_t trials = 0;    // run_trial invocations spent
+  bool changed = false;      // best differs from the input case
+};
+
+// `max_trials` bounds the total run_trial calls (the input case's own
+// verification run included). If the input does not fail, returns it
+// unchanged with its passing report.
+ShrinkResult shrink_case(const TrialCase& failing,
+                         const DifferentialOptions& options,
+                         std::size_t max_trials = 400);
+
+}  // namespace relm::testing

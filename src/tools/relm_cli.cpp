@@ -50,11 +50,26 @@
 //       every .relmq entry must load, checksum, match its filename key, and
 //       pass the query-artifact invariants.
 //
+//   relm fuzz   [--trials N] [--seed S] [--out DIR] [--num-samples N]
+//               [--max-failures N] [--no-shrink] [--mutate MODE]
+//               [--replay FILE] [--shrink-trials N]
+//       Differential fuzzing of query execution (docs/TESTING.md): each
+//       trial draws a random (regex, vocabulary, model, query-params) case,
+//       enumerates ground truth with the brute-force oracle, runs the
+//       shortest-path, beam, and sampling executors under every cache
+//       configuration, and compares. A failing case is greedily shrunk and
+//       written to DIR/fuzz-repro-<seed>.json (atomic write), replayable
+//       with --replay. --mutate <drop|perturb|swap|dup> injects a fault into
+//       the executor output first — the harness self-test: a mutated run
+//       MUST fail. Exits 0 when all trials pass (or are skipped as
+//       too-large), 2 on any failure.
+//
 // Exit status: 0 on success, 1 on usage error, 2 on runtime error (including
 // failed verification).
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -74,6 +89,8 @@
 #include "model/ngram_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "testing/differential.hpp"
+#include "testing/shrink.hpp"
 #include "tokenizer/serialize.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
@@ -465,9 +482,133 @@ int cmd_verify(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// relm fuzz — differential fuzzing of query execution (docs/TESTING.md)
+// ---------------------------------------------------------------------------
+
+testing::Mutation mutation_from_flag(const std::string& mode) {
+  if (mode == "none") return testing::Mutation::kNone;
+  if (mode == "drop") return testing::Mutation::kDropResult;
+  if (mode == "perturb") return testing::Mutation::kPerturbLogProb;
+  if (mode == "swap") return testing::Mutation::kSwapOrder;
+  if (mode == "dup") return testing::Mutation::kDuplicateResult;
+  throw relm::Error("--mutate expects none|drop|perturb|swap|dup, got \"" +
+                    mode + "\"");
+}
+
+// Atomic write (temp file + rename), same convention as scripts/bench.sh:
+// a watcher or CI artifact upload never sees a half-written repro.
+void write_repro_file(const testing::TrialCase& trial,
+                      const std::string& path) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw relm::Error("cannot open " + tmp + " for writing");
+    out << trial.to_json().dump(/*pretty=*/true);
+    out.flush();
+    if (!out) throw relm::Error("failed writing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw relm::Error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+testing::TrialCase load_repro_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw relm::Error("cannot read repro file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return testing::TrialCase::from_json(testing::Json::parse(buffer.str()));
+}
+
+int cmd_fuzz(const Args& args) {
+  testing::DifferentialOptions options;
+  options.mutate = mutation_from_flag(args.get_or("mutate", "none"));
+  options.num_samples =
+      static_cast<std::size_t>(args.get_long("num-samples", 24));
+
+  if (auto replay = args.get("replay"); replay && !replay->empty()) {
+    testing::TrialCase trial = load_repro_file(*replay);
+    testing::TrialReport report = testing::run_trial(trial, options);
+    switch (report.status) {
+      case testing::TrialReport::Status::kPass:
+        std::printf("replay %s: PASS (language size %zu)\n", replay->c_str(),
+                    report.language_size);
+        return 0;
+      case testing::TrialReport::Status::kSkip:
+        std::printf("replay %s: SKIP (%s)\n", replay->c_str(),
+                    report.detail.c_str());
+        return 0;
+      case testing::TrialReport::Status::kFail:
+        std::fprintf(stderr, "replay %s: FAIL [%s]\n%s\n", replay->c_str(),
+                     report.failure_kind.c_str(), report.detail.c_str());
+        return 2;
+    }
+  }
+
+  const long trials = args.get_long("trials", 200);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const std::string out_dir = args.get_or("out", ".");
+  const bool shrink = !args.has("no-shrink");
+  const long max_failures = args.get_long("max-failures", 1);
+  const std::size_t shrink_trials =
+      static_cast<std::size_t>(args.get_long("shrink-trials", 400));
+
+  util::Timer timer;
+  std::size_t passed = 0, skipped = 0;
+  long failures = 0;
+  for (long i = 0; i < trials; ++i) {
+    const std::uint64_t trial_seed = seed + static_cast<std::uint64_t>(i);
+    testing::TrialCase trial = testing::generate_case(trial_seed);
+    testing::TrialReport report = testing::run_trial(trial, options);
+    switch (report.status) {
+      case testing::TrialReport::Status::kPass:
+        ++passed;
+        break;
+      case testing::TrialReport::Status::kSkip:
+        ++skipped;
+        break;
+      case testing::TrialReport::Status::kFail: {
+        ++failures;
+        std::fprintf(stderr, "fuzz: seed %llu FAIL [%s]\n%s\n",
+                     static_cast<unsigned long long>(trial_seed),
+                     report.failure_kind.c_str(), report.detail.c_str());
+        testing::TrialCase repro = trial;
+        if (shrink) {
+          testing::ShrinkResult minimized =
+              testing::shrink_case(trial, options, shrink_trials);
+          repro = minimized.best;
+          std::fprintf(stderr,
+                       "fuzz: shrunk to body \"%s\" over %zu tokens "
+                       "(%zu shrink trials)\n",
+                       repro.body.c_str(), repro.vocab.size(),
+                       minimized.trials);
+        }
+        std::string path = out_dir + "/fuzz-repro-" +
+                           std::to_string(trial_seed) + ".json";
+        write_repro_file(repro, path);
+        std::fprintf(stderr, "fuzz: wrote %s\n", path.c_str());
+        break;
+      }
+    }
+    if (failures >= max_failures) break;
+    if ((i + 1) % 100 == 0) {
+      std::fprintf(stderr, "fuzz: %ld/%ld trials (%zu pass, %zu skip)\n",
+                   i + 1, trials, passed, skipped);
+    }
+  }
+  std::printf(
+      "fuzz: %zu passed, %zu skipped, %ld failed (seed %llu, %.1fs)\n",
+      passed, skipped, failures, static_cast<unsigned long long>(seed),
+      timer.seconds());
+  return failures ? 2 : 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: relm <build|query|analyze|grep|sample|info|verify> [flags]\n"
+               "usage: relm <build|query|analyze|grep|sample|info|verify|fuzz> [flags]\n"
                "       (`relm run` is an alias for `relm query`)\n"
                "see the header of src/tools/relm_cli.cpp for flag reference\n");
 }
@@ -497,6 +638,8 @@ int main(int argc, char** argv) {
       status = cmd_info(args);
     } else if (command == "verify") {
       status = cmd_verify(args);
+    } else if (command == "fuzz") {
+      status = cmd_fuzz(args);
     } else {
       usage();
       return 1;

@@ -1,0 +1,312 @@
+// Executor edge cases surfaced (or made precisely testable) by the
+// differential fuzz harness: empty intersections, EOS-only matches, budget
+// exhaustion mid-frontier, degenerate vocabularies, canonical-vs-greedy
+// tokenization, and minimized regressions for the three executor bugs the
+// fuzzer found (beam text-dedup keeping the wrong path, beam require_eos at
+// the sequence limit, sampler require_eos termination).
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "model/ngram_model.hpp"
+#include "testing/oracle.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace relm::core {
+namespace {
+
+using tokenizer::TokenId;
+
+// The tokenizer lives behind a shared_ptr because CompiledQuery holds a
+// pointer to the tokenizer it was compiled against — it must outlive the
+// compile and stay at a stable address.
+struct Fixture {
+  std::shared_ptr<tokenizer::BpeTokenizer> tok;
+  std::shared_ptr<model::LanguageModel> model;
+  SimpleSearchQuery query;
+  CompiledQuery compiled;
+};
+
+Fixture uniform_fixture(std::vector<std::string> vocab, const std::string& body,
+                        SimpleSearchQuery base = {}) {
+  const std::size_t vocab_size = vocab.size();
+  auto tok = std::make_shared<tokenizer::BpeTokenizer>(
+      tokenizer::BpeTokenizer::from_vocab(std::move(vocab)));
+  auto model = std::make_shared<model::UniformModel>(vocab_size, 0, 24);
+  base.query_string = {body, ""};
+  CompiledQuery compiled = CompiledQuery::compile(base, *tok);
+  return {std::move(tok), std::move(model), std::move(base), std::move(compiled)};
+}
+
+// Runs all three executors and asserts each against the brute-force oracle.
+void expect_all_executors_match_oracle(const Fixture& f) {
+  const testing::Oracle oracle =
+      testing::build_oracle(*f.model, f.compiled, f.query);
+  ASSERT_FALSE(oracle.truncated);
+
+  SimpleSearchQuery query = f.query;
+  query.max_results = oracle.by_text.size() + 4;
+  query.beam_width = std::max<std::size_t>(oracle.max_width, 1);
+  ShortestPathSearch shortest(*f.model, f.compiled, query);
+  EXPECT_EQ(testing::compare_results(oracle, shortest.all(), 1e-9, true),
+            std::nullopt);
+  BeamSearch beam(*f.model, f.compiled, query);
+  EXPECT_EQ(testing::compare_results(oracle, beam.run(), 1e-9, true),
+            std::nullopt);
+  query.num_samples = 8;
+  RandomSampler sampler(*f.model, f.compiled, query, /*seed=*/11);
+  EXPECT_EQ(testing::check_samples(*f.model, f.compiled, query,
+                                   sampler.sample_all(), 1e-9),
+            std::nullopt);
+}
+
+// --------------------------------------------------------------------------
+// Empty intersection: the pattern needs more tokens than the budget allows,
+// so the compiled language within the sequence limit is empty. Every
+// traversal must terminate cleanly with zero matches (and the sampler must
+// give up rather than loop).
+TEST(ExecutorEdges, EmptyIntersectionYieldsNoResults) {
+  SimpleSearchQuery base;
+  base.sequence_length = 3;
+  Fixture f = uniform_fixture({"", "a"}, "a{5}", base);
+
+  ShortestPathSearch shortest(*f.model, f.compiled, f.query);
+  EXPECT_TRUE(shortest.all().empty());
+  BeamSearch beam(*f.model, f.compiled, f.query);
+  EXPECT_TRUE(beam.run().empty());
+  SimpleSearchQuery query = f.query;
+  query.num_samples = 3;
+  RandomSampler sampler(*f.model, f.compiled, query, 5);
+  EXPECT_TRUE(sampler.sample_all().empty());
+}
+
+// EOS-only match: the body accepts exactly the empty string and EOS is
+// required, so the sole result is "" with log_prob = log p(EOS | nothing).
+TEST(ExecutorEdges, EosOnlyMatch) {
+  SimpleSearchQuery base;
+  base.require_eos = true;
+  base.sequence_length = 2;
+  Fixture f = uniform_fixture({"", "a"}, "()", base);
+  const double lp_eos = std::log(0.5);
+
+  ShortestPathSearch shortest(*f.model, f.compiled, f.query);
+  const auto results = shortest.all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].text, "");
+  EXPECT_TRUE(results[0].tokens.empty());
+  EXPECT_NEAR(results[0].log_prob, lp_eos, 1e-12);
+
+  expect_all_executors_match_oracle(f);
+}
+
+// Budget exhaustion mid-frontier: an expansion budget far below what the
+// language needs must stop the search cleanly, and whatever WAS emitted must
+// be a prefix of the unconstrained emission sequence (Dijkstra order means a
+// budget only ever truncates the tail).
+TEST(ExecutorEdges, ExpansionBudgetTruncatesCleanly) {
+  SimpleSearchQuery base;
+  base.sequence_length = 6;
+  base.max_results = 100;
+  Fixture f = uniform_fixture({"", "a", "b"}, "(a|b)*", base);
+
+  SimpleSearchQuery full_query = f.query;
+  ShortestPathSearch full(*f.model, f.compiled, full_query);
+  const auto full_results = full.all();
+  ASSERT_GT(full_results.size(), 4u);
+
+  SimpleSearchQuery starved_query = f.query;
+  starved_query.max_expansions = 3;
+  ShortestPathSearch starved(*f.model, f.compiled, starved_query);
+  const auto starved_results = starved.all();
+  EXPECT_LE(starved.stats().expansions, 3u);
+  ASSERT_LT(starved_results.size(), full_results.size());
+  for (std::size_t i = 0; i < starved_results.size(); ++i) {
+    EXPECT_EQ(starved_results[i].text, full_results[i].text);
+    EXPECT_EQ(starved_results[i].log_prob, full_results[i].log_prob);
+  }
+}
+
+// Single-token vocabulary: EOS plus one real token. Exercises the smallest
+// possible logit vectors and the all-mass-on-one-edge sampling path.
+TEST(ExecutorEdges, SingleTokenVocab) {
+  SimpleSearchQuery base;
+  base.sequence_length = 4;
+  Fixture f = uniform_fixture({"", "a"}, "a{1,3}", base);
+  const testing::Oracle oracle =
+      testing::build_oracle(*f.model, f.compiled, f.query);
+  ASSERT_EQ(oracle.by_text.size(), 3u);  // a, aa, aaa
+  expect_all_executors_match_oracle(f);
+}
+
+// Canonical vs greedy tokenization on an ambiguous vocabulary: "abc" has
+// three encodings over {a,b,c,ab,bc}. kAllTokens must expose every encoding
+// to the traversal (text-dedup then keeps the most probable); kCanonical
+// must admit exactly the greedy longest-match path [ab, c].
+TEST(ExecutorEdges, CanonicalVersusGreedyTokenization) {
+  SimpleSearchQuery base;
+  base.sequence_length = 4;
+  base.tokenization_strategy = TokenizationStrategy::kAllTokens;
+  Fixture all = uniform_fixture({"", "a", "b", "c", "ab", "bc"}, "abc", base);
+
+  const testing::Oracle oracle =
+      testing::build_oracle(*all.model, all.compiled, all.query);
+  ASSERT_EQ(oracle.by_text.size(), 1u);
+  ASSERT_EQ(oracle.paths.size(), 3u);  // [a,b,c], [ab,c], [a,bc]
+  // Under a uniform model the two 2-token encodings tie and beat [a,b,c];
+  // the deduped winner must be one of them.
+  EXPECT_NEAR(oracle.by_text[0].log_prob, 2 * std::log(1.0 / 6.0), 1e-12);
+  expect_all_executors_match_oracle(all);
+
+  base.tokenization_strategy = TokenizationStrategy::kCanonicalTokens;
+  Fixture canon = uniform_fixture({"", "a", "b", "c", "ab", "bc"}, "abc", base);
+  ShortestPathSearch shortest(*canon.model, canon.compiled, canon.query);
+  const auto results = shortest.all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].text, "abc");
+  EXPECT_EQ(results[0].tokens, (std::vector<TokenId>{4, 3}));  // [ab, c]
+  EXPECT_NEAR(results[0].log_prob, 2 * std::log(1.0 / 6.0), 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Regression: beam search text-dedup must keep the MOST PROBABLE token path,
+// not the first one found. A one-token encoding completes a step earlier
+// than a two-token encoding of the same text, so first-wins dedup locked in
+// the wrong log-prob whenever the longer path was more probable.
+//
+// Model: p(ab) = 0.1 up front, but p(a) * p(b | a) = 0.6 * 0.5 = 0.3.
+
+class TwoStepModel : public model::LanguageModel {
+ public:
+  std::size_t vocab_size() const override { return 4; }  // "", a, b, ab
+  TokenId eos() const override { return 0; }
+  std::size_t max_sequence_length() const override { return 8; }
+  std::size_t relevant_context_length() const override { return 1; }
+  std::vector<double> next_log_probs(std::span<const TokenId> context) const override {
+    if (!context.empty() && context.back() == 1) {  // after "a"
+      return {std::log(0.2), std::log(0.1), std::log(0.5), std::log(0.2)};
+    }
+    return {std::log(0.1), std::log(0.6), std::log(0.2), std::log(0.1)};
+  }
+};
+
+TEST(ExecutorEdges, BeamDedupKeepsMostProbablePath) {
+  tokenizer::BpeTokenizer tok =
+      tokenizer::BpeTokenizer::from_vocab({"", "a", "b", "ab"});
+  TwoStepModel model;
+  SimpleSearchQuery query;
+  query.query_string = {"ab", ""};
+  query.tokenization_strategy = TokenizationStrategy::kAllTokens;
+  query.sequence_length = 4;
+  query.beam_width = 8;
+  const CompiledQuery compiled = CompiledQuery::compile(query, tok);
+
+  BeamSearch beam(model, compiled, query);
+  const auto results = beam.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].text, "ab");
+  EXPECT_EQ(results[0].tokens, (std::vector<TokenId>{1, 2}));  // [a, b]
+  EXPECT_NEAR(results[0].log_prob, std::log(0.6 * 0.5), 1e-12);
+
+  // Dijkstra's first-pop-wins gives the same answer; the two must agree.
+  ShortestPathSearch shortest(model, compiled, query);
+  const auto sp = shortest.all();
+  ASSERT_EQ(sp.size(), 1u);
+  EXPECT_EQ(sp[0].log_prob, results[0].log_prob);
+  EXPECT_EQ(sp[0].tokens, results[0].tokens);
+}
+
+// Regression: with expansion_batch > 1, a batched round pops the cheapest
+// DISCOVERED nodes — a match can pop before a cheaper encoding of the same
+// text is even discovered (its parent sits in the same batch). Matches must
+// be held back until provably optimal, or first-wins text dedup locks in
+// the wrong log-prob. Here [ab] (p = 0.1) and [a] (p = 0.6) are the round-2
+// batch; popping [ab] emits "ab" before [a, b] (p = 0.3) exists.
+TEST(ExecutorEdges, BatchedDijkstraHoldsMatchesUntilSettled) {
+  tokenizer::BpeTokenizer tok =
+      tokenizer::BpeTokenizer::from_vocab({"", "a", "b", "ab"});
+  TwoStepModel model;
+  SimpleSearchQuery query;
+  query.query_string = {"ab", ""};
+  query.tokenization_strategy = TokenizationStrategy::kAllTokens;
+  query.sequence_length = 4;
+  query.expansion_batch_size = 2;
+  const CompiledQuery compiled = CompiledQuery::compile(query, tok);
+
+  ShortestPathSearch batched(model, compiled, query);
+  const auto results = batched.all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].tokens, (std::vector<TokenId>{1, 2}));  // [a, b]
+  EXPECT_NEAR(results[0].log_prob, std::log(0.6 * 0.5), 1e-12);
+
+  // Batched and strict traversals must produce identical results.
+  SimpleSearchQuery strict_query = query;
+  strict_query.expansion_batch_size = 1;
+  ShortestPathSearch strict(model, compiled, strict_query);
+  const auto strict_results = strict.all();
+  ASSERT_EQ(strict_results.size(), 1u);
+  EXPECT_EQ(strict_results[0].log_prob, results[0].log_prob);
+  EXPECT_EQ(strict_results[0].tokens, results[0].tokens);
+}
+
+// Regression: with require_eos, a path whose body fills the whole sequence
+// budget has no slot left for EOS and is NOT a match. Beam search used to
+// emit such paths from its final-survivors pass.
+TEST(ExecutorEdges, BeamRequireEosNeedsBudgetSlot) {
+  SimpleSearchQuery base;
+  base.require_eos = true;
+  base.beam_width = 4;
+  base.sequence_length = 3;
+  Fixture tight = uniform_fixture({"", "a"}, "aaa", base);
+  BeamSearch beam_tight(*tight.model, tight.compiled, tight.query);
+  EXPECT_TRUE(beam_tight.run().empty());
+  ShortestPathSearch sp_tight(*tight.model, tight.compiled, tight.query);
+  EXPECT_TRUE(sp_tight.all().empty());
+
+  base.sequence_length = 4;  // now EOS fits
+  Fixture roomy = uniform_fixture({"", "a"}, "aaa", base);
+  BeamSearch beam_roomy(*roomy.model, roomy.compiled, roomy.query);
+  const auto results = beam_roomy.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].log_prob, 4 * std::log(0.5), 1e-12);  // aaa + EOS
+  expect_all_executors_match_oracle(roomy);
+}
+
+// Regression: the sampler must PAY for EOS when the query requires it — stop
+// only by drawing EOS under the mask (adding log p(EOS | path)), and treat a
+// budget-filling body as a dead end, exactly like the other executors.
+TEST(ExecutorEdges, SamplerRequireEosPaysTerminationCost) {
+  SimpleSearchQuery base;
+  base.require_eos = true;
+  base.sequence_length = 2;
+  base.num_samples = 6;
+  Fixture f = uniform_fixture({"", "a", "b"}, "()", base);
+
+  RandomSampler sampler(*f.model, f.compiled, f.query, 3);
+  const auto samples = sampler.sample_all();
+  ASSERT_EQ(samples.size(), 6u);
+  for (const SearchResult& sample : samples) {
+    EXPECT_EQ(sample.text, "");
+    EXPECT_NEAR(sample.log_prob, std::log(1.0 / 3.0), 1e-12);
+  }
+  EXPECT_EQ(testing::check_samples(*f.model, f.compiled, f.query, samples, 1e-9),
+            std::nullopt);
+
+  // With the body consuming the entire budget, every attempt dead-ends.
+  SimpleSearchQuery tight = f.query;
+  tight.query_string = {"aa", ""};
+  tight.num_samples = 3;
+  const CompiledQuery compiled_tight = CompiledQuery::compile(tight, *f.tok);
+  RandomSampler starved(*f.model, compiled_tight, tight, 3);
+  EXPECT_TRUE(starved.sample_all().empty());
+  EXPECT_GT(starved.stats().sample_dead_ends, 0u);
+}
+
+}  // namespace
+}  // namespace relm::core

@@ -1,0 +1,332 @@
+// Tests for the differential-testing subsystem (src/testing/): the JSON
+// repro format, the brute-force oracle, the generative harnesses, the
+// shrinker, and — as the harness's own acceptance check — that an
+// intentionally corrupted executor result is caught and minimized to a tiny
+// regex (the "mutation check" documented in docs/TESTING.md).
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/determinize.hpp"
+#include "automata/ops.hpp"
+#include "automata/regex.hpp"
+#include "automata/regex_parser.hpp"
+#include "automata/thompson.hpp"
+#include "core/compiled_query.hpp"
+#include "core/executor.hpp"
+#include "model/ngram_model.hpp"
+#include "testing/differential.hpp"
+#include "testing/generators.hpp"
+#include "testing/json.hpp"
+#include "testing/oracle.hpp"
+#include "testing/shrink.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace relm::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, RoundTripsTypedValues) {
+  Json doc = Json::object();
+  doc.set("int", Json::number(std::int64_t{-42}));
+  doc.set("big", Json::number(std::uint64_t{1} << 62));
+  doc.set("pi", Json::number(3.25));
+  doc.set("flag", Json::boolean(true));
+  doc.set("none", Json::null());
+  doc.set("text", Json::string("a\"b\\c\n\t\x01"));
+  Json arr = Json::array();
+  arr.push_back(Json::number(std::int64_t{1}));
+  arr.push_back(Json::string("two"));
+  doc.set("arr", std::move(arr));
+
+  const Json parsed = Json::parse(doc.dump());
+  EXPECT_EQ(parsed.at("int").as_int(), -42);
+  EXPECT_EQ(parsed.at("big").as_int(), std::int64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(parsed.at("pi").as_double(), 3.25);
+  EXPECT_TRUE(parsed.at("flag").as_bool());
+  EXPECT_TRUE(parsed.at("none").is_null());
+  EXPECT_EQ(parsed.at("text").as_string(), "a\"b\\c\n\t\x01");
+  EXPECT_EQ(parsed.at("arr").as_array().size(), 2u);
+  // Insertion order survives a round trip (the repro files diff cleanly).
+  EXPECT_EQ(parsed.dump(), doc.dump());
+  EXPECT_EQ(Json::parse(doc.dump(true)).dump(), doc.dump());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), relm::Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), relm::Error);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), relm::Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), relm::Error);
+  EXPECT_THROW(Json::parse("{\"a\":01}"), relm::Error);
+  EXPECT_THROW(Json::parse("[1,]"), relm::Error);
+  EXPECT_THROW(Json::parse("nul"), relm::Error);
+}
+
+TEST(Json, AccessorsEnforceKinds) {
+  const Json doc = Json::parse("{\"n\": 1.5}");
+  EXPECT_THROW(doc.at("n").as_string(), relm::Error);
+  EXPECT_THROW(doc.at("n").as_int(), relm::Error);  // not integer-valued
+  EXPECT_THROW(doc.at("missing"), relm::Error);
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+
+// The tokenizer sits behind a shared_ptr: CompiledQuery keeps a pointer to
+// the tokenizer it was compiled against, so it needs a stable address that
+// outlives the compile.
+struct SmallCase {
+  std::shared_ptr<tokenizer::BpeTokenizer> tok;
+  std::shared_ptr<model::LanguageModel> model;
+  core::SimpleSearchQuery query;
+  core::CompiledQuery compiled;
+};
+
+SmallCase make_case(std::vector<std::string> vocab, const std::string& body,
+                    bool require_eos, std::size_t seq_len) {
+  const std::size_t vocab_size = vocab.size();
+  auto tok = std::make_shared<tokenizer::BpeTokenizer>(
+      tokenizer::BpeTokenizer::from_vocab(std::move(vocab)));
+  auto model = std::make_shared<model::UniformModel>(vocab_size, 0, 24);
+  core::SimpleSearchQuery query;
+  query.query_string = {body, ""};
+  query.require_eos = require_eos;
+  query.sequence_length = seq_len;
+  query.tokenization_strategy = core::TokenizationStrategy::kAllTokens;
+  core::CompiledQuery compiled = core::CompiledQuery::compile(query, *tok);
+  return {std::move(tok), std::move(model), std::move(query), std::move(compiled)};
+}
+
+TEST(Oracle, EnumeratesUniformLanguageExactly) {
+  SmallCase c = make_case({"", "a", "b"}, "a|b", /*require_eos=*/false, 4);
+  const Oracle oracle = build_oracle(*c.model, c.compiled, c.query);
+  ASSERT_FALSE(oracle.truncated);
+  ASSERT_EQ(oracle.by_text.size(), 2u);
+  const double lp = std::log(1.0 / 3.0);  // one uniform token, no EOS factor
+  for (const OraclePath& path : oracle.by_text) {
+    EXPECT_NEAR(path.log_prob, lp, 1e-12);
+    EXPECT_EQ(path.tokens.size(), 1u);
+  }
+  EXPECT_TRUE(oracle.log_prob_of("a").has_value());
+  EXPECT_TRUE(oracle.log_prob_of("b").has_value());
+  EXPECT_FALSE(oracle.log_prob_of("c").has_value());
+  EXPECT_GE(oracle.max_width, 2u);
+}
+
+TEST(Oracle, RequireEosAddsTerminationFactor) {
+  SmallCase c = make_case({"", "a", "b"}, "a", /*require_eos=*/true, 4);
+  const Oracle oracle = build_oracle(*c.model, c.compiled, c.query);
+  ASSERT_EQ(oracle.by_text.size(), 1u);
+  EXPECT_NEAR(oracle.by_text[0].log_prob, 2 * std::log(1.0 / 3.0), 1e-12);
+}
+
+TEST(Oracle, CompareResultsFlagsEveryMismatchClass) {
+  SmallCase c = make_case({"", "a", "b"}, "a|b|ab", /*require_eos=*/false, 4);
+  const Oracle oracle = build_oracle(*c.model, c.compiled, c.query);
+  core::ShortestPathSearch search(*c.model, c.compiled, c.query);
+  std::vector<core::SearchResult> results = search.all();
+  ASSERT_EQ(results.size(), oracle.by_text.size());
+  EXPECT_EQ(compare_results(oracle, results, 1e-9, /*check_order=*/true),
+            std::nullopt);
+
+  std::vector<core::SearchResult> dropped = results;
+  dropped.pop_back();
+  EXPECT_NE(compare_results(oracle, dropped, 1e-9, true), std::nullopt);
+
+  std::vector<core::SearchResult> perturbed = results;
+  perturbed[0].log_prob += 1e-6;
+  EXPECT_NE(compare_results(oracle, perturbed, 1e-9, true), std::nullopt);
+
+  std::vector<core::SearchResult> duplicated = results;
+  duplicated.push_back(duplicated.front());
+  EXPECT_NE(compare_results(oracle, duplicated, 1e-9, true), std::nullopt);
+
+  std::vector<core::SearchResult> swapped = results;
+  std::swap(swapped.front(), swapped.back());
+  EXPECT_NE(compare_results(oracle, swapped, 1e-9, /*check_order=*/true),
+            std::nullopt);
+  // The same out-of-order list is fine when order is not checked.
+  EXPECT_EQ(compare_results(oracle, swapped, 1e-9, /*check_order=*/false),
+            std::nullopt);
+}
+
+TEST(Oracle, CheckSamplesAcceptsSamplerOutput) {
+  SmallCase c = make_case({"", "a", "b"}, "(a|b){1,2}", /*require_eos=*/true, 4);
+  core::SimpleSearchQuery query = c.query;
+  query.num_samples = 8;
+  core::RandomSampler sampler(*c.model, c.compiled, query, /*seed=*/7);
+  const std::vector<core::SearchResult> samples = sampler.sample_all();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(check_samples(*c.model, c.compiled, query, samples, 1e-9),
+            std::nullopt);
+
+  std::vector<core::SearchResult> bad = samples;
+  bad[0].log_prob += 1e-6;
+  EXPECT_NE(check_samples(*c.model, c.compiled, query, bad, 1e-9), std::nullopt);
+  bad = samples;
+  bad[0].text = "zz";  // not in the language
+  EXPECT_NE(check_samples(*c.model, c.compiled, query, bad, 1e-9), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+
+// Property: pattern_of renders an AST into the dialect such that the parser
+// accepts it AND describes the same language. Checked structurally: the DFA
+// built straight from the generated AST must be equivalent to the DFA built
+// from parsing the rendered pattern.
+TEST(Generators, RenderedPatternsParseToTheSameLanguage) {
+  RegexGenConfig config;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    util::Pcg32 rng(seed);
+    const automata::RegexPtr ast = random_regex(rng, config);
+    const std::string pattern = pattern_of(*ast);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " pattern: " + pattern);
+    const automata::Dfa from_ast =
+        automata::minimize(automata::determinize(automata::thompson_construct(*ast)));
+    automata::Dfa from_pattern(automata::compile_regex(pattern));
+    ASSERT_TRUE(automata::equivalent(from_ast, from_pattern));
+    EXPECT_GE(node_count(*ast), 1u);
+  }
+}
+
+TEST(Generators, VocabulariesAreAlwaysLoadable) {
+  VocabGenConfig config;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Pcg32 rng(seed);
+    const std::vector<std::string> vocab = random_vocab(rng, config);
+    ASSERT_GE(vocab.size(), 1 + config.alphabet.size());
+    EXPECT_EQ(vocab[0], "");  // EOS first, id 0
+    const tokenizer::BpeTokenizer tok =
+        tokenizer::BpeTokenizer::from_vocab(vocab);
+    EXPECT_EQ(tok.vocab_size(), vocab.size());
+  }
+}
+
+TEST(Generators, TrialCaseJsonRoundTripIsByteIdentical) {
+  for (std::uint64_t seed : {1ull, 17ull, 99ull, 12345ull}) {
+    const TrialCase original = generate_case(seed);
+    const std::string text = original.to_json().dump(true);
+    const TrialCase reloaded = TrialCase::from_json(Json::parse(text));
+    EXPECT_EQ(reloaded.to_json().dump(true), text) << "seed " << seed;
+    EXPECT_EQ(reloaded.seed, seed);
+    // The reloaded case must be runnable without the generator.
+    EXPECT_NO_THROW({
+      auto tok = tokenizer::BpeTokenizer::from_vocab(reloaded.vocab);
+      auto model = reloaded.model.build();
+      (void)core::CompiledQuery::compile(reloaded.query(), tok);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential trials + shrinker
+
+// Seeded smoke sweep of the full differential pipeline — the deterministic
+// tier-1 slice of what `relm fuzz` and the CI job run at larger volume.
+TEST(Differential, SeededSweepHasNoFailures) {
+  DifferentialOptions options;
+  options.num_samples = 8;  // keep the sampler volume test-sized
+  std::size_t passes = 0;
+  for (std::uint64_t seed = 9000; seed < 9048; ++seed) {
+    const TrialReport report = run_trial(generate_case(seed), options);
+    EXPECT_FALSE(report.failed())
+        << "seed " << seed << " [" << report.failure_kind << "] "
+        << report.detail;
+    passes += report.status == TrialReport::Status::kPass;
+  }
+  // The sweep must be substantive, not a wall of skips.
+  EXPECT_GE(passes, 40u);
+}
+
+// The mutation check (acceptance criterion): corrupting executor output must
+// (a) be caught by the oracle and (b) shrink to a repro whose regex has at
+// most 3 AST nodes.
+TEST(Differential, MutationIsCaughtAndShrinksToTinyRegex) {
+  DifferentialOptions options;
+  options.num_samples = 8;
+  options.mutate = Mutation::kDropResult;
+
+  std::optional<TrialCase> failing;
+  for (std::uint64_t seed = 1; seed < 64 && !failing; ++seed) {
+    TrialCase trial = generate_case(seed);
+    const TrialReport report = run_trial(trial, options);
+    if (report.failed()) failing = std::move(trial);
+  }
+  ASSERT_TRUE(failing.has_value()) << "no seed in [1,64) tripped the mutation";
+
+  const ShrinkResult shrunk = shrink_case(*failing, options);
+  ASSERT_TRUE(shrunk.report.failed());
+  EXPECT_EQ(shrunk.report.failure_kind, "oracle:shortest1");
+  const automata::RegexPtr body = automata::parse_regex(shrunk.best.body);
+  EXPECT_LE(node_count(*body), 3u)
+      << "shrunk body still large: " << shrunk.best.body;
+  // And the minimized case must be a genuine repro on its own.
+  EXPECT_TRUE(run_trial(shrunk.best, options).failed());
+  EXPECT_FALSE(run_trial(shrunk.best, DifferentialOptions{}).failed());
+}
+
+TEST(Differential, AllMutationKindsAreDetected) {
+  // A fixed seed with a known multi-result language so every corruption mode
+  // has something to corrupt.
+  std::optional<TrialCase> trial;
+  for (std::uint64_t seed = 1; seed < 128; ++seed) {
+    TrialCase candidate = generate_case(seed);
+    DifferentialOptions plain;
+    plain.num_samples = 8;
+    const TrialReport report = run_trial(candidate, plain);
+    if (report.status == TrialReport::Status::kPass && report.language_size >= 2) {
+      trial = std::move(candidate);
+      break;
+    }
+  }
+  ASSERT_TRUE(trial.has_value());
+  for (Mutation mutation : {Mutation::kDropResult, Mutation::kPerturbLogProb,
+                            Mutation::kDuplicateResult}) {
+    DifferentialOptions options;
+    options.num_samples = 8;
+    options.mutate = mutation;
+    EXPECT_TRUE(run_trial(*trial, options).failed())
+        << "mutation " << static_cast<int>(mutation) << " not detected";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus replay: every minimized repro checked into tests/fuzz_corpus/ must
+// load through the strict JSON path and PASS against the fixed executors.
+// (These files were harvested from real fuzzer failures; see docs/TESTING.md.)
+
+std::vector<std::string> corpus_files() {
+  return {
+      std::string(RELM_FUZZ_CORPUS_DIR) + "/batched-dijkstra-premature-emit.json",
+      std::string(RELM_FUZZ_CORPUS_DIR) + "/beam-eos-at-seq-limit.json",
+      std::string(RELM_FUZZ_CORPUS_DIR) + "/sampler-require-eos-ignored.json",
+  };
+}
+
+TEST(Corpus, ReprosReplayCleanAgainstFixedExecutors) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing corpus file";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const TrialCase trial = TrialCase::from_json(Json::parse(buffer.str()));
+    const TrialReport report = run_trial(trial);
+    EXPECT_FALSE(report.failed())
+        << "[" << report.failure_kind << "] " << report.detail;
+  }
+}
+
+}  // namespace
+}  // namespace relm::testing
