@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
 #include "experiments/setup.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -212,6 +215,40 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_ObsHistogramObserve);
+
+// Sync-layer overhead floor: a raw std::mutex lock/unlock against the
+// annotated relm::Mutex wrapper. Bench builds are Release (NDEBUG), so the
+// rank detector and contention counters compile out and the two must be
+// indistinguishable — the wrapper's lock() IS std::mutex::lock(). Debug-only
+// machinery is priced separately by the test suite, not here.
+void BM_SyncStdMutexBaseline(benchmark::State& state) {
+  std::mutex m;  // relm-lint exemption does not apply: bench/ is out of scope
+  for (auto _ : state) {
+    m.lock();
+    m.unlock();
+  }
+  benchmark::DoNotOptimize(&m);
+}
+BENCHMARK(BM_SyncStdMutexBaseline);
+
+void BM_SyncRelmMutex(benchmark::State& state) {
+  util::Mutex m(util::LockRank::kPoolJob);
+  for (auto _ : state) {
+    m.lock();
+    m.unlock();
+  }
+  benchmark::DoNotOptimize(&m);
+}
+BENCHMARK(BM_SyncRelmMutex);
+
+void BM_SyncRelmScopedLock(benchmark::State& state) {
+  util::Mutex m(util::LockRank::kPoolJob);
+  for (auto _ : state) {
+    util::ScopedLock lock(m);
+    benchmark::DoNotOptimize(&lock);
+  }
+}
+BENCHMARK(BM_SyncRelmScopedLock);
 
 void BM_QueryCompilation(benchmark::State& state) {
   core::SimpleSearchQuery query = url_query(40);

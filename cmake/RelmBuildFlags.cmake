@@ -15,12 +15,18 @@
 #                  util/errors.hpp and docs/STATIC_ANALYSIS.md).
 #   RELM_COVERAGE  instrument for line coverage (gcc --coverage / gcov);
 #                  pair with CMAKE_BUILD_TYPE=Debug and report with gcovr.
+#   RELM_THREAD_SAFETY
+#                  clang-only: compile with -Wthread-safety promoted to an
+#                  error, proving the lock annotations in util/sync.hpp
+#                  cover every access to guarded data (preset: tsa).
 
 set(RELM_SANITIZE "" CACHE STRING
     "Sanitizers to instrument with (address;undefined | thread | memory)")
 option(RELM_WERROR "Treat compiler warnings as errors" OFF)
 option(RELM_DCHECKS "Enable RELM_DCHECK assertions regardless of NDEBUG" OFF)
 option(RELM_COVERAGE "Instrument for gcov line coverage" OFF)
+option(RELM_THREAD_SAFETY
+       "Enable clang thread-safety analysis as errors (requires clang)" OFF)
 
 add_library(relm_build_flags INTERFACE)
 
@@ -37,6 +43,18 @@ if(RELM_COVERAGE)
   target_compile_options(relm_build_flags INTERFACE --coverage -O0)
   target_link_options(relm_build_flags INTERFACE --coverage)
   message(STATUS "relm: coverage instrumentation enabled")
+endif()
+
+if(RELM_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "RELM_THREAD_SAFETY requires clang (gcc has no -Wthread-safety; the "
+      "RELM_* capability attributes expand to nothing there); configure "
+      "with -DCMAKE_CXX_COMPILER=clang++")
+  endif()
+  target_compile_options(relm_build_flags INTERFACE
+    -Wthread-safety -Werror=thread-safety)
+  message(STATUS "relm: clang thread-safety analysis enabled (as errors)")
 endif()
 
 if(RELM_SANITIZE)

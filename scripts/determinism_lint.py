@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Determinism lint: unordered-container iteration in serialization paths.
+
+Iterating a std::unordered_map/std::unordered_set produces a
+platform-/libc++-/seed-dependent order. In most code that is harmless, but in
+anything that writes bytes a human or a test will compare -- model files,
+artifact stores, JSON emitters, executor result emission -- it silently makes
+output non-deterministic. This lint flags range-for (and explicit .begin())
+iteration over unordered containers in the files that form those output
+paths.
+
+Scope: files under src/ whose basename contains one of the serialization-ish
+tokens (io, serialize, artifact, json, emit, metrics, trace, verify,
+executor, writer). Everything else may iterate unordered containers freely.
+
+Suppression: a finding is intentional when the iteration order provably
+cannot reach the output (e.g. it is folded into a sorted std::map first).
+Tag the loop -- same line or the line directly above -- with:
+
+    // relm-lint: ordered -- <why the order cannot leak>
+
+Modes:
+    --mode regex        pure-regex scan (default workhorse; no toolchain)
+    --mode clang-query  AST-based scan via clang-query + compile_commands.json
+    --mode auto         clang-query when available, silent regex fallback
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SUPPRESS_TAG = "relm-lint: ordered"
+
+# Basename tokens that put a file in scope. "io" must be a whole path
+# component ("io.cpp", "model_io.hpp") so it does not match e.g.
+# "memorization.cpp"; the longer tokens are unambiguous as substrings.
+SCOPE_SUBSTRING_TOKENS = (
+    "serialize",
+    "artifact",
+    "json",
+    "emit",
+    "metrics",
+    "trace",
+    "verify",
+    "executor",
+    "writer",
+)
+SCOPE_COMPONENT_TOKENS = ("io",)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*(?:\.\w+|->\w+)*)\s*\.\s*begin\s*\(")
+
+
+def in_scope(path: str) -> bool:
+    base = os.path.basename(path).lower()
+    if any(tok in base for tok in SCOPE_SUBSTRING_TOKENS):
+        return True
+    components = re.split(r"[._\-]", base)
+    return any(tok in components for tok in SCOPE_COMPONENT_TOKENS)
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blank out string/char literals and // comments (keeps length/columns)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def skip_template_args(text: str, start: int) -> int:
+    """Given text[start] == '<', return the index just past the matching '>'."""
+    depth = 0
+    i = start
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def collect_unordered_names(text: str) -> set[str]:
+    """Names of variables/members declared with an unordered container type.
+
+    Handles multi-line declarations and trailing attribute macros
+    (RELM_GUARDED_BY(...)). Misses `auto` deductions and typedefs -- the
+    direct-expression check below catches the common remainder.
+    """
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        after = skip_template_args(text, m.end() - 1)
+        # Declarator: optional &/*/whitespace, then the identifier. A '('
+        # right after means a function return type -- skip those.
+        decl = re.match(r"[\s&*]*([A-Za-z_]\w*)", text[after : after + 200])
+        if decl and not text[after + decl.end() :].lstrip().startswith("("):
+            names.add(decl.group(1))
+    return names
+
+
+def line_suppressed(lines: list[str], idx: int) -> bool:
+    """Tag on the flagged line, or anywhere in the comment block above it."""
+    if SUPPRESS_TAG in lines[idx]:
+        return True
+    i = idx - 1
+    while i >= 0 and lines[i].strip().startswith("//"):
+        if SUPPRESS_TAG in lines[i]:
+            return True
+        i -= 1
+    return False
+
+
+def scan_file_regex(path: str) -> list[tuple[str, int, str]]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+    # Scan against comment/string-stripped text (so "for (" inside a string
+    # cannot match), but check suppressions against the raw lines (the tag IS
+    # a comment).
+    text = "\n".join(strip_strings_and_comments(l) for l in raw_lines)
+    lines = text.splitlines()
+    names = collect_unordered_names(text)
+
+    findings = []
+    for idx, line in enumerate(lines):
+        for m in RANGE_FOR_RE.finditer(line):
+            # Join a few lines so multi-line for-headers parse; stop at the
+            # first ')' at depth zero.
+            header = " ".join(lines[idx : idx + 4])[m.start() :]
+            depth = 0
+            for j, c in enumerate(header):
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        header = header[: j + 1]
+                        break
+            colon = re.search(r":(?!:)", header)
+            if not colon:
+                continue  # classic for(;;), not a range-for
+            range_expr = header[colon.end() : -1].strip()
+            tail = range_expr.split(".")[-1].split("->")[-1]
+            base = re.match(r"([A-Za-z_]\w*)", tail)
+            direct = "unordered_" in range_expr
+            tracked = base is not None and base.group(1) in names
+            if (direct or tracked) and not line_suppressed(raw_lines, idx):
+                findings.append(
+                    (path, idx + 1, f"range-for over unordered container "
+                                    f"'{range_expr}'"))
+        for m in BEGIN_CALL_RE.finditer(line):
+            receiver = m.group(1).split(".")[-1].split("->")[-1]
+            if receiver in names and not line_suppressed(raw_lines, idx):
+                findings.append(
+                    (path, idx + 1,
+                     f"iterator loop over unordered container '{receiver}'"))
+    return findings
+
+
+CLANG_QUERY_MATCHER = (
+    "match cxxForRangeStmt(hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType("
+    "recordType(hasDeclaration(classTemplateSpecializationDecl("
+    "matchesName(\"::std::unordered_\")))))))))"
+)
+
+
+def scan_clang_query(files: list[str], build_dir: str) -> list[tuple[str, int, str]]:
+    """AST-exact scan. Raises on any tool/setup failure (caller falls back)."""
+    cq = shutil.which("clang-query")
+    if cq is None:
+        raise RuntimeError("clang-query not on PATH")
+    if not os.path.exists(os.path.join(build_dir, "compile_commands.json")):
+        raise RuntimeError(f"no compile_commands.json in {build_dir}")
+    sources = [f for f in files if f.endswith(".cpp")]
+    proc = subprocess.run(
+        [cq, "-p", build_dir, f"-c={CLANG_QUERY_MATCHER}", *sources],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        raise RuntimeError(f"clang-query failed: {proc.stderr.strip()[:400]}")
+    findings = []
+    for m in re.finditer(r"^(\S+\.(?:cpp|hpp)):(\d+):\d+: note", proc.stdout, re.M):
+        path, lineno = m.group(1), int(m.group(2))
+        path = os.path.relpath(path)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+            if line_suppressed(lines, lineno - 1):
+                continue
+        except OSError:
+            pass
+        findings.append((path, lineno, "range-for over unordered container"))
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="directories to scan (default: src)")
+    parser.add_argument("--mode", choices=("auto", "regex", "clang-query"),
+                        default="auto")
+    parser.add_argument("--build-dir", default="build",
+                        help="compile_commands.json location for clang-query")
+    parser.add_argument("--all-files", action="store_true",
+                        help="scan every file, not just serialization paths")
+    args = parser.parse_args()
+
+    roots = args.roots or ["src"]
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        if not os.path.isdir(root):
+            print(f"determinism_lint: no such path: {root}", file=sys.stderr)
+            return 2
+        for dirpath, _, basenames in os.walk(root):
+            for name in sorted(basenames):
+                if name.endswith((".cpp", ".hpp", ".cc", ".h")):
+                    files.append(os.path.join(dirpath, name))
+    files = sorted(f for f in files if args.all_files or in_scope(f))
+
+    findings: list[tuple[str, int, str]] = []
+    mode = args.mode
+    if mode in ("auto", "clang-query"):
+        try:
+            findings = scan_clang_query(files, args.build_dir)
+            mode = "clang-query"
+        except Exception as err:  # noqa: BLE001 -- any failure means fallback
+            if args.mode == "clang-query":
+                print(f"determinism_lint: {err}", file=sys.stderr)
+                return 2
+            mode = "regex"
+    if mode == "regex":
+        for path in files:
+            findings.extend(scan_file_regex(path))
+
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message} -- serialization-path iteration "
+              f"order is not deterministic; sort first, or tag with "
+              f"'// {SUPPRESS_TAG} -- <reason>'")
+    print(f"determinism_lint[{mode}]: scanned {len(files)} file(s), "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

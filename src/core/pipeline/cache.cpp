@@ -4,13 +4,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/pipeline/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
+#include "util/sync.hpp"
 
 namespace relm::core::pipeline {
 
@@ -46,9 +46,13 @@ struct ArtifactCache::Shard {
     }
   };
 
-  mutable std::mutex mutex;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<ArtifactKey, std::list<Entry>::iterator, KeyHash> index;
+  mutable util::Mutex mutex{util::LockRank::kCompileCacheShard};
+  // front = most recently used
+  std::list<Entry> lru RELM_GUARDED_BY(mutex);
+  std::unordered_map<ArtifactKey, std::list<Entry>::iterator, KeyHash> index
+      RELM_GUARDED_BY(mutex);
+  // Set once in the ArtifactCache constructor before any concurrent use,
+  // immutable afterwards — so not lock-guarded.
   std::size_t capacity = 0;
 
   // Instance counters (the obs registry mirrors are process-global).
@@ -83,7 +87,7 @@ std::shared_ptr<const QueryArtifact> ArtifactCache::lookup(
   if (!enabled() || key.is_zero()) return nullptr;
   Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::ScopedLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -126,7 +130,7 @@ std::shared_ptr<const QueryArtifact> ArtifactCache::lookup(
 void ArtifactCache::insert_memory_(
     Shard& shard, const ArtifactKey& key,
     const std::shared_ptr<const QueryArtifact>& artifact) {
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::ScopedLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -186,7 +190,7 @@ ArtifactCache::Stats ArtifactCache::stats() const {
     stats.disk_loads += s.disk_loads.load(std::memory_order_relaxed);
     stats.disk_stores += s.disk_stores.load(std::memory_order_relaxed);
     stats.disk_errors += s.disk_errors.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::ScopedLock lock(s.mutex);
     stats.entries += s.lru.size();
   }
   return stats;
@@ -194,8 +198,10 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 
 namespace {
 
-std::mutex g_global_mutex;
-std::unique_ptr<ArtifactCache> g_global;
+// Read-mostly: every compile consults the singleton pointer, but it is only
+// written at first use or by configure_global (tests).
+util::SharedMutex g_global_mutex{util::LockRank::kCompileCacheConfig};
+std::unique_ptr<ArtifactCache> g_global RELM_GUARDED_BY(g_global_mutex);
 
 ArtifactCacheConfig global_config_from_env() {
   ArtifactCacheConfig config;
@@ -213,7 +219,11 @@ ArtifactCacheConfig global_config_from_env() {
 }  // namespace
 
 ArtifactCache& ArtifactCache::global() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  {
+    util::SharedScopedLock lock(g_global_mutex);
+    if (g_global) return *g_global;
+  }
+  util::ScopedLock lock(g_global_mutex);
   if (!g_global) {
     g_global = std::make_unique<ArtifactCache>(global_config_from_env());
   }
@@ -221,7 +231,7 @@ ArtifactCache& ArtifactCache::global() {
 }
 
 void ArtifactCache::configure_global(ArtifactCacheConfig config) {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  util::ScopedLock lock(g_global_mutex);
   g_global = std::make_unique<ArtifactCache>(std::move(config));
 }
 

@@ -5,10 +5,10 @@
 #include <fstream>
 #include <iostream>
 #include <list>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "util/errors.hpp"
+#include "util/sync.hpp"
 
 namespace relm::model {
 
@@ -245,20 +245,25 @@ struct CachingModel::Shard {
     std::vector<double> log_probs;
   };
 
-  mutable std::mutex mutex;
+  mutable util::Mutex mutex{util::LockRank::kModelCacheShard};
+  // Set once in the CachingModel constructor before any concurrent use, and
+  // immutable afterwards — so not lock-guarded.
   std::size_t capacity = 0;  // this shard's entry budget
   // LRU list, front = most recently used; the index maps a suffix hash to
   // every live entry with that hash (collisions resolved by comparison).
-  std::list<Entry> lru;
-  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> index;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
-  std::size_t evictions = 0;
+  std::list<Entry> lru RELM_GUARDED_BY(mutex);
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+      index RELM_GUARDED_BY(mutex);
+  std::size_t hits RELM_GUARDED_BY(mutex) = 0;
+  std::size_t misses RELM_GUARDED_BY(mutex) = 0;
+  std::size_t evictions RELM_GUARDED_BY(mutex) = 0;
 
   // Looks up `suffix`, refreshing recency. Returns nullptr on miss. Counts
-  // the hit/miss. Caller holds `mutex`.
+  // the hit/miss. The returned pointer aims into the locked shard: callers
+  // must copy it out before releasing `mutex`.
   const std::vector<double>* find(std::uint64_t hash,
-                                  std::span<const TokenId> suffix) {
+                                  std::span<const TokenId> suffix)
+      RELM_REQUIRES(mutex) {
     auto bucket = index.find(hash);
     if (bucket != index.end()) {
       for (auto entry_it : bucket->second) {
@@ -276,9 +281,9 @@ struct CachingModel::Shard {
   }
 
   // Inserts unless an equal entry raced in meanwhile; evicts the LRU tail to
-  // stay within capacity. Caller holds `mutex`.
+  // stay within capacity.
   void insert(std::uint64_t hash, std::span<const TokenId> suffix,
-              const std::vector<double>& log_probs) {
+              const std::vector<double>& log_probs) RELM_REQUIRES(mutex) {
     if (capacity == 0) return;
     auto bucket = index.find(hash);
     if (bucket != index.end()) {
@@ -349,7 +354,7 @@ std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> contex
   const std::uint64_t hash = hash_tokens(suffix);
   Shard& shard = shard_for(hash);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::ScopedLock lock(shard.mutex);
     if (const std::vector<double>* cached = shard.find(hash, suffix)) {
       CacheMetrics::get().hits.add();
       return *cached;
@@ -358,7 +363,7 @@ std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> contex
   CacheMetrics::get().misses.add();
   std::vector<double> lp = inner_->next_log_probs(suffix);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::ScopedLock lock(shard.mutex);
     shard.insert(hash, suffix, lp);
   }
   return lp;
@@ -382,7 +387,7 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
     const std::uint64_t hash = hash_tokens(suffix);
     Shard& shard = shard_for(hash);
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      util::ScopedLock lock(shard.mutex);
       if (const std::vector<double>* cached = shard.find(hash, suffix)) {
         CacheMetrics::get().hits.add();
         out[i] = *cached;
@@ -400,7 +405,7 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
         // The probe above counted this slot as a miss, but it is served by
         // the batch's pending evaluation without an extra model call:
         // reclassify as a hit so hit rates reflect evaluations saved.
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        util::ScopedLock lock(shard.mutex);
         --shard.misses;
         ++shard.hits;
         CacheMetrics::get().hits.add();
@@ -429,7 +434,7 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
   for (std::size_t m = 0; m < misses.size(); ++m) {
     Shard& shard = shard_for(misses[m].hash);
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      util::ScopedLock lock(shard.mutex);
       shard.insert(misses[m].hash, misses[m].suffix, lps[m]);
     }
     for (std::size_t slot : misses[m].outputs) out[slot] = lps[m];
@@ -440,11 +445,12 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
 std::optional<LanguageModel::CacheStats> CachingModel::cache_stats() const {
   CacheStats stats;
   for (std::size_t s = 0; s < kCacheShards; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mutex);
-    stats.hits += shards_[s].hits;
-    stats.misses += shards_[s].misses;
-    stats.evictions += shards_[s].evictions;
-    stats.entries += shards_[s].lru.size();
+    const Shard& shard = shards_[s];
+    util::ScopedLock lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
   }
   return stats;
 }

@@ -4,10 +4,11 @@
 #include <array>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+
+#include "util/sync.hpp"
 
 namespace relm::obs {
 
@@ -95,8 +96,15 @@ void Histogram::reset() noexcept {
 // ---------------------------------------------------------------------------
 
 struct Registry::Impl {
-  mutable std::mutex mutex;
-  // Node-stable storage: handles returned to callers must survive rehashes.
+  // Instrument::kOff: this mutex is acquired by the sync layer's own
+  // contention-metrics registration (util/sync.hpp), so reporting its
+  // contention through that same path would recurse.
+  mutable util::Mutex mutex{util::LockRank::kMetricsRegistry,
+                            util::Instrument::kOff};
+  // Node-stable storage: handles returned to callers must survive rehashes
+  // (and escape the lock by design — the elements are internally
+  // synchronized via their atomic stripes, the mutex only guards the name
+  // index and the append itself, so the deques stay unannotated).
   std::deque<Counter> counters;
   std::deque<Gauge> gauges;
   std::deque<Histogram> histograms;
@@ -104,7 +112,7 @@ struct Registry::Impl {
     MetricValue::Kind kind;
     std::size_t index;
   };
-  std::unordered_map<std::string, Slot> by_name;
+  std::unordered_map<std::string, Slot> by_name RELM_GUARDED_BY(mutex);
 };
 
 Registry::Impl& Registry::impl() const {
@@ -130,7 +138,7 @@ namespace {
 
 Counter& Registry::counter(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  util::ScopedLock lock(im.mutex);
   auto it = im.by_name.find(std::string(name));
   if (it != im.by_name.end()) {
     if (it->second.kind != MetricValue::Kind::kCounter) kind_mismatch(name);
@@ -144,7 +152,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  util::ScopedLock lock(im.mutex);
   auto it = im.by_name.find(std::string(name));
   if (it != im.by_name.end()) {
     if (it->second.kind != MetricValue::Kind::kGauge) kind_mismatch(name);
@@ -159,7 +167,7 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  util::ScopedLock lock(im.mutex);
   auto it = im.by_name.find(std::string(name));
   if (it != im.by_name.end()) {
     if (it->second.kind != MetricValue::Kind::kHistogram) kind_mismatch(name);
@@ -174,8 +182,10 @@ Histogram& Registry::histogram(std::string_view name,
 
 Snapshot Registry::snapshot() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  util::ScopedLock lock(im.mutex);
   Snapshot snap;
+  // relm-lint: ordered — folded into Snapshot::metrics, a sorted std::map,
+  // so the unordered iteration order never reaches the serialized output.
   for (const auto& [name, slot] : im.by_name) {
     MetricValue value;
     value.kind = slot.kind;
@@ -202,7 +212,7 @@ Snapshot Registry::snapshot() const {
 
 void Registry::reset() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  util::ScopedLock lock(im.mutex);
   for (Counter& c : im.counters) c.reset();
   for (Gauge& g : im.gauges) g.reset();
   for (Histogram& h : im.histograms) h.reset();

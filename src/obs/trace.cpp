@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace relm::obs {
 
@@ -27,17 +28,19 @@ struct TraceEvent {
 // (uncontended) mutex; serializers take every buffer mutex while iterating.
 // Buffers are shared_ptr so events survive thread exit until serialized.
 struct ThreadBuffer {
-  std::mutex mutex;
+  util::Mutex mutex{util::LockRank::kTraceBuffer};
+  // Written once at registration, before the buffer is visible to
+  // serializers, and immutable afterwards — so not lock-guarded.
   std::uint32_t tid = 0;
-  std::vector<TraceEvent> events;
+  std::vector<TraceEvent> events RELM_GUARDED_BY(mutex);
 };
 
 struct TraceState {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
-  std::string atexit_chrome_path;
-  std::string atexit_jsonl_path;
+  util::Mutex mutex{util::LockRank::kTraceSink};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers RELM_GUARDED_BY(mutex);
+  std::uint32_t next_tid RELM_GUARDED_BY(mutex) = 1;
+  std::string atexit_chrome_path RELM_GUARDED_BY(mutex);
+  std::string atexit_jsonl_path RELM_GUARDED_BY(mutex);
 };
 
 TraceState& state() {
@@ -49,7 +52,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     TraceState& s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::ScopedLock lock(s.mutex);
     b->tid = s.next_tid++;
     s.buffers.push_back(b);
     return b;
@@ -83,7 +86,7 @@ void atexit_flush() {
   std::string chrome_path;
   std::string jsonl_path;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::ScopedLock lock(s.mutex);
     chrome_path = s.atexit_chrome_path;
     jsonl_path = s.atexit_jsonl_path;
   }
@@ -103,9 +106,9 @@ void Trace::start() {
   process_epoch();  // pin the epoch before the first event
   TraceState& s = state();
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::ScopedLock lock(s.mutex);
     for (auto& buffer : s.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      util::ScopedLock buffer_lock(buffer->mutex);
       buffer->events.clear();
     }
   }
@@ -124,7 +127,7 @@ void Trace::init_from_env() {
     if (!chrome_on && !jsonl_on) return;
     TraceState& s = state();
     {
-      std::lock_guard<std::mutex> lock(s.mutex);
+      util::ScopedLock lock(s.mutex);
       if (chrome_on) {
         std::string path = env;
         if (path == "1" || path == "true") path = "relm_trace.json";
@@ -139,16 +142,16 @@ void Trace::init_from_env() {
 
 void Trace::record(const char* name, double ts_us, double dur_us) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::ScopedLock lock(buffer.mutex);
   buffer.events.push_back(TraceEvent{name, ts_us, dur_us});
 }
 
 std::size_t Trace::event_count() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::ScopedLock lock(s.mutex);
   std::size_t n = 0;
   for (const auto& buffer : s.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    util::ScopedLock buffer_lock(buffer->mutex);
     n += buffer->events.size();
   }
   return n;
@@ -156,12 +159,12 @@ std::size_t Trace::event_count() {
 
 void Trace::write_chrome_trace(std::ostream& out) {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::ScopedLock lock(s.mutex);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   char buf[256];
   for (const auto& buffer : s.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    util::ScopedLock buffer_lock(buffer->mutex);
     for (const TraceEvent& e : buffer->events) {
       std::snprintf(buf, sizeof(buf),
                     "%s{\"name\":\"%s\",\"cat\":\"relm\",\"ph\":\"X\","
@@ -176,10 +179,10 @@ void Trace::write_chrome_trace(std::ostream& out) {
 
 void Trace::write_jsonl(std::ostream& out) {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::ScopedLock lock(s.mutex);
   char buf[256];
   for (const auto& buffer : s.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    util::ScopedLock buffer_lock(buffer->mutex);
     for (const TraceEvent& e : buffer->events) {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s\",\"tid\":%u,\"ts_us\":%.3f,"

@@ -4,10 +4,18 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "util/sync.hpp"
+
 namespace relm::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes the prefix/body/newline stdio calls of one log line so lines
+// from concurrent threads never interleave. kLogging is the maximum rank:
+// any subsystem may log while holding its own locks, but nothing may be
+// acquired while emitting a line (the body below is stdio only).
+Mutex g_log_mutex{LockRank::kLogging};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -30,6 +38,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  ScopedLock lock(g_log_mutex);
   std::fprintf(stderr, "[%8.3fs %-5s] ", process_timer().seconds(), level_tag(level));
   va_list args;
   va_start(args, fmt);

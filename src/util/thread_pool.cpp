@@ -1,15 +1,14 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace relm::util {
 
@@ -46,22 +45,25 @@ struct ThreadPool::Impl {
   // (after the loop already drained) still holds a valid object: it grabs an
   // index >= n and exits without touching anything.
   struct Job {
+    // fn and n are written by the dispatching caller before the job is
+    // published through Impl::current (a mutex release/acquire), and are
+    // read-only afterwards — deliberately not lock-guarded.
     std::function<void(std::size_t)> fn;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;
+    Mutex mutex{LockRank::kPoolJob};
+    CondVar done;
+    std::exception_ptr error RELM_GUARDED_BY(mutex);
   };
 
   std::vector<std::thread> workers;
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::shared_ptr<Job> current;  // guarded by mutex
-  bool stop = false;             // guarded by mutex
+  Mutex mutex{LockRank::kPoolState};
+  CondVar work_cv;
+  std::shared_ptr<Job> current RELM_GUARDED_BY(mutex);
+  bool stop RELM_GUARDED_BY(mutex) = false;
   // Serializes parallel_for callers; held for the whole loop.
-  std::mutex caller_mutex;
+  Mutex caller_mutex{LockRank::kPoolCaller};
 
   static void run(Job& job) {
     t_in_parallel_region = true;
@@ -71,13 +73,13 @@ struct ThreadPool::Impl {
       try {
         job.fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job.mutex);
+        ScopedLock lock(job.mutex);
         if (!job.error) job.error = std::current_exception();
       }
       if (job.completed.fetch_add(1) + 1 == job.n) {
         // Lock pairs with the caller's predicate check so the final
         // notification cannot slip between its check and its wait.
-        std::lock_guard<std::mutex> lock(job.mutex);
+        ScopedLock lock(job.mutex);
         job.done.notify_all();
       }
     }
@@ -86,9 +88,9 @@ struct ThreadPool::Impl {
 
   void worker_loop() {
     std::shared_ptr<Job> last;
-    std::unique_lock<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     for (;;) {
-      work_cv.wait(lock, [&] { return stop || (current && current != last); });
+      while (!stop && (!current || current == last)) work_cv.wait(lock);
       if (stop) return;
       std::shared_ptr<Job> job = current;
       last = job;
@@ -109,7 +111,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ScopedLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -135,27 +137,29 @@ void ThreadPool::parallel_for(std::size_t n,
   metrics.tasks.add(n);
   metrics.job_tasks.observe(static_cast<double>(n));
 
-  std::lock_guard<std::mutex> caller(impl_->caller_mutex);
+  ScopedLock caller(impl_->caller_mutex);
   auto job = std::make_shared<Impl::Job>();
   job->fn = fn;
   job->n = n;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ScopedLock lock(impl_->mutex);
     impl_->current = job;
   }
   impl_->work_cv.notify_all();
 
   Impl::run(*job);  // the calling thread is one of the pool's lanes
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(job->mutex);
-    job->done.wait(lock, [&] { return job->completed.load() == job->n; });
+    ScopedLock lock(job->mutex);
+    while (job->completed.load() != job->n) job->done.wait(lock);
+    error = job->error;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ScopedLock lock(impl_->mutex);
     impl_->current.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {
@@ -169,13 +173,13 @@ std::size_t default_thread_count() {
   return hw > 0 ? hw : 1;
 }
 
-std::mutex g_shared_mutex;
-std::unique_ptr<ThreadPool> g_shared_pool;
+Mutex g_shared_mutex{LockRank::kPoolShared};
+std::unique_ptr<ThreadPool> g_shared_pool RELM_GUARDED_BY(g_shared_mutex);
 
 }  // namespace
 
 ThreadPool& ThreadPool::shared() {
-  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  ScopedLock lock(g_shared_mutex);
   if (!g_shared_pool) {
     g_shared_pool = std::make_unique<ThreadPool>(default_thread_count());
     obs::Registry::instance().gauge("pool.threads")
@@ -185,7 +189,7 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::set_shared_threads(std::size_t threads) {
-  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  ScopedLock lock(g_shared_mutex);
   g_shared_pool = std::make_unique<ThreadPool>(threads > 0 ? threads : 1);
   obs::Registry::instance().gauge("pool.threads")
       .set(static_cast<double>(g_shared_pool->threads()));
