@@ -7,15 +7,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cmath>
 #include <mutex>
 
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
+#include "core/token_masks.hpp"
 #include "experiments/setup.hpp"
+#include "model/decoding.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
+#include "util/token_bitset.hpp"
 
 namespace {
 
@@ -139,6 +145,121 @@ void BM_ShortestPathBatchedCached(benchmark::State& state) {
   util::ThreadPool::set_shared_threads(1);
 }
 BENCHMARK(BM_ShortestPathBatchedCached)->Arg(1)->Arg(2)->Arg(4);
+
+// The same query with the precompiled-bitmask fast path disabled: every
+// expansion returns to probing each automaton edge against the rule mask.
+// Compare against BM_ShortestPathTopK40 (masks on by default) for the
+// end-to-end hot-loop saving.
+void BM_ShortestPathTopK40MasksOff(benchmark::State& state) {
+  core::SimpleSearchQuery query = url_query(40);
+  query.use_token_masks = false;
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  for (auto _ : state) {
+    core::ShortestPathSearch search(*world().xl, compiled, query);
+    benchmark::DoNotOptimize(search.all());
+  }
+}
+BENCHMARK(BM_ShortestPathTopK40MasksOff);
+
+// Isolated expansion primitives on a synthetic dense token automaton, away
+// from model-inference noise. Arg(0) is the vocabulary size; the state under
+// measurement carries vocab/2 outgoing edges (URL- and word-class states in
+// real queries are this dense) and the decoding rule keeps ~1/16 of the
+// vocabulary, the regime top-k=40 style rules put the executor in.
+struct MaskBenchFixture {
+  std::size_t vocab;
+  core::TokenMaskTable table;
+  util::TokenBitset rule;
+
+  explicit MaskBenchFixture(std::size_t v) : vocab(v), rule(v) {
+    automata::Dfa dfa(static_cast<automata::Symbol>(v));
+    automata::StateId s0 = dfa.add_state(false);
+    automata::StateId s1 = dfa.add_state(true);
+    dfa.set_start(s0);
+    for (std::size_t t = 0; t < v; t += 2) {
+      dfa.add_edge(s0, static_cast<automata::Symbol>(t), s1);
+    }
+    table = core::build_token_masks(dfa);
+    util::Pcg32 rng(17);
+    for (std::size_t t = 0; t < v; ++t) {
+      if (rng.bounded(16) == 0) rule.set(t);
+    }
+  }
+};
+
+// Mask-and-scan: intersect the state bitmask with the rule mask word by word
+// and recover each survivor's CSR target by rank (running popcount). This is
+// exactly the loop CompiledQuery::expand_masked runs per live automaton.
+void BM_MaskExpand(benchmark::State& state) {
+  MaskBenchFixture fx(static_cast<std::size_t>(state.range(0)));
+  const std::uint64_t* row = fx.table.state_words(0);
+  const std::uint64_t* rule_words = fx.rule.words().data();
+  const std::uint32_t* targets =
+      fx.table.edge_targets.data() + fx.table.edge_offsets[0];
+  const std::size_t words = fx.table.words_per_state;
+  std::uint64_t survivors = 0;
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    std::uint32_t base_rank = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t word = row[w];
+      std::uint64_t bits = word & rule_words[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const std::uint32_t rank =
+            base_rank +
+            static_cast<std::uint32_t>(std::popcount(word & ((1ull << b) - 1)));
+        sink += targets[rank];
+        ++survivors;
+      }
+      base_rank += static_cast<std::uint32_t>(std::popcount(word));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["survivors/iter"] =
+      static_cast<double>(survivors) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MaskExpand)->Arg(1024)->Arg(8192);
+
+// The pre-mask hot loop: visit every outgoing edge and probe the rule mask
+// per edge. Cost scales with edge count instead of vocab/64 + survivors.
+void BM_MaskExpandProbe(benchmark::State& state) {
+  MaskBenchFixture fx(static_cast<std::size_t>(state.range(0)));
+  const std::uint32_t begin = fx.table.edge_offsets[0];
+  const std::uint32_t end = fx.table.edge_offsets[1];
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      if (fx.rule[fx.table.edge_tokens[e]]) sink += fx.table.edge_targets[e];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_MaskExpandProbe)->Arg(1024)->Arg(8192);
+
+// Building the rule mask itself (top-k + top-p over a full distribution):
+// the per-step cost that the per-state masks let the executor amortize
+// across every candidate edge at once.
+void BM_AllowedTokensBitset(benchmark::State& state) {
+  const std::size_t vocab = static_cast<std::size_t>(state.range(0));
+  util::Pcg32 rng(29);
+  std::vector<double> log_probs(vocab);
+  double total = 0.0;
+  for (double& lp : log_probs) {
+    lp = 0.05 + rng.uniform();
+    total += lp;
+  }
+  for (double& lp : log_probs) lp = std::log(lp / total);
+  model::DecodingRules rules;
+  rules.top_k = 40;
+  rules.top_p = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::allowed_tokens(log_probs, rules));
+  }
+}
+BENCHMARK(BM_AllowedTokensBitset)->Arg(1024)->Arg(8192);
 
 void BM_ShortestPathUnrestricted(benchmark::State& state) {
   core::SimpleSearchQuery query = url_query(std::nullopt);

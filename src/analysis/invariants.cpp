@@ -4,6 +4,7 @@
 #include <deque>
 #include <sstream>
 
+#include "core/token_masks.hpp"
 #include "util/rng.hpp"
 
 namespace relm::analysis {
@@ -465,6 +466,32 @@ void check_query_artifact(const core::pipeline::QueryArtifact& artifact,
     report.fail("artifact.strategy-flags",
                 name + " uses the all-tokens strategy but has a "
                        "dynamic-canonical flag set");
+  }
+
+  // Persisted token-mask tables must equal the edge sets recomputed from
+  // their automata — a mask that disagrees would silently steer the
+  // executor fast path off the automaton. Empty tables are legal (the
+  // compile-time memory budget skipped the pass); a half-present pair is
+  // not, because the executors treat masks as all-or-nothing per artifact.
+  if (artifact.prefix.masks.empty() != artifact.body.masks.empty()) {
+    report.fail("artifact.token-masks",
+                name + " has a mask table for only one automaton "
+                       "(executors require both or neither)");
+  }
+  if (!artifact.prefix.masks.empty()) {
+    if (auto mismatch =
+            core::masks_mismatch(artifact.prefix.dfa, artifact.prefix.masks)) {
+      report.fail("artifact.token-masks",
+                  name + ".prefix masks disagree with the automaton: " +
+                      *mismatch);
+    }
+  }
+  if (!artifact.body.masks.empty()) {
+    if (auto mismatch =
+            core::masks_mismatch(artifact.body.dfa, artifact.body.masks)) {
+      report.fail("artifact.token-masks",
+                  name + ".body masks disagree with the automaton: " + *mismatch);
+    }
   }
 
   if (tok != nullptr &&

@@ -9,6 +9,7 @@
 #include "core/pipeline/artifact.hpp"
 #include "core/query.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/token_bitset.hpp"
 
 namespace relm::core {
 
@@ -65,6 +66,31 @@ class CompiledQuery {
 
   // All token transitions out of `set`, prefix hand-off included.
   std::vector<Step> expand(const StateSet& set) const;
+
+  // Counters fed into SearchStats by the executors: words examined by the
+  // word-wise scan, and tokens whose body edge the rule mask eliminated.
+  struct MaskExpandStats {
+    std::uint64_t words_scanned = 0;
+    std::uint64_t pruned = 0;
+  };
+
+  // The mask-and-scan fast path: equivalent to expand(set) followed by the
+  // executor's rule filter (drop steps with !prefix_only whose token the
+  // rule mask rejects), but computed by intersecting the precompiled
+  // per-state bitmask with `rule_mask` word-wise and visiting only the
+  // surviving bits — O(vocab/64 + survivors) instead of a probe per edge.
+  // `rule_mask == nullptr` means unrestricted. Steps are appended to `out`
+  // (cleared first) in exactly the slow path's order: body transitions in
+  // token order, then unshadowed prefix transitions in token order.
+  // Requires has_masks().
+  void expand_masked(const StateSet& set, const util::TokenBitset* rule_mask,
+                     std::vector<Step>& out, MaskExpandStats& stats) const;
+
+  // True when both automata carry mask tables (the token_masks pass ran and
+  // stayed within its memory budget), i.e. expand_masked is available.
+  bool has_masks() const {
+    return !artifact_->prefix.masks.empty() && !artifact_->body.masks.empty();
+  }
 
   // A match requires the body machine to be in a final state. (A query with
   // an empty body pattern accepts at the hand-off itself.)

@@ -128,7 +128,7 @@ TokenAutomaton compile_token_automaton(const automata::Dfa& char_dfa,
   if (char_dfa.num_symbols() != 256) {
     throw relm::QueryError("token compilation requires a byte-level automaton");
   }
-  TokenAutomaton result{automata::Dfa(1), false};
+  TokenAutomaton result{automata::Dfa(1), false, {}};
   if (strategy == TokenizationStrategy::kAllTokens) {
     result.dfa = build_all_tokens(char_dfa, tok);
     RELM_DCHECK(result.dfa.num_symbols() == tok.vocab_size(),
@@ -163,7 +163,7 @@ automata::Dfa build_all_tokens_trie_variant(const automata::Dfa& char_dfa,
 TokenAutomaton epsilon_token_automaton(const tokenizer::BpeTokenizer& tok) {
   automata::Dfa dfa(static_cast<automata::Symbol>(tok.vocab_size()));
   dfa.set_start(dfa.add_state(true));
-  return TokenAutomaton{std::move(dfa), false};
+  return TokenAutomaton{std::move(dfa), false, {}};
 }
 
 }  // namespace relm::core

@@ -2,6 +2,7 @@
 
 #include "automata/automaton.hpp"
 #include "core/query.hpp"
+#include "core/token_masks.hpp"
 #include "tokenizer/bpe.hpp"
 
 namespace relm::core {
@@ -18,6 +19,11 @@ struct TokenAutomaton {
   // set of encodings and the executor must prune non-canonical paths
   // dynamically during traversal (§3.2, "backtracking during runtime").
   bool dynamic_canonical = false;
+
+  // Per-state token bitmasks + CSR edge index (the token_masks pipeline
+  // pass). Empty when masks were skipped (memory budget) — executors then
+  // use the per-edge expansion path.
+  TokenMaskTable masks;
 };
 
 // Compiles a character-level DFA into a token automaton.

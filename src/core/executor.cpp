@@ -1,9 +1,11 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_map>
 
+#include "core/token_masks.hpp"
 #include "model/decoding.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +27,8 @@ struct ExecutorMetrics {
   obs::Counter& expansions;
   obs::Counter& pruned_rules;
   obs::Counter& pruned_non_canonical;
+  obs::Counter& mask_words_scanned;
+  obs::Counter& mask_pruned;
   obs::Counter& results;
   obs::Histogram& batch_size;
 
@@ -34,6 +38,8 @@ struct ExecutorMetrics {
         obs::Registry::instance().counter("executor.expansions"),
         obs::Registry::instance().counter("executor.pruned_by_rules"),
         obs::Registry::instance().counter("executor.pruned_non_canonical"),
+        obs::Registry::instance().counter("executor.mask_words_scanned"),
+        obs::Registry::instance().counter("executor.mask_pruned"),
         obs::Registry::instance().counter("executor.results"),
         obs::Registry::instance().histogram(
             "executor.batch.size", obs::Histogram::default_size_bounds())};
@@ -123,7 +129,7 @@ void ShortestPathSearch::expand(std::int32_t node_id,
   Node node = nodes_[node_id];  // copy: nodes_ may reallocate below
   if (node.depth >= seq_limit) return;
 
-  std::vector<bool> mask;
+  util::TokenBitset mask;
   if (!query_.decoding.unrestricted()) {
     mask = allowed_tokens(lp, query_.decoding);
   }
@@ -147,8 +153,22 @@ void ShortestPathSearch::expand(std::int32_t node_id,
     return ok;
   };
 
-  for (const CompiledQuery::Step& step : compiled_.expand(node.set)) {
-    if (!step.prefix_only && !mask.empty() && !mask[step.token]) {
+  // Mask-and-scan fast path: the rule filter happens inside expand_masked
+  // as a word-wise bitset intersection, so the per-edge probe loop (and its
+  // O(vocab) worst case per expansion) disappears entirely.
+  const bool fast = query_.use_token_masks && compiled_.has_masks();
+  std::vector<CompiledQuery::Step>& steps = scratch_steps_;
+  if (fast) {
+    CompiledQuery::MaskExpandStats ms;
+    compiled_.expand_masked(node.set, mask.empty() ? nullptr : &mask, steps, ms);
+    stats_.mask_words_scanned += ms.words_scanned;
+    stats_.mask_pruned += ms.pruned;
+  } else {
+    steps = compiled_.expand(node.set);
+  }
+
+  for (const CompiledQuery::Step& step : steps) {
+    if (!fast && !step.prefix_only && !mask.empty() && !mask[step.token]) {
       ++stats_.pruned_by_rules;
       continue;  // pruned, and transitively all its extensions (§3.3)
     }
@@ -198,6 +218,8 @@ void ShortestPathSearch::pump() {
   ExecutorMetrics& metrics = ExecutorMetrics::get();
   const std::size_t pruned_rules_before = stats_.pruned_by_rules;
   const std::size_t pruned_non_canonical_before = stats_.pruned_non_canonical;
+  const std::size_t mask_words_before = stats_.mask_words_scanned;
+  const std::size_t mask_pruned_before = stats_.mask_pruned;
   const std::size_t results_before = pending_results_.size();
   const std::size_t batch = std::max<std::size_t>(query_.expansion_batch_size, 1);
   std::vector<std::int32_t> popped;
@@ -270,6 +292,8 @@ void ShortestPathSearch::pump() {
   metrics.pruned_rules.add(stats_.pruned_by_rules - pruned_rules_before);
   metrics.pruned_non_canonical.add(stats_.pruned_non_canonical -
                                    pruned_non_canonical_before);
+  metrics.mask_words_scanned.add(stats_.mask_words_scanned - mask_words_before);
+  metrics.mask_pruned.add(stats_.mask_pruned - mask_pruned_before);
   metrics.results.add(pending_results_.size() - results_before);
   metrics.batch_size.observe(static_cast<double>(popped.size()));
 }
@@ -337,12 +361,16 @@ std::optional<SearchResult> RandomSampler::sample_once() {
   const std::size_t llm_calls_before = stats_.llm_calls;
   const std::size_t pruned_rules_before = stats_.pruned_by_rules;
   const std::size_t pruned_non_canonical_before = stats_.pruned_non_canonical;
+  const std::size_t mask_words_before = stats_.mask_words_scanned;
+  const std::size_t mask_pruned_before = stats_.mask_pruned;
   std::optional<SearchResult> result = sample_once_impl();
   refresh_cache_stats();
   metrics.llm_calls.add(stats_.llm_calls - llm_calls_before);
   metrics.pruned_rules.add(stats_.pruned_by_rules - pruned_rules_before);
   metrics.pruned_non_canonical.add(stats_.pruned_non_canonical -
                                    pruned_non_canonical_before);
+  metrics.mask_words_scanned.add(stats_.mask_words_scanned - mask_words_before);
+  metrics.mask_pruned.add(stats_.mask_pruned - mask_pruned_before);
   if (result) metrics.results.add(1);
   return result;
 }
@@ -417,23 +445,56 @@ std::optional<SearchResult> RandomSampler::sample_once_impl() {
     ++stats_.llm_calls;
     RELM_DCHECK(lp.size() == model_.vocab_size(),
                 "model distribution size must equal the vocabulary");
-    std::vector<bool> mask;
+    util::TokenBitset mask;
     if (!query_.decoding.unrestricted()) {
       mask = allowed_tokens(lp, query_.decoding);
     }
 
-    // Candidate weights: automaton edges (plus EOS-as-stop at final states),
-    // renormalized over true model probabilities (§3.3).
-    std::vector<double> weights;
-    weights.reserve(edges.size() + 1);
-    std::vector<std::size_t> candidate_edges;
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      TokenId t = static_cast<TokenId>(edges[i].symbol);
-      bool allowed = mask.empty() || mask[t];
-      if (!allowed) {
-        ++stats_.pruned_by_rules;
-        continue;
+    // Edges surviving the decoding rules, as indices into `edges`. The mask
+    // fast path intersects the state's bitmask with the rule mask word-wise;
+    // a surviving bit's rank within the state row *is* its edge index
+    // (edges are token-sorted, and the CSR index was built in that order).
+    std::vector<std::size_t> allowed_idx;
+    allowed_idx.reserve(edges.size());
+    if (query_.use_token_masks && compiled_.has_masks()) {
+      const TokenMaskTable& bm = compiled_.artifact().body.masks;
+      const std::uint64_t* row = bm.state_words(body_state);
+      const std::uint64_t* rule_words =
+          mask.empty() ? nullptr : mask.words().data();
+      std::size_t rank_base = 0;
+      for (std::uint32_t w = 0; w < bm.words_per_state; ++w) {
+        const std::uint64_t word = row[w];
+        const std::uint64_t surv = rule_words ? (word & rule_words[w]) : word;
+        ++stats_.mask_words_scanned;
+        stats_.mask_pruned += std::size_t(std::popcount(word)) -
+                              std::size_t(std::popcount(surv));
+        std::uint64_t bits = surv;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          allowed_idx.push_back(
+              rank_base + std::size_t(std::popcount(word & ((1ull << b) - 1))));
+        }
+        rank_base += std::size_t(std::popcount(word));
       }
+    } else {
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        TokenId t = static_cast<TokenId>(edges[i].symbol);
+        if (!mask.empty() && !mask[t]) {
+          ++stats_.pruned_by_rules;
+          continue;
+        }
+        allowed_idx.push_back(i);
+      }
+    }
+
+    // Candidate weights: surviving automaton edges (plus EOS-as-stop at
+    // final states), renormalized over true model probabilities (§3.3).
+    std::vector<double> weights;
+    weights.reserve(allowed_idx.size() + 1);
+    std::vector<std::size_t> candidate_edges;
+    for (std::size_t i : allowed_idx) {
+      TokenId t = static_cast<TokenId>(edges[i].symbol);
       // Dynamic canonical pruning of the candidate.
       if (compiled_.dynamic_canonical()) {
         std::vector<TokenId> candidate(body_tokens);
@@ -601,10 +662,12 @@ std::vector<SearchResult> BeamSearch::run() {
     metrics.batch_size.observe(static_cast<double>(beams.size()));
 
     std::vector<Beam> candidates;
+    std::vector<CompiledQuery::Step> scratch_steps;
+    const bool fast = query_.use_token_masks && compiled_.has_masks();
     for (std::size_t b = 0; b < beams.size(); ++b) {
       const Beam& beam = beams[b];
       const std::vector<double>& lp = lps[b];
-      std::vector<bool> mask;
+      util::TokenBitset mask;
       if (!query_.decoding.unrestricted()) {
         mask = allowed_tokens(lp, query_.decoding);
       }
@@ -621,8 +684,20 @@ std::vector<SearchResult> BeamSearch::run() {
         }
       }
 
-      for (const CompiledQuery::Step& next : compiled_.expand(beam.set)) {
-        if (!next.prefix_only && !mask.empty() && !mask[next.token]) {
+      // Mask-and-scan fast path, as in ShortestPathSearch::expand: the rule
+      // filter runs as a word-wise intersection inside expand_masked.
+      std::vector<CompiledQuery::Step>& steps = scratch_steps;
+      if (fast) {
+        CompiledQuery::MaskExpandStats ms;
+        compiled_.expand_masked(beam.set, mask.empty() ? nullptr : &mask,
+                                steps, ms);
+        stats_.mask_words_scanned += ms.words_scanned;
+        stats_.mask_pruned += ms.pruned;
+      } else {
+        steps = compiled_.expand(beam.set);
+      }
+      for (const CompiledQuery::Step& next : steps) {
+        if (!fast && !next.prefix_only && !mask.empty() && !mask[next.token]) {
           ++stats_.pruned_by_rules;
           continue;
         }
@@ -677,6 +752,8 @@ std::vector<SearchResult> BeamSearch::run() {
   refresh_cache_stats();
   metrics.pruned_rules.add(stats_.pruned_by_rules);
   metrics.pruned_non_canonical.add(stats_.pruned_non_canonical);
+  metrics.mask_words_scanned.add(stats_.mask_words_scanned);
+  metrics.mask_pruned.add(stats_.mask_pruned);
   metrics.results.add(matches.size());
   return matches;
 }

@@ -25,8 +25,14 @@ struct SearchResult {
 struct SearchStats {
   std::size_t llm_calls = 0;
   std::size_t expansions = 0;          // shortest path: nodes expanded
-  std::size_t pruned_by_rules = 0;     // edges cut by top-k/top-p
+  std::size_t pruned_by_rules = 0;     // edges cut by top-k/top-p (probe path)
   std::size_t pruned_non_canonical = 0;
+  // Mask fast-path counters (use_token_masks): words examined by the
+  // word-wise state∩rule intersection, and tokens it eliminated. On the
+  // fast path mask_pruned carries exactly the prunes the probe path would
+  // have counted in pruned_by_rules (EOS-closure prunes stay there).
+  std::size_t mask_words_scanned = 0;
+  std::size_t mask_pruned = 0;
   std::size_t sample_attempts = 0;     // random: attempts incl. dead ends
   std::size_t sample_dead_ends = 0;
   // Logit-cache activity attributed to this search (deltas against the
@@ -116,6 +122,7 @@ class ShortestPathSearch {
   const CompiledQuery& compiled_;
   const SimpleSearchQuery& query_;
   std::vector<Node> nodes_;
+  std::vector<CompiledQuery::Step> scratch_steps_;  // reused across expansions
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier_;
   std::unordered_set<std::string> emitted_texts_;
   std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>

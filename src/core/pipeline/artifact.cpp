@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "automata/serialize.hpp"
+#include "core/token_masks.hpp"
 #include "util/errors.hpp"
 
 namespace relm::core::pipeline {
@@ -128,8 +129,134 @@ std::uint64_t artifact_checksum(const QueryArtifact& artifact) {
   return h.a;
 }
 
-void save_artifact(const QueryArtifact& artifact, std::ostream& out) {
-  out << "RELM_ARTIFACT v" << QueryArtifact::kFormatVersion << "\n";
+namespace {
+
+void hash_mask_table(KeyHasher& h, const core::TokenMaskTable& table) {
+  h.u64(table.num_states);
+  h.u64(table.words_per_state);
+  h.u64(table.words.size());
+  for (std::uint64_t w : table.words) h.u64(w);
+  h.u64(table.edge_offsets.size());
+  for (std::uint32_t v : table.edge_offsets) h.u64(v);
+  h.u64(table.edge_tokens.size());
+  for (std::uint32_t v : table.edge_tokens) h.u64(v);
+  h.u64(table.edge_targets.size());
+  for (std::uint32_t v : table.edge_targets) h.u64(v);
+}
+
+void save_masks(const core::TokenMaskTable& table, std::ostream& out) {
+  out << "RELM_MASKS v1\n";
+  out << "present " << (table.empty() ? 0 : 1) << "\n";
+  if (table.empty()) return;
+  out << "states " << table.num_states << " words " << table.words_per_state
+      << " edges " << table.edge_offsets.back() << "\n";
+  out << "offsets";
+  for (std::uint32_t v : table.edge_offsets) out << ' ' << v;
+  out << "\ntokens";
+  for (std::uint32_t v : table.edge_tokens) out << ' ' << v;
+  out << "\ntargets";
+  for (std::uint32_t v : table.edge_targets) out << ' ' << v;
+  out << "\nbits";
+  for (std::uint64_t w : table.words) out << ' ' << hex64(w);
+  out << "\n";
+}
+
+// Reads a RELM_MASKS section for an automaton whose DFA is already loaded.
+// Dimensions are validated against the DFA *before* any array allocation, so
+// a forged header can never trigger a multi-gigabyte allocation; the full
+// bit-for-bit agreement check (masks_mismatch) runs in load_artifact once
+// the whole container has parsed.
+core::TokenMaskTable load_masks(std::istream& in, const automata::Dfa& dfa,
+                                const char* name) {
+  auto here = [&](const std::string& what) {
+    corrupt(std::string(name) + " masks: " + what);
+  };
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in) here("truncated before RELM_MASKS header");
+  if (magic != "RELM_MASKS") here("bad magic \"" + magic + "\"");
+  if (version != "v1") here("unsupported version \"" + version + "\"");
+
+  std::string present = read_field(in, "present");
+  if (present == "0") return {};
+  if (present != "1") here("present must be 0/1, got \"" + present + "\"");
+
+  core::TokenMaskTable table;
+  std::uint64_t states = 0, words = 0, edges = 0;
+  std::string label;
+  in >> label >> states;
+  if (!in || label != "states") here("malformed states field");
+  in >> label >> words;
+  if (!in || label != "words") here("malformed words field");
+  in >> label >> edges;
+  if (!in || label != "edges") here("malformed edges field");
+  if (states != dfa.num_states()) {
+    here("declares " + std::to_string(states) + " states, automaton has " +
+         std::to_string(dfa.num_states()));
+  }
+  const std::uint64_t want_words =
+      (static_cast<std::uint64_t>(dfa.num_symbols()) + 63) / 64;
+  if (words != want_words) {
+    here("declares " + std::to_string(words) + " words per state, want " +
+         std::to_string(want_words));
+  }
+  if (edges != dfa.num_edges()) {
+    here("declares " + std::to_string(edges) + " edges, automaton has " +
+         std::to_string(dfa.num_edges()));
+  }
+  table.num_states = static_cast<std::uint32_t>(states);
+  table.words_per_state = static_cast<std::uint32_t>(words);
+
+  auto read_u32_array = [&](const char* what, std::size_t count,
+                            std::vector<std::uint32_t>& out_vec) {
+    in >> label;
+    if (!in || label != what) {
+      here(std::string("expected \"") + what + "\" array, got \"" + label +
+           "\"");
+    }
+    out_vec.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(in >> out_vec[i])) {
+        here(std::string("truncated in \"") + what + "\" array at entry " +
+             std::to_string(i) + " of " + std::to_string(count));
+      }
+    }
+  };
+  read_u32_array("offsets", states + 1, table.edge_offsets);
+  read_u32_array("tokens", edges, table.edge_tokens);
+  read_u32_array("targets", edges, table.edge_targets);
+
+  in >> label;
+  if (!in || label != "bits") here("expected \"bits\" array, got \"" + label + "\"");
+  const std::size_t num_bit_words = static_cast<std::size_t>(states * words);
+  table.words.resize(num_bit_words);
+  std::string word_hex;
+  for (std::size_t i = 0; i < num_bit_words; ++i) {
+    if (!(in >> word_hex)) {
+      here("truncated in \"bits\" array at word " + std::to_string(i) + " of " +
+           std::to_string(num_bit_words));
+    }
+    auto parsed = parse_hex64(word_hex);
+    if (!parsed) here("malformed bitmask word \"" + word_hex + "\"");
+    table.words[i] = *parsed;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t artifact_masks_checksum(const QueryArtifact& artifact) {
+  KeyHasher h;
+  hash_mask_table(h, artifact.prefix.masks);
+  hash_mask_table(h, artifact.body.masks);
+  return h.a;
+}
+
+namespace {
+
+void save_artifact_impl(const QueryArtifact& artifact, std::ostream& out,
+                        std::uint32_t version) {
+  out << "RELM_ARTIFACT v" << version << "\n";
   out << "key " << artifact.key.hex() << "\n";
   out << "vocab " << hex64(artifact.vocab_fingerprint) << "\n";
   out << "strategy " << strategy_tag(artifact.strategy) << "\n";
@@ -138,10 +265,25 @@ void save_artifact(const QueryArtifact& artifact, std::ostream& out) {
   out << "body_dynamic_canonical " << (artifact.body.dynamic_canonical ? 1 : 0)
       << "\n";
   out << "checksum " << hex64(artifact_checksum(artifact)) << "\n";
+  if (version >= 2) {
+    out << "masks_checksum " << hex64(artifact_masks_checksum(artifact)) << "\n";
+  }
   out << "prefix\n";
   automata::save_dfa(artifact.prefix.dfa, out);
+  if (version >= 2) save_masks(artifact.prefix.masks, out);
   out << "body\n";
   automata::save_dfa(artifact.body.dfa, out);
+  if (version >= 2) save_masks(artifact.body.masks, out);
+}
+
+}  // namespace
+
+void save_artifact(const QueryArtifact& artifact, std::ostream& out) {
+  save_artifact_impl(artifact, out, QueryArtifact::kFormatVersion);
+}
+
+void save_artifact_v1(const QueryArtifact& artifact, std::ostream& out) {
+  save_artifact_impl(artifact, out, 1);
 }
 
 QueryArtifact load_artifact(std::istream& in) {
@@ -149,8 +291,13 @@ QueryArtifact load_artifact(std::istream& in) {
   in >> magic >> version;
   if (!in) corrupt("truncated before header");
   if (magic != "RELM_ARTIFACT") corrupt("bad magic \"" + magic + "\"");
-  if (version != "v" + std::to_string(QueryArtifact::kFormatVersion)) {
-    corrupt("unsupported version \"" + version + "\" (this build reads v" +
+  std::uint32_t file_version = 0;
+  if (version == "v1") {
+    file_version = 1;
+  } else if (version == "v2") {
+    file_version = 2;
+  } else {
+    corrupt("unsupported version \"" + version + "\" (this build reads v1-v" +
             std::to_string(QueryArtifact::kFormatVersion) + ")");
   }
 
@@ -187,6 +334,12 @@ QueryArtifact load_artifact(std::istream& in) {
   auto checksum = parse_hex64(read_field(in, "checksum"));
   if (!checksum) corrupt("malformed checksum");
 
+  std::optional<std::uint64_t> masks_checksum;
+  if (file_version >= 2) {
+    masks_checksum = parse_hex64(read_field(in, "masks_checksum"));
+    if (!masks_checksum) corrupt("malformed masks_checksum");
+  }
+
   for (auto [label, ta] :
        {std::pair<const char*, TokenAutomaton*>{"prefix", &artifact.prefix},
         std::pair<const char*, TokenAutomaton*>{"body", &artifact.body}}) {
@@ -196,10 +349,42 @@ QueryArtifact load_artifact(std::istream& in) {
       corrupt(std::string("missing \"") + label + "\" automaton section");
     }
     ta->dfa = automata::load_dfa(in);  // throws relm::Error with its own detail
+    if (file_version >= 2) ta->masks = load_masks(in, ta->dfa, label);
   }
 
   if (artifact_checksum(artifact) != *checksum) {
     corrupt("checksum mismatch (payload corrupted)");
+  }
+  if (file_version >= 2) {
+    if (artifact_masks_checksum(artifact) != *masks_checksum) {
+      corrupt("masks_checksum mismatch (mask payload corrupted)");
+    }
+    // Persisted masks must equal the edge sets recomputed from the automata
+    // they index — integrity (the checksum above) is not enough, because a
+    // consistently forged section would pass it; a wrong mask silently
+    // steering the executor off the automaton is the one failure mode this
+    // container must make impossible.
+    for (auto [label, ta] :
+         {std::pair<const char*, const TokenAutomaton*>{"prefix",
+                                                        &artifact.prefix},
+          std::pair<const char*, const TokenAutomaton*>{"body",
+                                                        &artifact.body}}) {
+      if (ta->masks.empty()) continue;
+      if (auto mismatch = core::masks_mismatch(ta->dfa, ta->masks)) {
+        corrupt(std::string(label) + " masks disagree with the automaton: " +
+                *mismatch);
+      }
+    }
+  } else {
+    // v1 file: predates the token_masks pass. Recompute the masks under the
+    // same budget rule the pipeline uses, so a reloaded v1 artifact drives
+    // the executors identically to a fresh v2 compile of the same query.
+    const std::size_t bytes = core::token_mask_table_bytes(artifact.prefix.dfa) +
+                              core::token_mask_table_bytes(artifact.body.dfa);
+    if (bytes <= core::kTokenMaskBudgetBytes) {
+      artifact.prefix.masks = core::build_token_masks(artifact.prefix.dfa);
+      artifact.body.masks = core::build_token_masks(artifact.body.dfa);
+    }
   }
   // Semantic invariant, not just integrity: all-tokens artifacts never need
   // dynamic pruning, so a set flag means the writer was buggy.

@@ -35,15 +35,18 @@ struct ArtifactKey {
 // the format version. Immutable after construction; CompiledQuery and the
 // cache share artifacts by shared_ptr<const>.
 struct QueryArtifact {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  // v2 added the persisted per-state token mask tables (token_masks pass).
+  // The version is folded into the artifact key, so a version bump retires
+  // every cached key at once; v1 *files* remain loadable (see load_artifact).
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   ArtifactKey key;                      // zero when the query is unkeyable
   std::uint64_t vocab_fingerprint = 0;  // tokenizer identity at compile time
   TokenizationStrategy strategy = TokenizationStrategy::kCanonicalTokens;
   // Dfa has no default constructor; a 1-symbol empty machine stands in
   // until the assemble pass (or the loader) fills these.
-  TokenAutomaton prefix{automata::Dfa(1), false};
-  TokenAutomaton body{automata::Dfa(1), false};
+  TokenAutomaton prefix{automata::Dfa(1), false, {}};
+  TokenAutomaton body{automata::Dfa(1), false, {}};
 };
 
 // Order-sensitive fingerprint of a tokenizer's observable identity: every
@@ -58,34 +61,56 @@ std::uint64_t vocab_fingerprint(const tokenizer::BpeTokenizer& tok);
 std::optional<ArtifactKey> derive_artifact_key(
     const SimpleSearchQuery& query, const tokenizer::BpeTokenizer& tok);
 
-// RELM_ARTIFACT v1 container — a versioned envelope around two RELM_DFA
-// sections plus the TokenAutomaton metadata:
+// RELM_ARTIFACT v2 container — a versioned envelope around two RELM_DFA
+// sections plus the TokenAutomaton metadata and per-state mask tables:
 //
-//   RELM_ARTIFACT v1
+//   RELM_ARTIFACT v2
 //   key <32 hex>
 //   vocab <16 hex>
 //   strategy <all|canonical>
 //   prefix_dynamic_canonical <0|1>
 //   body_dynamic_canonical <0|1>
 //   checksum <16 hex>          (structural hash over both DFAs + flags)
+//   masks_checksum <16 hex>    (hash over both mask tables)
 //   prefix
 //   RELM_DFA v1 ...
+//   RELM_MASKS v1 ...          (dense bitmask words + CSR edge index)
 //   body
 //   RELM_DFA v1 ...
+//   RELM_MASKS v1 ...
 //
 // load_artifact validates the version, every field, both DFA sections
-// (hardened automata::load_dfa), and the payload checksum, throwing
-// relm::Error with a located diagnostic on any mismatch — a truncated or
-// bit-flipped file is always detected, never half-loaded.
+// (hardened automata::load_dfa), the payload checksums, and — for every
+// non-empty mask section — that the persisted masks equal the edge set
+// recomputed from the DFA (core::masks_mismatch), throwing relm::Error with
+// a located diagnostic on any mismatch: a truncated or bit-flipped file is
+// always detected, never half-loaded, and a forged mask section can never
+// silently steer the executor off the automaton.
+//
+// v1 files (written before the mask pass existed) still load: their masks
+// are recomputed from the deserialized automata under the same budget rule
+// the compile pipeline uses, so a v1 artifact drives the executors
+// bit-identically to a fresh v2 compile of the same query.
 void save_artifact(const QueryArtifact& artifact, std::ostream& out);
 QueryArtifact load_artifact(std::istream& in);
+
+// Writes the legacy v1 container (no mask sections). Kept for the
+// backward-compatibility tests and for generating v1 fixtures; production
+// code always writes the current version via save_artifact.
+void save_artifact_v1(const QueryArtifact& artifact, std::ostream& out);
 
 void save_artifact_file(const QueryArtifact& artifact, const std::string& path);
 QueryArtifact load_artifact_file(const std::string& path);
 
 // The checksum stored in the container: structural hash of both automata
 // and their flags (not the key/fingerprint header lines, which are covered
-// by their own validation).
+// by their own validation). Deliberately excludes the mask tables — it is
+// the same value a v1 writer would have stored, which is what lets one
+// checksum definition cover both container versions.
 std::uint64_t artifact_checksum(const QueryArtifact& artifact);
+
+// Hash over both mask tables (dimensions, bitmask words, CSR arrays); the
+// v2 container's masks_checksum header field.
+std::uint64_t artifact_masks_checksum(const QueryArtifact& artifact);
 
 }  // namespace relm::core::pipeline

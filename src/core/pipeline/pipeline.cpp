@@ -4,6 +4,7 @@
 #include "automata/ops.hpp"
 #include "automata/regex_parser.hpp"
 #include "automata/thompson.hpp"
+#include "core/token_masks.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
@@ -108,6 +109,23 @@ class TokenLiftPass : public Pass {
   }
 };
 
+class TokenMasksPass : public Pass {
+ public:
+  const char* name() const override { return "token_masks"; }
+  void run(CompileState& s) const override {
+    RELM_TRACE_SPAN("compile.pass.token_masks");
+    // Combined budget for both tables: masks are all-or-nothing per artifact
+    // so the executors never mix fast and slow paths within one query. The
+    // budget depends only on the automata (never on executor flags), keeping
+    // cached/fresh/reloaded compiles byte-identical.
+    const std::size_t bytes = token_mask_table_bytes(s.prefix_tokens->dfa) +
+                              token_mask_table_bytes(s.body_tokens->dfa);
+    if (bytes > kTokenMaskBudgetBytes) return;
+    s.prefix_tokens->masks = build_token_masks(s.prefix_tokens->dfa);
+    s.body_tokens->masks = build_token_masks(s.body_tokens->dfa);
+  }
+};
+
 class AssemblePass : public Pass {
  public:
   const char* name() const override { return "assemble"; }
@@ -135,6 +153,7 @@ const Pipeline& Pipeline::standard() {
     p.add(std::make_unique<MinimizePass>());
     p.add(std::make_unique<PreprocessPass>());
     p.add(std::make_unique<TokenLiftPass>());
+    p.add(std::make_unique<TokenMasksPass>());
     p.add(std::make_unique<AssemblePass>());
     return p;
   }();

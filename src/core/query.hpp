@@ -62,6 +62,13 @@ struct SimpleSearchQuery {
   std::size_t max_sample_attempts_factor = 16;  // retries per requested sample
   std::size_t beam_width = 8;           // beam search: live paths per step
 
+  // Use the precompiled per-state token bitmasks (the token_masks pipeline
+  // pass): executors intersect the decoding-rule mask with the state's mask
+  // word-wise and visit only surviving bits instead of probing every edge.
+  // An executor flag, not a compile input — it is deliberately excluded from
+  // the artifact cache key, and the outputs are identical either way.
+  bool use_token_masks = true;
+
   // Shortest path: nodes expanded per model round. 1 = strict Dijkstra.
   // Larger values batch frontier expansions through
   // LanguageModel::next_log_probs_batch — the CPU analogue of the paper's

@@ -9,10 +9,32 @@
 
 namespace relm::model {
 
-std::vector<bool> allowed_tokens(std::span<const double> log_probs,
+namespace {
+
+// The shared rank order for decoding rules: u precedes t on higher
+// probability, ties on lower token id. Both allowed_tokens and token_allowed
+// use exactly this order, so the two always agree on set membership — even on
+// distributions full of exact ties (uniform models), where an unspecified
+// nth_element partition would make them diverge.
+inline bool rank_before(std::span<const double> lp, std::size_t a,
+                        std::size_t b) {
+  return lp[a] > lp[b] || (lp[a] == lp[b] && a < b);
+}
+
+void validate_top_k(int k) {
+  if (k <= 0) throw relm::Error("top_k must be positive");
+}
+
+void validate_top_p(double p) {
+  if (p <= 0.0 || p > 1.0) throw relm::Error("top_p must be in (0, 1]");
+}
+
+}  // namespace
+
+util::TokenBitset allowed_tokens(std::span<const double> log_probs,
                                  const DecodingRules& rules) {
   const std::size_t V = log_probs.size();
-  std::vector<bool> mask(V, true);
+  util::TokenBitset mask(V, true);
 
   std::vector<double> lp;
   std::span<const double> effective = log_probs;
@@ -23,39 +45,37 @@ std::vector<bool> allowed_tokens(std::span<const double> log_probs,
 
   if (rules.top_k) {
     int k = *rules.top_k;
-    if (k <= 0) throw relm::Error("top_k must be positive");
+    validate_top_k(k);
     if (static_cast<std::size_t>(k) < V) {
       std::vector<std::size_t> order(V);
       std::iota(order.begin(), order.end(), 0);
       std::nth_element(order.begin(), order.begin() + k, order.end(),
                        [&](std::size_t a, std::size_t b) {
-                         return effective[a] > effective[b];
+                         return rank_before(effective, a, b);
                        });
-      // Everything at rank >= k is cut. Ties at the boundary resolve by the
-      // nth_element partition, matching the "keep exactly k" convention.
-      std::fill(mask.begin(), mask.end(), false);
-      for (int i = 0; i < k; ++i) mask[order[i]] = true;
+      // Everything at rank >= k is cut; the deterministic tie order above
+      // makes "the first k" a well-defined set, not a partition accident.
+      mask.reset_all();
+      for (int i = 0; i < k; ++i) mask.set(order[i]);
     }
   }
 
   if (rules.top_p) {
     double p = *rules.top_p;
-    if (p <= 0.0 || p > 1.0) throw relm::Error("top_p must be in (0, 1]");
+    validate_top_p(p);
     std::vector<std::size_t> order(V);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return effective[a] > effective[b];
+      return rank_before(effective, a, b);
     });
     double mass = 0.0;
-    std::vector<bool> nucleus(V, false);
+    util::TokenBitset nucleus(V, false);
     for (std::size_t i = 0; i < V; ++i) {
-      nucleus[order[i]] = true;
+      nucleus.set(order[i]);
       mass += std::exp(effective[order[i]]);
       if (mass >= p) break;
     }
-    for (std::size_t t = 0; t < V; ++t) {
-      mask[t] = mask[t] && nucleus[t];
-    }
+    mask.and_with(nucleus);
   }
 
   return mask;
@@ -64,7 +84,57 @@ std::vector<bool> allowed_tokens(std::span<const double> log_probs,
 bool token_allowed(std::span<const double> log_probs, const DecodingRules& rules,
                    TokenId token) {
   if (rules.unrestricted()) return true;
-  return allowed_tokens(log_probs, rules)[token];
+  const std::size_t V = log_probs.size();
+  const std::size_t t = token;
+
+  // Temperature is a monotone transform (divide by T > 0, subtract a
+  // constant normalizer), so the rank order — and with it the top-k set — is
+  // decided on the raw log-probs; only the top-p mass needs the adjusted
+  // distribution.
+  if (rules.top_k) {
+    int k = *rules.top_k;
+    validate_top_k(k);
+    if (static_cast<std::size_t>(k) < V) {
+      std::size_t better = 0;
+      for (std::size_t u = 0; u < V; ++u) {
+        if (u != t && rank_before(log_probs, u, t)) ++better;
+      }
+      if (better >= static_cast<std::size_t>(k)) return false;
+    }
+  }
+
+  if (rules.top_p) {
+    double p = *rules.top_p;
+    validate_top_p(p);
+    // The nucleus admits a token iff the mass of strictly-better tokens is
+    // below p. Mass is computed under the temperature-adjusted normalized
+    // distribution with max-subtraction for stability — the same arithmetic
+    // apply_temperature performs, without materializing the O(V) buffer.
+    const double T = rules.temperature;
+    if (T <= 0.0) throw relm::Error("temperature must be positive");
+    double mass_before = 0.0;
+    if (T != 1.0) {
+      double max_e = -std::numeric_limits<double>::infinity();
+      for (std::size_t u = 0; u < V; ++u) max_e = std::max(max_e, log_probs[u] / T);
+      double z = 0.0;
+      for (std::size_t u = 0; u < V; ++u) z += std::exp(log_probs[u] / T - max_e);
+      const double log_z = max_e + std::log(z);
+      for (std::size_t u = 0; u < V; ++u) {
+        if (u != t && rank_before(log_probs, u, t)) {
+          mass_before += std::exp(log_probs[u] / T - log_z);
+        }
+      }
+    } else {
+      for (std::size_t u = 0; u < V; ++u) {
+        if (u != t && rank_before(log_probs, u, t)) {
+          mass_before += std::exp(log_probs[u]);
+        }
+      }
+    }
+    if (mass_before >= p) return false;
+  }
+
+  return true;
 }
 
 std::vector<double> apply_temperature(std::span<const double> log_probs,
@@ -85,7 +155,7 @@ std::vector<double> apply_temperature(std::span<const double> log_probs,
 }
 
 TokenId sample_token(std::span<const double> log_probs,
-                     const std::vector<bool>& mask, util::Pcg32& rng) {
+                     const util::TokenBitset& mask, util::Pcg32& rng) {
   std::vector<double> weights(log_probs.size(), 0.0);
   for (std::size_t t = 0; t < log_probs.size(); ++t) {
     if (mask.empty() || mask[t]) weights[t] = std::exp(log_probs[t]);
@@ -104,7 +174,7 @@ std::vector<TokenId> generate(const LanguageModel& model,
   for (std::size_t step = 0; step < max_new_tokens; ++step) {
     if (running.size() >= model.max_sequence_length()) break;
     std::vector<double> lp = model.next_log_probs(running);
-    std::vector<bool> mask = allowed_tokens(lp, rules);
+    util::TokenBitset mask = allowed_tokens(lp, rules);
     TokenId t = sample_token(lp, mask, rng);
     if (t >= model.vocab_size()) break;  // degenerate distribution
     running.push_back(t);

@@ -6,6 +6,7 @@
 
 #include "model/language_model.hpp"
 #include "util/rng.hpp"
+#include "util/token_bitset.hpp"
 
 namespace relm::model {
 
@@ -24,12 +25,21 @@ struct DecodingRules {
 // Mask of tokens admitted by the rules given full-vocabulary natural-log
 // probabilities. With no rules set, everything with p > 0 is allowed — the
 // paper's "vacuous" decision rule where nearly every string is in the
-// language.
-std::vector<bool> allowed_tokens(std::span<const double> log_probs,
+// language. Returned as a dense word-addressable bitset so the executors can
+// intersect it with the compiled per-state token masks word-wise (the
+// mask-and-scan fast path).
+//
+// Rank ties resolve by a fixed total order — token u precedes token t iff
+// lp_u > lp_t, or lp_u == lp_t and u < t — so the admitted set is a pure
+// function of the distribution, shared exactly with token_allowed().
+util::TokenBitset allowed_tokens(std::span<const double> log_probs,
                                  const DecodingRules& rules);
 
-// True iff `token` survives the rules (equivalent to allowed_tokens()[token]
-// but avoids materializing the mask when only one membership test is needed).
+// True iff `token` survives the rules: a single-membership test in O(vocab)
+// time with NO allocation — it never materializes the full mask (the oracle
+// calls this once per token per step; building the mask each time made that
+// O(vocab log vocab) with three temporaries per call). Agrees with
+// allowed_tokens()[token] via the shared tie-break order above.
 bool token_allowed(std::span<const double> log_probs, const DecodingRules& rules,
                    TokenId token);
 
@@ -38,9 +48,10 @@ std::vector<double> apply_temperature(std::span<const double> log_probs,
                                       double temperature);
 
 // Samples a token from the distribution restricted to `mask` (renormalized).
-// Returns vocab_size if the masked distribution has zero mass.
+// An empty (default-constructed) bitset means "no restriction". Returns
+// vocab_size if the masked distribution has zero mass.
 TokenId sample_token(std::span<const double> log_probs,
-                     const std::vector<bool>& mask, util::Pcg32& rng);
+                     const util::TokenBitset& mask, util::Pcg32& rng);
 
 // Free-running generation: extends `context` by up to `max_new_tokens`
 // tokens sampled under the rules, stopping early on EOS. Returns only the

@@ -201,6 +201,18 @@ TrialReport run_trial(const TrialCase& trial,
       if (!check_config(out, "artifact-io")) return report;
     }
 
+    // Configuration E: token-mask fast path disabled. Plain runs with the
+    // precompiled per-state bitmasks (the default); this run takes the
+    // per-edge probe path instead. Any divergence means the mask-and-scan
+    // expansion is not a faithful replacement for edge probing.
+    {
+      SimpleSearchQuery no_masks = query;
+      no_masks.use_token_masks = false;
+      ExecutorOutputs out =
+          run_executors(*base_model, compiled, no_masks, trial.sampler_seed);
+      if (!check_config(out, "masks-off")) return report;
+    }
+
     // Oracle comparison (on the plain configuration, optionally mutated for
     // harness self-tests).
     apply_mutation(plain.shortest1, options.mutate);

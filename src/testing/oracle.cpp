@@ -88,7 +88,7 @@ struct Walker {
     ++width_at_depth[depth];
 
     const std::vector<double>& lp = scores.log_probs(tokens);
-    std::vector<bool> mask;
+    util::TokenBitset mask;
     if (!query.decoding.unrestricted()) {
       mask = model::allowed_tokens(lp, query.decoding);
     }

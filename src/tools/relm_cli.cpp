@@ -11,6 +11,7 @@
 //               [--results N] [--samples N] [--require-eos] [--seed N]
 //               [--threads N] [--cache-capacity N] [--batch N]
 //               [--compile-cache [DIR]] [--no-compile-cache]
+//               [--no-token-masks]
 //               [--trace-out FILE] [--trace-jsonl FILE] [--metrics]
 //       Run a ReLM query against a saved model and stream the matches.
 //       (`relm run` is an alias.)
@@ -19,6 +20,9 @@
 //       logit cache (default 65536 entries, 0 disables); --batch sets the
 //       shortest-path frontier expansion batch (default 1 = strict
 //       Dijkstra). See docs/PERFORMANCE.md.
+//       --no-token-masks disables the precomputed per-state token bitmask
+//       fast path (mask-and-scan) and uses the per-edge probe loop instead;
+//       results are identical, only the executor hot-loop cost changes.
 //       --compile-cache persists compiled query artifacts to DIR (default
 //       .relm-cache) so repeated queries skip compilation entirely;
 //       --no-compile-cache disables the artifact cache (memory and disk).
@@ -242,6 +246,10 @@ core::SimpleSearchQuery query_from_flags(const Args& args) {
     query.preprocessors.push_back(std::make_shared<core::LevenshteinPreprocessor>(
         static_cast<int>(edits)));
   }
+  // --no-token-masks falls back to the per-edge probe path in the executors
+  // (outputs are identical either way; the flag exists for benchmarking and
+  // for bisecting fast-path suspicions in the field).
+  if (args.has("no-token-masks")) query.use_token_masks = false;
   return query;
 }
 

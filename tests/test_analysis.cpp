@@ -448,7 +448,7 @@ TEST(CheckQueryArtifact, FlagsAlphabetSplit) {
   // Replace the prefix machine with one over a different alphabet.
   Dfa other(7);
   other.set_start(other.add_state(true));
-  artifact.prefix = core::TokenAutomaton{std::move(other), false};
+  artifact.prefix = core::TokenAutomaton{std::move(other), false, {}};
   InvariantReport report;
   check_query_artifact(artifact, /*tok=*/nullptr, report);
   EXPECT_TRUE(report.has("artifact.alphabet")) << report.to_string();

@@ -293,7 +293,8 @@ TEST(Decoding, TemperatureSharpens) {
 TEST(Decoding, SampleTokenHonorsMask) {
   util::Pcg32 rng(11);
   std::vector<double> lp{std::log(0.9), std::log(0.05), std::log(0.05)};
-  std::vector<bool> mask{false, true, true};
+  util::TokenBitset mask(3, true);
+  mask.reset(0);
   for (int i = 0; i < 200; ++i) {
     tokenizer::TokenId t = sample_token(lp, mask, rng);
     EXPECT_NE(t, 0u);
@@ -304,7 +305,7 @@ TEST(Decoding, SampleTokenHonorsMask) {
 TEST(Decoding, SampleTokenZeroMass) {
   util::Pcg32 rng(11);
   std::vector<double> lp{std::log(1.0)};
-  std::vector<bool> mask{false};
+  util::TokenBitset mask(1, false);
   EXPECT_EQ(sample_token(lp, mask, rng), 1u);
 }
 

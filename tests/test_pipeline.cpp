@@ -106,7 +106,7 @@ TEST(Pipeline, StandardPassSequence) {
   EXPECT_THAT(names,
               testing::ElementsAre("parse", "thompson", "determinize",
                                    "minimize", "preprocess", "token_lift",
-                                   "assemble"));
+                                   "token_masks", "assemble"));
 }
 
 TEST(Pipeline, RunRecordsEveryPass) {
@@ -114,7 +114,7 @@ TEST(Pipeline, RunRecordsEveryPass) {
       make_query("(cat)|(dog)", TokenizationStrategy::kCanonicalTokens);
   core::pipeline::CompileResult result =
       core::pipeline::Pipeline::standard().run(query, fixture_tokenizer());
-  ASSERT_EQ(result.passes.size(), 7u);
+  ASSERT_EQ(result.passes.size(), 8u);
   EXPECT_STREQ(result.passes.front().name, "parse");
   EXPECT_STREQ(result.passes.back().name, "assemble");
   for (const auto& record : result.passes) {
