@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "experiments/setup.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +39,36 @@ inline void print_bench_json_footer(const std::string& bench,
               "\"wall_seconds\":%.4f,\"metrics\":%s}\n",
               bench.c_str(), experiments::bench_scale_from_env(), wall_seconds,
               metrics_json().c_str());
+}
+
+// Thread-count sweep list from RELM_BENCH_THREADS (space- or comma-
+// separated, e.g. "1 2 4 8"); scripts/bench.sh sets the default. Malformed
+// or non-positive entries are skipped; an empty result falls back to {1}.
+inline std::vector<std::size_t> bench_threads_from_env(
+    const char* fallback = "1 2 4 8") {
+  const char* env = std::getenv("RELM_BENCH_THREADS");
+  std::string spec = env && *env ? env : fallback;
+  for (char& c : spec) {
+    if (c == ',') c = ' ';
+  }
+  std::vector<std::size_t> threads;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    while (pos < spec.size() && spec[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < spec.size() && spec[end] != ' ') ++end;
+    if (end > pos) {
+      char* stop = nullptr;
+      const std::string item = spec.substr(pos, end - pos);
+      const unsigned long v = std::strtoul(item.c_str(), &stop, 10);
+      if (stop && *stop == '\0' && v > 0) {
+        threads.push_back(static_cast<std::size_t>(v));
+      }
+    }
+    pos = end;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

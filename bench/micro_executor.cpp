@@ -103,6 +103,10 @@ core::SimpleSearchQuery url_query(std::optional<int> top_k) {
   query.max_results = 50;
   query.max_expansions = 400;
   query.sequence_length = 20;
+  // The BM_ShortestPath* benchmarks measure the lockstep paths their names
+  // promise (and the bench-gate pins BM_ShortestPath at 3%); the async
+  // pipeline is priced separately by BM_ShortestPathPipeline.
+  query.speculative_expansion = false;
   return query;
 }
 
@@ -145,6 +149,42 @@ void BM_ShortestPathBatchedCached(benchmark::State& state) {
   util::ThreadPool::set_shared_threads(1);
 }
 BENCHMARK(BM_ShortestPathBatchedCached)->Arg(1)->Arg(2)->Arg(4);
+
+// The async frontier pipeline on the same URL query: speculative expansion
+// with the target-occupancy controller, suffix-keyed cache, and the rule-mask
+// memo. Arg(0) is the thread count. Compare against BM_ShortestPathTopK40
+// (strict serial) and BM_ShortestPathBatchedCached (lockstep batching).
+void BM_ShortestPathPipeline(benchmark::State& state) {
+  util::ThreadPool::set_shared_threads(static_cast<std::size_t>(state.range(0)));
+  core::SimpleSearchQuery query = url_query(40);
+  query.speculative_expansion = true;
+  // Shared across iterations like the logit cache below: suffixes repeat
+  // across searches far more than within one, and a run reuses one memo the
+  // same way (SimpleSearchQuery::mask_memo).
+  query.mask_memo = std::make_shared<core::MaskMemo>();
+  core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world().tokenizer);
+  model::CachingModel cached(world().xl, 1 << 16);
+  std::size_t rounds = 0, expansions = 0, memo_hits = 0, memo_misses = 0;
+  for (auto _ : state) {
+    core::ShortestPathSearch search(cached, compiled, query);
+    benchmark::DoNotOptimize(search.all());
+    rounds += search.stats().pump_rounds;
+    expansions += search.stats().expansions;
+    memo_hits += search.stats().mask_memo_hits;
+    memo_misses += search.stats().mask_memo_misses;
+  }
+  state.counters["occupancy"] =
+      rounds > 0 ? static_cast<double>(expansions) / static_cast<double>(rounds)
+                 : 0.0;
+  state.counters["memo_hit_rate"] =
+      memo_hits + memo_misses > 0
+          ? static_cast<double>(memo_hits) /
+                static_cast<double>(memo_hits + memo_misses)
+          : 0.0;
+  util::ThreadPool::set_shared_threads(1);
+}
+BENCHMARK(BM_ShortestPathPipeline)->Arg(1)->Arg(2)->Arg(4);
 
 // The same query with the precompiled-bitmask fast path disabled: every
 // expansion returns to probing each automaton edge against the rule mask.

@@ -6,14 +6,18 @@
 # how to read it, and scripts/bench_compare.py for diffing two snapshots).
 #   scripts/bench.sh [scale]
 # Environment:
-#   RELM_BENCH_SCALE  workload scale for fig06 (overridden by argv[1])
-#   RELM_BENCH_OUT    output path (default BENCH_<date>.json in repo root)
-#   RELM_THREADS      default shared-pool size for the parallel batch API
+#   RELM_BENCH_SCALE    workload scale for fig06 (overridden by argv[1])
+#   RELM_BENCH_OUT      output path (default BENCH_<date>.json in repo root)
+#   RELM_THREADS        default shared-pool size for the parallel batch API
+#   RELM_BENCH_THREADS  fig06 async-pipeline thread sweep (default "1 2 4 8");
+#                       one pipeline_<t>_thread JSON section per entry
 set -e
 cd "$(dirname "$0")/.."
 SCALE="${1:-${RELM_BENCH_SCALE:-1.0}}"
 BUILD=build-bench
 OUT="${RELM_BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+RELM_BENCH_THREADS="${RELM_BENCH_THREADS:-1 2 4 8}"
+export RELM_BENCH_THREADS
 
 if command -v ninja >/dev/null 2>&1; then
   GEN="-G Ninja"; GEN_NAME="Ninja"

@@ -12,8 +12,12 @@ snapshots used the same scale.
 
 A benchmark regresses when its candidate time exceeds the baseline by more
 than the threshold (default 15%, tunable per benchmark with
---override REGEX=PCT; the first matching override wins). Exit status: 0 when
-nothing regressed, 1 on any regression, 2 on malformed input.
+--override REGEX=PCT; the first matching override wins). fig06's async-
+pipeline speedups (speedup_<t>_thread) and mean batch occupancy
+(pipeline_<t>_thread.batch_occupancy_mean) are higher-is-better: they
+regress when the candidate falls SHORT of the baseline by more than
+--gain-threshold (default 10%). Exit status: 0 when nothing regressed, 1 on
+any regression, 2 on malformed input.
 
 Typical use — local check against the committed baseline:
 
@@ -79,6 +83,29 @@ def fig06_times(snapshot):
     return out
 
 
+def fig06_higher_better(snapshot):
+    """Name -> value for fig06 metrics where LARGER is better.
+
+    Covers the async-pipeline speedups (``speedup_<t>_thread``, the ratio of
+    the strict serial wall time to the pipeline run at t threads) and the
+    achieved batch occupancy (``pipeline_<t>_thread.batch_occupancy_mean``,
+    mean model evaluations per pipeline round). A candidate value falling
+    short of the baseline by more than the threshold is a regression.
+    """
+    out = {}
+    fig06 = snapshot.get("fig06_throughput")
+    if not isinstance(fig06, dict):
+        return out
+    for key, value in fig06.items():
+        if re.fullmatch(r"speedup_\d+_thread", key) and \
+                isinstance(value, (int, float)):
+            out[f"fig06.{key}"] = float(value)
+        if isinstance(value, dict) and "batch_occupancy_mean" in value:
+            out[f"fig06.{key}.batch_occupancy_mean"] = \
+                float(value["batch_occupancy_mean"])
+    return out
+
+
 def parse_overrides(specs):
     overrides = []
     for spec in specs:
@@ -114,20 +141,28 @@ def main():
     parser.add_argument("--min-seconds", type=float, default=0.0,
                         help="skip fig06 comparisons whose baseline wall time "
                              "is below this (noise floor, default 0)")
+    parser.add_argument("--gain-threshold", type=float, default=10.0,
+                        help="allowed shortfall in percent for "
+                             "higher-is-better fig06 metrics (pipeline "
+                             "speedups, batch occupancy; default 10)")
     args = parser.parse_args()
 
     base = load_snapshot(args.baseline)
     cand = load_snapshot(args.candidate)
     overrides = parse_overrides(args.override)
 
-    comparisons = []  # (name, base_value, cand_value, unit)
+    # (name, base_value, cand_value, unit, higher_better). Lower-is-better
+    # entries (times) regress when the candidate exceeds the baseline;
+    # higher-is-better entries (speedups, occupancy) regress when the
+    # candidate falls short of it.
+    comparisons = []
     for suite in ("micro_executor", "micro_compiler"):
         base_times = gb_times(base, suite)
         cand_times = gb_times(cand, suite)
         for name in sorted(base_times):
             if name in cand_times:
                 comparisons.append((name, base_times[name], cand_times[name],
-                                    "ns"))
+                                    "ns", False))
             else:
                 print(f"note: {name} present in baseline only (removed?)")
         for name in sorted(set(cand_times) - set(base_times)):
@@ -143,7 +178,18 @@ def main():
                 print(f"note: skipping {name}: baseline "
                       f"{base_fig[name]:.3f}s below noise floor")
                 continue
-            comparisons.append((name, base_fig[name], cand_fig[name], "s"))
+            comparisons.append((name, base_fig[name], cand_fig[name], "s",
+                                False))
+        base_hib = fig06_higher_better(base)
+        cand_hib = fig06_higher_better(cand)
+        for name in sorted(base_hib):
+            if name in cand_hib:
+                comparisons.append((name, base_hib[name], cand_hib[name], "",
+                                    True))
+            else:
+                print(f"note: {name} present in baseline only (removed?)")
+        for name in sorted(set(cand_hib) - set(base_hib)):
+            print(f"note: {name} is new (no baseline)")
     else:
         print(f"note: scales differ (baseline {base.get('scale')} vs "
               f"candidate {cand.get('scale')}); skipping fig06 wall-time "
@@ -156,11 +202,17 @@ def main():
     width = max(len(name) for name, *_ in comparisons)
     print(f"{'benchmark':<{width}} {'baseline':>12} {'candidate':>12} "
           f"{'delta':>8} {'limit':>7}")
-    for name, base_v, cand_v, unit in comparisons:
-        limit = threshold_for(name, args.threshold, overrides)
+    for name, base_v, cand_v, unit, higher_better in comparisons:
+        if higher_better:
+            limit = args.gain_threshold
+        else:
+            limit = threshold_for(name, args.threshold, overrides)
         delta = ((cand_v - base_v) / base_v * 100.0) if base_v > 0 else 0.0
+        # delta is always "candidate relative to baseline"; the regressing
+        # direction depends on the metric.
+        regressed = (-delta if higher_better else delta) > limit
         flag = ""
-        if delta > limit:
+        if regressed:
             regressions.append((name, delta, limit))
             flag = "  << REGRESSION"
         print(f"{name:<{width}} {base_v:>10.1f}{unit:>2} {cand_v:>10.1f}"

@@ -36,8 +36,14 @@ def load_module():
 bench_compare = load_module()
 
 
-def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None):
-    """Builds a bench.sh-shaped snapshot from {name: real_time_ns}."""
+def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None,
+                fig06_raw=None):
+    """Builds a bench.sh-shaped snapshot from {name: real_time_ns}.
+
+    fig06 maps run name -> wall seconds; fig06_raw entries are merged into
+    the fig06_throughput dict verbatim (for scalar keys like
+    speedup_4_thread or sections with batch_occupancy_mean).
+    """
     snapshot = {
         suite: {
             "benchmarks": [
@@ -47,10 +53,11 @@ def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None):
     }
     if scale is not None:
         snapshot["scale"] = scale
-    if fig06 is not None:
+    if fig06 is not None or fig06_raw is not None:
         snapshot["fig06_throughput"] = {
-            key: {"wall_seconds": value} for key, value in fig06.items()
+            key: {"wall_seconds": value} for key, value in (fig06 or {}).items()
         }
+        snapshot["fig06_throughput"].update(fig06_raw or {})
     return snapshot
 
 
@@ -214,6 +221,106 @@ class Fig06Test(unittest.TestCase):
         code, out = run_compare(base, cand, "--min-seconds", "0.5")
         self.assertEqual(code, 0, out)
         self.assertIn("noise floor", out)
+
+
+class Fig06HigherBetterTest(unittest.TestCase):
+    """Async-pipeline gates: speedup_<t>_thread and batch occupancy are
+    higher-is-better — the candidate regresses by falling SHORT."""
+
+    @staticmethod
+    def pipeline_fig06(speedup_4, occupancy):
+        return {
+            "speedup_4_thread": speedup_4,
+            "pipeline_4_thread": {"wall_seconds": 1.0,
+                                  "batch_occupancy_mean": occupancy},
+        }
+
+    def test_parser_extracts_speedups_and_occupancy(self):
+        snap = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw={"speedup_4_thread": 2.5,
+                                      "speedup_8_thread": 2.7,
+                                      # batched keys and plural forms are
+                                      # wall-time sections, not gates
+                                      "speedup_batched_1_thread": 1.3,
+                                      "speedup_2_threads": 1.2,
+                                      "pipeline_4_thread": {
+                                          "wall_seconds": 1.0,
+                                          "batch_occupancy_mean": 12.0}})
+        hib = bench_compare.fig06_higher_better(snap)
+        self.assertEqual(hib, {
+            "fig06.speedup_4_thread": 2.5,
+            "fig06.speedup_8_thread": 2.7,
+            "fig06.pipeline_4_thread.batch_occupancy_mean": 12.0,
+        })
+
+    def test_speedup_shortfall_fails(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.0, 12.0))
+        # -20% against the default 10% gain threshold: regression.
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("fig06.speedup_4_thread", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_occupancy_shortfall_fails(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 8.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("batch_occupancy_mean", out)
+
+    def test_small_shortfall_within_gain_threshold_passes(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.3, 11.0))
+        # -8% speedup and -8.3% occupancy: both inside the 10% gate.
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_speedup_gain_is_not_a_regression(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.0, 10.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(4.0, 30.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_gain_threshold_flag_tightens(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.4, 12.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        code, out = run_compare(base, cand, "--gain-threshold", "2")
+        self.assertEqual(code, 1, out)
+
+    def test_scale_mismatch_skips_pipeline_gates(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=0.5,
+                           fig06_raw=self.pipeline_fig06(0.1, 0.1))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("scales differ", out)
+
+    def test_missing_pipeline_section_degrades_to_note(self):
+        # A baseline produced before the pipeline existed, or a candidate
+        # run with a narrower RELM_BENCH_THREADS sweep: notes, not failures.
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig06_raw=self.pipeline_fig06(2.5, 12.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0, fig06={})
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("present in baseline only", out)
+        code, out = run_compare(cand, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("is new", out)
 
 
 if __name__ == "__main__":

@@ -195,6 +195,13 @@ bool CompiledQuery::has_continuation(const StateSet& set) const {
 
 bool CompiledQuery::canonical_prefix_ok(std::span<const TokenId> body_tokens,
                                         const std::string& body_text) const {
+  CanonState state;
+  return canonical_prefix_advance(body_tokens, body_text, state);
+}
+
+bool CompiledQuery::canonical_prefix_advance(
+    std::span<const TokenId> body_tokens, std::string_view body_text,
+    CanonState& state) const {
   if (!artifact_->body.dynamic_canonical || body_tokens.empty()) return true;
 
   // Greedy longest-match decisions are final ("settled") at byte offset p as
@@ -203,20 +210,51 @@ bool CompiledQuery::canonical_prefix_ok(std::span<const TokenId> body_tokens,
   // path must agree with the canonical encoding on every settled decision;
   // the canonical token at p is the longest vocabulary match, so any
   // *different* valid token there is a strict deviation from canonical form.
+  // Resuming from `state` is sound because settled decisions depend only on
+  // bytes that were already visible when they settled.
   const std::size_t len = body_text.size();
   const std::size_t max_tok = tok_->max_token_length();
 
-  std::size_t canon_pos = 0;
-  std::size_t path_idx = 0;
+  std::size_t canon_pos = state.pos;
+  std::size_t path_idx = state.idx;
   while (canon_pos + max_tok <= len && path_idx < body_tokens.size()) {
-    auto match =
-        tok_->longest_match(std::string_view(body_text).substr(canon_pos));
+    auto match = tok_->longest_match(body_text.substr(canon_pos));
     if (!match) return true;  // byte outside vocab: cannot judge, do not prune
     if (body_tokens[path_idx] != *match) return false;
     canon_pos += tok_->token_string(*match).size();
     ++path_idx;
+    state.pos = static_cast<std::uint32_t>(canon_pos);
+    state.idx = static_cast<std::uint32_t>(path_idx);
   }
   return true;
+}
+
+bool CompiledQuery::canonical_body(std::span<const TokenId> body_tokens,
+                                   std::string_view body_text,
+                                   CanonState state) const {
+  if (!artifact_->body.dynamic_canonical) return true;
+
+  // The string is complete, so every greedy decision is final: continue the
+  // longest-match walk from the settled boundary and require the path tokens
+  // to reproduce it exactly, consuming the whole text. Equivalent to
+  // `encode(body_text) == body_tokens` (encode() is the same greedy walk)
+  // without re-walking the settled prefix or materializing either buffer.
+  const std::size_t len = body_text.size();
+  std::size_t pos = state.pos;
+  std::size_t idx = state.idx;
+  while (pos < len) {
+    auto match = tok_->longest_match(body_text.substr(pos));
+    if (!match) {
+      // encode() throws here too; a body built from vocabulary tokens can
+      // only hit this if the vocabulary lacks single-byte coverage.
+      throw relm::Error("byte not in tokenizer vocabulary during canonical "
+                        "finalization");
+    }
+    if (idx >= body_tokens.size() || body_tokens[idx] != *match) return false;
+    pos += tok_->token_string(*match).size();
+    ++idx;
+  }
+  return idx == body_tokens.size();
 }
 
 }  // namespace relm::core

@@ -115,6 +115,30 @@ class CompiledQuery {
   bool canonical_prefix_ok(std::span<const tokenizer::TokenId> body_tokens,
                            const std::string& body_text) const;
 
+  // Resumable form of canonical_prefix_ok. Settled greedy decisions are
+  // final, so a path that passed the check with `state` settled need not
+  // re-verify them when it grows: the child check resumes from the parent's
+  // state in O(newly settled decisions) instead of re-walking the whole body
+  // (which made per-path verification quadratic in depth). A default state
+  // means "nothing settled yet"; on return `state` holds the new settled
+  // boundary and is valid for every extension of (body_tokens, body_text).
+  struct CanonState {
+    std::uint32_t pos = 0;  // settled byte offset into body_text
+    std::uint32_t idx = 0;  // settled token index into body_tokens
+  };
+  bool canonical_prefix_advance(std::span<const tokenizer::TokenId> body_tokens,
+                                std::string_view body_text,
+                                CanonState& state) const;
+
+  // Emission-time finalization: true iff `body_tokens` IS the canonical
+  // (greedy longest-match) encoding of the complete `body_text`. `state` must
+  // be a settled boundary previously produced for this body by
+  // canonical_prefix_advance (default state = verify from scratch); only the
+  // unsettled tail is walked. Equivalent to re-encoding the text and
+  // comparing, without the two temporary buffers.
+  bool canonical_body(std::span<const tokenizer::TokenId> body_tokens,
+                      std::string_view body_text, CanonState state) const;
+
   const tokenizer::BpeTokenizer& tokenizer() const { return *tok_; }
   const pipeline::QueryArtifact& artifact() const { return *artifact_; }
   std::shared_ptr<const pipeline::QueryArtifact> shared_artifact() const {

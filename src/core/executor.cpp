@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relm::core {
 
@@ -31,6 +32,15 @@ struct ExecutorMetrics {
   obs::Counter& mask_pruned;
   obs::Counter& results;
   obs::Histogram& batch_size;
+  // Async-pipeline surface (docs/OBSERVABILITY.md): evaluations per pipeline
+  // round (the occupancy the controller achieved), nodes popped ahead of
+  // settlement, nodes deferred by the budget clamp, evaluations that never
+  // beat the last emission, and selections cut by the cost horizon.
+  obs::Histogram& batch_occupancy;
+  obs::Counter& speculative_expanded;
+  obs::Counter& speculative_cancelled;
+  obs::Counter& speculative_wasted;
+  obs::Counter& horizon_clips;
 
   static ExecutorMetrics& get() {
     static ExecutorMetrics m{
@@ -42,7 +52,13 @@ struct ExecutorMetrics {
         obs::Registry::instance().counter("executor.mask_pruned"),
         obs::Registry::instance().counter("executor.results"),
         obs::Registry::instance().histogram(
-            "executor.batch.size", obs::Histogram::default_size_bounds())};
+            "executor.batch.size", obs::Histogram::default_size_bounds()),
+        obs::Registry::instance().histogram(
+            "executor.batch_occupancy", obs::Histogram::default_size_bounds()),
+        obs::Registry::instance().counter("executor.speculative_expanded"),
+        obs::Registry::instance().counter("executor.speculative_cancelled"),
+        obs::Registry::instance().counter("executor.speculative_wasted"),
+        obs::Registry::instance().counter("executor.speculative_horizon_clips")};
     return m;
   }
 };
@@ -70,6 +86,22 @@ void fill_cache_stats(const model::LanguageModel& model,
   stats.cache_evictions = current->evictions - baseline.evictions;
 }
 
+// Fingerprint of everything a memoized decoding mask depends on besides the
+// context suffix: the rules and the vocabulary size.
+std::uint64_t mask_memo_tag(const model::DecodingRules& rules,
+                            std::size_t vocab) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  std::uint64_t tag = mix(0x726c6d5f6d61736bULL, vocab);
+  tag = mix(tag, rules.top_k ? static_cast<std::uint64_t>(*rules.top_k) + 1
+                             : 0);
+  tag = mix(tag, rules.top_p ? std::bit_cast<std::uint64_t>(*rules.top_p) + 1
+                             : 0);
+  tag = mix(tag, std::bit_cast<std::uint64_t>(rules.temperature));
+  return tag;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -79,8 +111,24 @@ void fill_cache_stats(const model::LanguageModel& model,
 ShortestPathSearch::ShortestPathSearch(const model::LanguageModel& model,
                                        const CompiledQuery& compiled,
                                        const SimpleSearchQuery& query)
-    : model_(model), compiled_(compiled), query_(query) {
+    : model_(model),
+      compiled_(compiled),
+      query_(query),
+      pipeline_(query.speculative_expansion) {
   cache_baseline_ = cache_baseline_of(model_, model_has_cache_);
+  if (pipeline_ && !query_.decoding.unrestricted()) {
+    // Masks are only valid for one (rules, vocabulary) combination; the tag
+    // lets a run share one memo across its queries while a mismatched memo
+    // silently degrades to a private (cold but correct) one.
+    const std::uint64_t tag = mask_memo_tag(query_.decoding,
+                                            model_.vocab_size());
+    if (query_.mask_memo && query_.mask_memo->bind_tag(tag)) {
+      mask_memo_ = query_.mask_memo;
+    } else {
+      mask_memo_ = std::make_shared<MaskMemo>();
+      mask_memo_->bind_tag(tag);
+    }
+  }
   Node root;
   root.set = compiled_.initial();
   root.parent = -1;
@@ -89,8 +137,16 @@ ShortestPathSearch::ShortestPathSearch(const model::LanguageModel& model,
   root.depth = 0;
   root.body_len = 0;
   root.terminal = false;
+  // The node arena grows to roughly branching × expansions; pre-sizing it
+  // keeps retirement from stalling on arena reallocation mid-round.
+  nodes_.reserve(std::min<std::size_t>(
+      std::max<std::size_t>(query_.max_expansions, 1024), 1u << 16));
   nodes_.push_back(root);
-  frontier_.push(QueueEntry{0.0, 0});
+  if (pipeline_) {
+    pipe_frontier_.push(0.0, 0);
+  } else {
+    frontier_.push(QueueEntry{0.0, 0});
+  }
 }
 
 std::vector<TokenId> ShortestPathSearch::path_of(std::int32_t node) const {
@@ -103,16 +159,22 @@ std::vector<TokenId> ShortestPathSearch::path_of(std::int32_t node) const {
 }
 
 std::vector<TokenId> ShortestPathSearch::context_of(std::int32_t node) const {
+  std::vector<TokenId> context;
+  context_into(node, context);
+  return context;
+}
+
+void ShortestPathSearch::context_into(std::int32_t node,
+                                      std::vector<TokenId>& out) const {
   const std::size_t depth = nodes_[node].depth;
   const std::size_t len = std::min<std::size_t>(
       depth, model_.relevant_context_length());
-  std::vector<TokenId> context(len);
+  out.resize(len);
   std::int32_t cur = node;
   for (std::size_t i = len; i > 0; --i) {
-    context[i - 1] = nodes_[cur].token;
+    out[i - 1] = nodes_[cur].token;
     cur = nodes_[cur].parent;
   }
-  return context;
 }
 
 void ShortestPathSearch::refresh_cache_stats() {
@@ -211,6 +273,51 @@ void ShortestPathSearch::expand(std::int32_t node_id,
   }
 }
 
+// Queues `node_id` onto pending_results_ when it is a match (shared by the
+// lockstep and pipeline retirement paths; both call it for every settled
+// node, in deterministic order).
+void ShortestPathSearch::emit_if_result(std::int32_t id) {
+  const bool is_result =
+      nodes_[id].terminal ||
+      (!query_.require_eos && compiled_.is_match(nodes_[id].set));
+  if (!is_result) return;
+
+  // Only result nodes pay for a full path reconstruction.
+  std::vector<TokenId> tokens = path_of(id);
+  if (nodes_[id].terminal) tokens.pop_back();  // drop EOS from the tuple
+  std::string text = compiled_.tokenizer().decode(tokens);
+  // Final canonicality gate (§3.2 option 2): the incremental check can
+  // only reject *settled* deviations; at emission the string is complete,
+  // so the body tokens must equal the canonical encoding exactly.
+  if (compiled_.dynamic_canonical()) {
+    const std::uint32_t body_len = nodes_[id].body_len;
+    std::span<const TokenId> body(tokens.data() + (tokens.size() - body_len),
+                                  body_len);
+    // The body text is the tail of the already-decoded result text; the
+    // settled boundary carried on the node (default/empty for the lockstep
+    // path) lets the finalizer walk only the unsettled suffix.
+    std::size_t body_bytes = 0;
+    for (TokenId t : body) {
+      body_bytes += compiled_.tokenizer().token_string(t).size();
+    }
+    std::string_view body_text(text.data() + (text.size() - body_bytes),
+                               body_bytes);
+    if (!compiled_.canonical_body(body, body_text, nodes_[id].canon)) {
+      ++stats_.pruned_non_canonical;
+      return;
+    }
+  }
+  // No dedup here: a costlier encoding of a text can reach this point
+  // before a cheaper one is discovered (batched rounds pop ahead of
+  // discovery). Dedup happens at release time in next(), once the result
+  // is provably optimal.
+  stats_.elapsed_seconds = timer_.seconds();
+  pending_results_.push(PendingResult{
+      nodes_[id].cost,
+      SearchResult{std::move(tokens), std::move(text), -nodes_[id].cost,
+                   stats_.llm_calls, stats_.elapsed_seconds}});
+}
+
 void ShortestPathSearch::pump() {
   // Pop the best frontier nodes; evaluate their contexts in one model batch
   // (default batch size 1 = strict Dijkstra); expand; queue any matches.
@@ -252,39 +359,8 @@ void ShortestPathSearch::pump() {
 
   for (std::size_t i = 0; i < popped.size(); ++i) {
     std::int32_t id = popped[i];
-    bool is_result = nodes_[id].terminal ||
-                     (!query_.require_eos && compiled_.is_match(nodes_[id].set));
     if (!nodes_[id].terminal) expand(id, lps[eval_index[i]]);
-    if (!is_result) continue;
-
-    // Only result nodes pay for a full path reconstruction.
-    std::vector<TokenId> tokens = path_of(id);
-    if (nodes_[id].terminal) tokens.pop_back();  // drop EOS from the tuple
-    std::string text = compiled_.tokenizer().decode(tokens);
-    // Final canonicality gate (§3.2 option 2): the incremental check can
-    // only reject *settled* deviations; at emission the string is complete,
-    // so the body tokens must equal the canonical encoding exactly.
-    if (compiled_.dynamic_canonical()) {
-      std::uint32_t body_len = nodes_[id].body_len;
-      std::span<const TokenId> body(tokens.data() + (tokens.size() - body_len),
-                                    body_len);
-      std::string body_text = compiled_.tokenizer().decode(body);
-      std::vector<TokenId> canonical = compiled_.tokenizer().encode(body_text);
-      if (canonical.size() != body.size() ||
-          !std::equal(canonical.begin(), canonical.end(), body.begin())) {
-        ++stats_.pruned_non_canonical;
-        continue;
-      }
-    }
-    // No dedup here: a costlier encoding of a text can reach this point
-    // before a cheaper one is discovered (batched rounds pop ahead of
-    // discovery). Dedup happens at release time in next(), once the result
-    // is provably optimal.
-    stats_.elapsed_seconds = timer_.seconds();
-    pending_results_.push(PendingResult{
-        nodes_[id].cost,
-        SearchResult{std::move(tokens), std::move(text), -nodes_[id].cost,
-                     stats_.llm_calls, stats_.elapsed_seconds}});
+    emit_if_result(id);
   }
   refresh_cache_stats();
   metrics.llm_calls.add(eval_contexts.size());
@@ -298,33 +374,379 @@ void ShortestPathSearch::pump() {
   metrics.batch_size.observe(static_cast<double>(popped.size()));
 }
 
+// ---------------------------------------------------------------------------
+// Async pipeline (speculative_expansion)
+// ---------------------------------------------------------------------------
+
+void ShortestPathSearch::make_task(std::int32_t node_id,
+                                   SlotTask& task) const {
+  const Node& node = nodes_[node_id];
+  task.set = node.set;
+  task.cost = node.cost;
+  context_into(node_id, task.context);
+  task.body_prefix.clear();
+  task.body_text.clear();
+  task.canon = node.canon;
+  if (compiled_.dynamic_canonical()) {
+    // The body token subsequence is the last body_len tokens of the path;
+    // captured here because workers must not walk nodes_ (the coordinator
+    // reallocates it while they run).
+    task.body_prefix.resize(node.body_len);
+    std::int32_t cur = node_id;
+    for (std::size_t i = node.body_len; i > 0; --i) {
+      task.body_prefix[i - 1] = nodes_[cur].token;
+      cur = nodes_[cur].parent;
+    }
+    const tokenizer::BpeTokenizer& tok = compiled_.tokenizer();
+    for (TokenId id : task.body_prefix) {
+      task.body_text.append(tok.token_string(id));
+    }
+  }
+  task.suffix_hash = 0;
+  task.memo_mask = nullptr;
+  if (mask_memo_) {
+    task.suffix_hash = model::hash_tokens(task.context);
+    task.memo_mask = mask_memo_->probe(task.suffix_hash, task.context);
+  }
+}
+
+void ShortestPathSearch::evaluate_slot(const SlotTask& task,
+                                       SlotOutput& out) const {
+  out.mask.reset();
+  out.mask_from_memo = false;
+  out.has_eos = false;
+  out.eos_cost = 0.0;
+  out.mask_words = 0;
+  out.mask_pruned = 0;
+  out.pruned_rules = 0;
+  out.pruned_non_canonical = 0;
+  out.lp = model_.next_log_probs_shared(task.context);
+  const std::vector<double>& lp = *out.lp;
+  RELM_DCHECK(lp.size() == model_.vocab_size(),
+              "model distribution size must equal the vocabulary");
+
+  if (!query_.decoding.unrestricted()) {
+    if (task.memo_mask) {
+      out.mask = task.memo_mask;
+      out.mask_from_memo = true;
+    } else {
+      // Freshly allocated because the memo publishes it to later searches;
+      // the value-select variant still avoids the index permutation.
+      auto fresh = std::make_shared<util::TokenBitset>();
+      model::allowed_tokens_into(lp, query_.decoding, *fresh,
+                                 out.value_scratch);
+      out.mask = std::move(fresh);
+    }
+  }
+  // An empty bitset means "no restriction" (mirrors the lockstep path).
+  const util::TokenBitset* mask =
+      out.mask && !out.mask->empty() ? out.mask.get() : nullptr;
+
+  const bool fast = query_.use_token_masks && compiled_.has_masks();
+  if (fast) {
+    CompiledQuery::MaskExpandStats ms;
+    compiled_.expand_masked(task.set, mask, out.steps, ms);
+    out.mask_words = ms.words_scanned;
+    out.mask_pruned = ms.pruned;
+  } else {
+    out.steps = compiled_.expand(task.set);
+  }
+
+  std::size_t kept = 0;
+  out.canon_states.clear();
+  const bool check_canon = compiled_.dynamic_canonical();
+  if (check_canon) {
+    // Scratch = parent body + one placeholder slot, rewritten per step below
+    // (cheaper than re-assembling the prefix for every candidate token).
+    out.body_scratch.assign(task.body_prefix.begin(), task.body_prefix.end());
+    out.body_scratch.push_back(0);
+    out.text_scratch.assign(task.body_text);
+  }
+  const std::size_t text_base = task.body_text.size();
+  for (const CompiledQuery::Step& step : out.steps) {
+    if (!fast && !step.prefix_only && mask && !(*mask)[step.token]) {
+      ++out.pruned_rules;
+      continue;  // pruned, and transitively all its extensions (§3.3)
+    }
+    CompiledQuery::CanonState canon;  // default: body run resets
+    if (check_canon && step.body_advanced) {
+      // Child body = task body + this token; resume the settled-boundary
+      // check from the parent's state instead of re-walking the body
+      // (canonical_prefix_advance), on reused scratch buffers.
+      out.body_scratch.back() = step.token;
+      out.text_scratch.resize(text_base);
+      out.text_scratch.append(compiled_.tokenizer().token_string(step.token));
+      canon = task.canon;
+      const bool ok = compiled_.canonical_prefix_advance(
+          out.body_scratch, out.text_scratch, canon);
+      if (!ok) {
+        ++out.pruned_non_canonical;
+        continue;
+      }
+    }
+    RELM_DCHECK(step.token < lp.size(),
+                "compiled query emitted a token outside the vocabulary");
+    out.steps[kept] = step;
+    out.canon_states.push_back(canon);
+    ++kept;
+  }
+  out.steps.resize(kept);
+
+  if (query_.require_eos && compiled_.is_match(task.set)) {
+    const TokenId eos = model_.eos();
+    if (!mask || (*mask)[eos]) {
+      out.has_eos = true;
+      out.eos_cost = task.cost - lp[eos];
+    } else {
+      ++out.pruned_rules;
+    }
+  }
+}
+
+void ShortestPathSearch::pump_pipeline() {
+  RELM_TRACE_SPAN("executor.pump");
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  const std::size_t pruned_rules_before = stats_.pruned_by_rules;
+  const std::size_t pruned_non_canonical_before = stats_.pruned_non_canonical;
+  const std::size_t mask_words_before = stats_.mask_words_scanned;
+  const std::size_t mask_pruned_before = stats_.mask_pruned;
+  const std::size_t results_before = pending_results_.size();
+  const std::size_t seq_limit = std::min(
+      query_.sequence_length.value_or(model_.max_sequence_length()),
+      model_.max_sequence_length());
+  const bool restricted = !query_.decoding.unrestricted();
+
+  // ---- Selection: a pure function of (frontier, budget, knobs) — never of
+  // thread count or timing, which is what keeps outputs byte-identical
+  // across 1/2/4/8 threads.
+  const std::size_t target = std::max<std::size_t>(query_.target_occupancy, 1);
+  const std::size_t cap = std::max<std::size_t>(query_.max_in_flight, 1);
+  const std::size_t budget_left =
+      query_.max_expansions > stats_.expansions
+          ? query_.max_expansions - stats_.expansions
+          : 0;
+  // Occupancy controller: track frontier depth toward 2x the target (the
+  // classic keep-the-pipe-full setpoint), floor 1, ceiling max_in_flight.
+  const std::size_t want = std::min(
+      cap, std::max<std::size_t>(
+               1, std::min(pipe_frontier_.size(), 2 * target)));
+
+  round_slots_.clear();
+  round_tasks_.clear();
+  double round_min = 0.0;
+  bool have_min = false;
+  while (round_slots_.size() < want && !pipe_frontier_.empty()) {
+    const ShardedFrontier::Entry top = pipe_frontier_.min();
+    const std::int32_t id = static_cast<std::int32_t>(top.node);
+    if (nodes_[id].expanded) {  // defensive: ids are pushed exactly once
+      pipe_frontier_.pop();
+      continue;
+    }
+    if (!have_min) {
+      round_min = top.cost;
+      have_min = true;
+    } else if (top.cost > round_min + query_.speculation_horizon) {
+      // Speculating past the horizon is nearly always wasted: this node's
+      // children cannot settle before everything cheaper drains.
+      ++stats_.horizon_clips;
+      break;
+    }
+    const bool needs_eval =
+        !nodes_[id].terminal && nodes_[id].depth < seq_limit;
+    if (needs_eval && round_tasks_.size() >= budget_left) {
+      // Budget clamp mid-selection: defer the node (the first eval of a
+      // round is always admitted — next() only pumps with budget left — so
+      // this cannot stall the search).
+      ++stats_.speculative_cancelled;
+      break;
+    }
+    pipe_frontier_.pop();
+    nodes_[id].expanded = true;
+    std::size_t eval = SIZE_MAX;
+    if (needs_eval) {
+      eval = round_tasks_.size();
+      // Grow-and-fill instead of push_back: slots past the high-water mark
+      // are constructed once, then refilled in place every round.
+      if (round_tasks_.size() == eval) round_tasks_.resize(eval + 1);
+      make_task(id, round_tasks_[eval]);
+      nodes_[id].evaluated = true;
+    }
+    round_slots_.push_back(PipeSlot{id, eval});
+  }
+  if (round_slots_.empty()) return;
+  if (round_slots_.size() > 1) {
+    stats_.speculative_expanded += round_slots_.size() - 1;
+  }
+  const std::size_t n_tasks = round_tasks_.size();
+
+  // ---- Submission: one async batch, no barrier. Each task is a pure
+  // function of its SlotTask writing only its own output slot (the
+  // resize happens before submission; workers never touch the vectors
+  // themselves).
+  if (round_outputs_.size() < n_tasks) round_outputs_.resize(n_tasks);
+  util::ThreadPool::AsyncBatch batch;
+  if (n_tasks > 0) {
+    batch = util::ThreadPool::shared().submit(
+        n_tasks, [this](std::size_t i) {
+          evaluate_slot(round_tasks_[i], round_outputs_[i]);
+        });
+  }
+
+  // ---- Retirement, in submission order: slot i's children/match land
+  // while slots > i are still evaluating. All shared-state mutation (node
+  // allocation, frontier pushes, stats) happens here, on the coordinator.
+  for (const PipeSlot& slot : round_slots_) {
+    if (slot.eval == SIZE_MAX) {
+      emit_if_result(slot.node);
+      continue;
+    }
+    batch.wait(slot.eval);
+    batch.rethrow_if_error();
+    ++stats_.llm_calls;
+    ++stats_.expansions;
+    SlotOutput& out = round_outputs_[slot.eval];
+    stats_.mask_words_scanned += out.mask_words;
+    stats_.mask_pruned += out.mask_pruned;
+    stats_.pruned_by_rules += out.pruned_rules;
+    stats_.pruned_non_canonical += out.pruned_non_canonical;
+    if (restricted && out.mask) {
+      if (out.mask_from_memo) {
+        ++stats_.mask_memo_hits;
+      } else {
+        ++stats_.mask_memo_misses;
+        // The suffix is copied (not moved) into the memo so the reused
+        // task slot keeps its buffer capacity.
+        mask_memo_->insert(round_tasks_[slot.eval].suffix_hash,
+                           round_tasks_[slot.eval].context, out.mask);
+      }
+    }
+
+    const Node parent = nodes_[slot.node];  // copy: nodes_ reallocates below
+    for (std::size_t s = 0; s < out.steps.size(); ++s) {
+      const CompiledQuery::Step& step = out.steps[s];
+      Node child;
+      child.set = step.next;
+      child.parent = slot.node;
+      child.token = step.token;
+      child.cost = parent.cost - (*out.lp)[step.token];
+      RELM_DCHECK(!std::isnan(child.cost) && child.cost >= parent.cost - 1e-9,
+                  "Dijkstra edge costs must be non-negative (-log p)");
+      child.depth = parent.depth + 1;
+      child.body_len = step.body_advanced ? parent.body_len + 1 : 0;
+      child.canon = out.canon_states[s];
+      child.terminal = false;
+      nodes_.push_back(child);
+      pipe_frontier_.push(child.cost,
+                          static_cast<std::uint32_t>(nodes_.size() - 1));
+    }
+    if (out.has_eos) {
+      Node child = parent;
+      child.parent = slot.node;
+      child.token = model_.eos();
+      child.cost = out.eos_cost;
+      child.depth = parent.depth + 1;
+      child.terminal = true;
+      child.expanded = false;
+      child.evaluated = false;
+      nodes_.push_back(child);
+      pipe_frontier_.push(child.cost,
+                          static_cast<std::uint32_t>(nodes_.size() - 1));
+    }
+    emit_if_result(slot.node);
+  }
+  batch.wait_all();
+  batch.rethrow_if_error();
+
+  ++stats_.pump_rounds;
+  stats_.frontier_shard_steals = pipe_frontier_.shard_steals();
+  refresh_cache_stats();
+  metrics.llm_calls.add(n_tasks);
+  metrics.expansions.add(n_tasks);
+  metrics.pruned_rules.add(stats_.pruned_by_rules - pruned_rules_before);
+  metrics.pruned_non_canonical.add(stats_.pruned_non_canonical -
+                                   pruned_non_canonical_before);
+  metrics.mask_words_scanned.add(stats_.mask_words_scanned - mask_words_before);
+  metrics.mask_pruned.add(stats_.mask_pruned - mask_pruned_before);
+  metrics.results.add(pending_results_.size() - results_before);
+  metrics.batch_size.observe(static_cast<double>(round_slots_.size()));
+  if (n_tasks > 0) {
+    metrics.batch_occupancy.observe(static_cast<double>(n_tasks));
+  }
+  if (round_slots_.size() > 1) {
+    metrics.speculative_expanded.add(round_slots_.size() - 1);
+  }
+}
+
+bool ShortestPathSearch::frontier_empty() const {
+  return pipeline_ ? pipe_frontier_.empty() : frontier_.empty();
+}
+
+double ShortestPathSearch::frontier_min_cost() const {
+  return pipeline_ ? pipe_frontier_.min().cost : frontier_.top().cost;
+}
+
+void ShortestPathSearch::count_speculative_waste() {
+  if (!pipeline_ || waste_counted_) return;
+  waste_counted_ = true;
+  std::size_t wasted = 0;
+  for (const Node& node : nodes_) {
+    if (node.evaluated && (!any_emitted_ || node.cost > last_emitted_cost_)) {
+      ++wasted;
+    }
+  }
+  stats_.speculative_wasted = wasted;
+  ExecutorMetrics::get().speculative_wasted.add(wasted);
+}
+
 std::optional<SearchResult> ShortestPathSearch::next() {
   for (;;) {
-    // A pending match is settled once no frontier node is cheaper: every
-    // undiscovered path must extend some frontier node, so it can only cost
-    // more. When the expansion budget is spent the frontier is dead and the
-    // held-back matches drain in cost order. With batch size 1 a match is
-    // always settled the moment it pops (strict Dijkstra), so this releases
-    // immediately.
+    // A pending match is settled once no frontier node could still tie it:
+    // every undiscovered path must extend some frontier node, so it can only
+    // cost more. The comparison is STRICT — an equal-cost frontier node may
+    // itself be an undiscovered member of the same tie class, and holding the
+    // release until the whole class is pending makes tie emission follow the
+    // heap's canonical (cost, token-path) order instead of discovery order.
+    // Discovery order differs between the lockstep and speculative pipelines
+    // (and is why they would otherwise disagree on exact-cost ties); the
+    // settled class is identical in both, so draining it from the heap is
+    // what keeps their outputs byte-identical. When the expansion budget is
+    // spent the frontier is dead and the held-back matches drain in cost
+    // order.
     const bool budget_spent = stats_.expansions >= query_.max_expansions;
     while (!pending_results_.empty() &&
-           (budget_spent || frontier_.empty() ||
-            pending_results_.top().cost <= frontier_.top().cost)) {
-      if (emitted_ >= query_.max_results) return std::nullopt;
+           (budget_spent || frontier_empty() ||
+            pending_results_.top().cost < frontier_min_cost())) {
+      if (emitted_ >= query_.max_results) {
+        count_speculative_waste();
+        return std::nullopt;
+      }
       SearchResult result =
           std::move(const_cast<PendingResult&>(pending_results_.top()).result);
       pending_results_.pop();
       if (dedup_text_ && !emitted_texts_.insert(result.text).second) continue;
       ++emitted_;
+      last_emitted_cost_ = -result.log_prob;
+      any_emitted_ = true;
       return result;
     }
-    if (emitted_ >= query_.max_results) return std::nullopt;
-    if (budget_spent) return std::nullopt;
-    if (frontier_.empty()) {
-      stats_.elapsed_seconds = timer_.seconds();
+    if (emitted_ >= query_.max_results) {
+      count_speculative_waste();
       return std::nullopt;
     }
-    pump();
+    if (budget_spent) {
+      count_speculative_waste();
+      return std::nullopt;
+    }
+    if (frontier_empty()) {
+      stats_.elapsed_seconds = timer_.seconds();
+      count_speculative_waste();
+      return std::nullopt;
+    }
+    if (pipeline_) {
+      pump_pipeline();
+    } else {
+      pump();
+    }
   }
 }
 

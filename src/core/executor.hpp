@@ -1,15 +1,20 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "automata/walks.hpp"
 #include "core/compiled_query.hpp"
+#include "core/frontier.hpp"
+#include "core/mask_memo.hpp"
 #include "model/language_model.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/token_bitset.hpp"
 
 namespace relm::core {
 
@@ -35,6 +40,24 @@ struct SearchStats {
   std::size_t mask_pruned = 0;
   std::size_t sample_attempts = 0;     // random: attempts incl. dead ends
   std::size_t sample_dead_ends = 0;
+  // Async-pipeline counters (speculative_expansion; all zero in lockstep
+  // mode). pump_rounds counts pipeline rounds; speculative_expanded the
+  // nodes popped beyond the first per round (work done ahead of
+  // settlement); speculative_cancelled nodes deferred by the mid-selection
+  // expansion-budget clamp; horizon_clips selections cut by the cost
+  // horizon; speculative_wasted evaluations whose node cost exceeded the
+  // last emitted result (counted once, when the search ends).
+  std::size_t pump_rounds = 0;
+  std::size_t speculative_expanded = 0;
+  std::size_t speculative_cancelled = 0;
+  std::size_t speculative_wasted = 0;
+  std::size_t horizon_clips = 0;
+  std::size_t frontier_shard_steals = 0;
+  // Rule-mask memo activity (pipeline + restricted decoding): a hit reuses
+  // the decoding mask of a suffix-equal node instead of recomputing
+  // allowed_tokens over the whole vocabulary.
+  std::size_t mask_memo_hits = 0;
+  std::size_t mask_memo_misses = 0;
   // Logit-cache activity attributed to this search (deltas against the
   // model's counters at construction). All zero when the model does not
   // memoize (LanguageModel::cache_stats() returns nullopt).
@@ -47,6 +70,14 @@ struct SearchStats {
     const std::size_t total = cache_hits + cache_misses;
     return total ? static_cast<double>(cache_hits) / static_cast<double>(total)
                  : 0.0;
+  }
+
+  // Mean model evaluations per pipeline round — the occupancy the
+  // target-occupancy controller actually achieved (gated by bench_compare).
+  double mean_batch_occupancy() const {
+    return pump_rounds ? static_cast<double>(expansions) /
+                             static_cast<double>(pump_rounds)
+                       : 0.0;
   }
 };
 
@@ -83,13 +114,24 @@ class ShortestPathSearch {
     double cost;                // cumulative -log p
     std::uint32_t depth;
     std::uint32_t body_len;     // tokens consumed by the body machine
+    // Settled canonicality boundary of this node's body run (pipeline only):
+    // children resume the greedy-deviation check here instead of re-walking
+    // the whole body, keeping per-child verification O(newly settled).
+    CompiledQuery::CanonState canon;
     bool terminal;              // EOS attached; emit on pop
     bool expanded = false;
+    bool evaluated = false;     // consumed a model call (waste accounting)
   };
   struct QueueEntry {
     double cost;
     std::int32_t node;
-    bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+    // Ties break on node id — the same (cost, node_id) total order the
+    // pipeline's ShardedFrontier pops in, so lockstep and pipeline visit
+    // equal-cost nodes in the same sequence instead of heap-shape order.
+    bool operator>(const QueueEntry& other) const {
+      if (cost != other.cost) return cost > other.cost;
+      return node > other.node;
+    }
   };
 
   // A match held back until it is provably optimal. With expansion_batch > 1
@@ -101,34 +143,109 @@ class ShortestPathSearch {
   struct PendingResult {
     double cost;
     SearchResult result;
+    // Equal-cost results release in token-lexicographic order: a canonical
+    // tie-break that is a pure function of the result itself, so release
+    // order never depends on heap insertion order.
     bool operator>(const PendingResult& other) const {
-      return cost > other.cost;
+      if (cost != other.cost) return cost > other.cost;
+      return result.tokens > other.result.tokens;
     }
+  };
+
+  // Per-slot input/output of the async pipeline. A task is captured fully at
+  // selection time (coordinator) and evaluated by an arbitrary pool thread:
+  // it must not read nodes_ (which the coordinator reallocates while tasks
+  // run) or touch stats_; everything it needs travels by value and every
+  // side effect comes back in the SlotOutput.
+  struct SlotTask {
+    CompiledQuery::StateSet set;
+    double cost = 0.0;
+    std::vector<tokenizer::TokenId> context;      // model-relevant suffix
+    std::vector<tokenizer::TokenId> body_prefix;  // dynamic-canonical only
+    std::string body_text;  // decoded body_prefix (dynamic-canonical only)
+    CompiledQuery::CanonState canon;  // parent's settled boundary
+    std::uint64_t suffix_hash = 0;
+    std::shared_ptr<const util::TokenBitset> memo_mask;  // rule-mask memo hit
+  };
+  struct SlotOutput {
+    std::shared_ptr<const std::vector<double>> lp;
+    std::shared_ptr<const util::TokenBitset> mask;  // null when unrestricted
+    bool mask_from_memo = false;
+    std::vector<CompiledQuery::Step> steps;  // transitions surviving all rules
+    // canon_states[i] is the settled boundary for steps[i] after filtering
+    // (default for body resets); children inherit it at retirement.
+    std::vector<CompiledQuery::CanonState> canon_states;
+    bool has_eos = false;   // EOS closure fires for this node
+    double eos_cost = 0.0;
+    std::size_t mask_words = 0;
+    std::size_t mask_pruned = 0;
+    std::size_t pruned_rules = 0;
+    std::size_t pruned_non_canonical = 0;
+    std::vector<tokenizer::TokenId> body_scratch;  // reused per-step buffers
+    std::string text_scratch;
+    std::vector<double> value_scratch;  // allowed_tokens_into partition buffer
   };
 
   std::vector<tokenizer::TokenId> path_of(std::int32_t node) const;
   // The model-visible context for a node: the last
   // model_.relevant_context_length() tokens of its path (the full path when
   // the model's dependence is unbounded). Walking only the relevant suffix
-  // keeps per-pop cost O(window) instead of O(depth).
+  // keeps per-pop cost O(window) instead of O(depth). context_into writes
+  // into a caller-owned buffer so hot paths can reuse its capacity.
   std::vector<tokenizer::TokenId> context_of(std::int32_t node) const;
+  void context_into(std::int32_t node,
+                    std::vector<tokenizer::TokenId>& out) const;
   void expand(std::int32_t node_id, const std::vector<double>& lp);
   // Pops up to expansion_batch_size nodes, batch-evaluates their contexts,
-  // expands them, and pushes any matches onto pending_results_.
+  // expands them, and pushes any matches onto pending_results_. The lockstep
+  // path (speculative_expansion = false).
   void pump();
+  // The async pipeline round (speculative_expansion = true): deterministic
+  // selection up to the cost horizon / occupancy target, async submission,
+  // in-order retirement overlapping later slots' evaluation.
+  void pump_pipeline();
+  // Fill-in-place forms: the pipeline reuses one SlotTask/SlotOutput per
+  // round slot across rounds, so steady-state rounds allocate nothing.
+  void make_task(std::int32_t node_id, SlotTask& task) const;
+  void evaluate_slot(const SlotTask& task, SlotOutput& out) const;
+  void emit_if_result(std::int32_t node_id);
+  bool frontier_empty() const;
+  double frontier_min_cost() const;
+  void count_speculative_waste();
   void refresh_cache_stats();
 
   const model::LanguageModel& model_;
   const CompiledQuery& compiled_;
   const SimpleSearchQuery& query_;
+  const bool pipeline_;  // speculative_expansion: async pipeline vs lockstep
   std::vector<Node> nodes_;
   std::vector<CompiledQuery::Step> scratch_steps_;  // reused across expansions
+  // Lockstep mode's frontier; the pipeline uses the sharded one below.
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier_;
+  ShardedFrontier pipe_frontier_;
+  // Rule-mask memo (pipeline + restricted decoding only). The query's shared
+  // memo when its tag matches our rules + vocabulary, else a private one;
+  // null when unrestricted or lockstep (see core/mask_memo.hpp).
+  std::shared_ptr<MaskMemo> mask_memo_;
+  // Per-round pipeline scratch, reused across rounds (kept capacity is what
+  // makes steady-state rounds allocation-free). round_outputs_ slots are
+  // written by pool workers during a round — one writer per slot, joined by
+  // AsyncBatch::wait before the coordinator reads them.
+  struct PipeSlot {
+    std::int32_t node;
+    std::size_t eval;  // index into round_tasks_, or SIZE_MAX (no model call)
+  };
+  std::vector<PipeSlot> round_slots_;
+  std::vector<SlotTask> round_tasks_;
+  std::vector<SlotOutput> round_outputs_;
   std::unordered_set<std::string> emitted_texts_;
   std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
       pending_results_;
   std::size_t emitted_ = 0;
   bool dedup_text_ = true;
+  double last_emitted_cost_ = 0.0;
+  bool any_emitted_ = false;
+  bool waste_counted_ = false;
   SearchStats stats_;
   model::LanguageModel::CacheStats cache_baseline_;
   bool model_has_cache_ = false;

@@ -1,0 +1,113 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/errors.hpp"
+
+namespace relm::core {
+
+namespace {
+
+struct FrontierMetrics {
+  obs::Counter& shard_steals;
+
+  static FrontierMetrics& get() {
+    static FrontierMetrics m{
+        obs::Registry::instance().counter("frontier.shard_steals")};
+    return m;
+  }
+};
+
+// Max-heap comparator that puts the entry_less-minimum at the front.
+bool heap_after(const ShardedFrontier::Entry& a,
+                const ShardedFrontier::Entry& b) {
+  return ShardedFrontier::entry_less(b, a);
+}
+
+}  // namespace
+
+struct ShardedFrontier::Shard {
+  mutable util::Mutex mutex{util::LockRank::kFrontierShard};
+  std::vector<Entry> heap RELM_GUARDED_BY(mutex);
+  // Bumped under the lock on every mutation; the coordinator compares it
+  // against its cached snapshot to skip relocking quiescent shards.
+  std::atomic<std::uint64_t> version{0};
+};
+
+ShardedFrontier::ShardedFrontier()
+    : shards_(std::make_unique<Shard[]>(kShards)),
+      tops_(std::make_unique<CachedTop[]>(kShards)) {
+  FrontierMetrics::get();  // touch so the counter exists even for empty runs
+}
+
+ShardedFrontier::~ShardedFrontier() {
+  if (steals_ > 0) FrontierMetrics::get().shard_steals.add(steals_);
+}
+
+void ShardedFrontier::push(double cost, std::uint32_t node) {
+  Shard& shard = shards_[node & (kShards - 1)];
+  {
+    util::ScopedLock lock(shard.mutex);
+    shard.heap.push_back(Entry{cost, node});
+    std::push_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+    shard.version.fetch_add(1, std::memory_order_relaxed);
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedFrontier::refresh(std::size_t s) const {
+  Shard& shard = shards_[s];
+  CachedTop& cached = tops_[s];
+  const std::uint64_t version = shard.version.load(std::memory_order_relaxed);
+  if (cached.seen_version == version) return;
+  util::ScopedLock lock(shard.mutex);
+  // Re-read the version under the lock: a push may land between the relaxed
+  // load above and the acquire; the lock orders us after it.
+  cached.seen_version = shard.version.load(std::memory_order_relaxed);
+  cached.has = !shard.heap.empty();
+  if (cached.has) cached.top = shard.heap.front();
+}
+
+std::size_t ShardedFrontier::min_shard() const {
+  std::size_t best = kShards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    refresh(s);
+    if (!tops_[s].has) continue;
+    if (best == kShards || entry_less(tops_[s].top, tops_[best].top)) best = s;
+  }
+  return best;
+}
+
+bool ShardedFrontier::empty() const { return min_shard() == kShards; }
+
+ShardedFrontier::Entry ShardedFrontier::min() const {
+  const std::size_t s = min_shard();
+  RELM_DCHECK(s < kShards, "min() on an empty frontier");
+  return tops_[s].top;
+}
+
+ShardedFrontier::Entry ShardedFrontier::pop() {
+  const std::size_t s = min_shard();
+  RELM_DCHECK(s < kShards, "pop() on an empty frontier");
+  Shard& shard = shards_[s];
+  Entry out;
+  {
+    util::ScopedLock lock(shard.mutex);
+    out = shard.heap.front();
+    std::pop_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+    shard.heap.pop_back();
+    shard.version.fetch_add(1, std::memory_order_relaxed);
+    CachedTop& cached = tops_[s];
+    cached.seen_version = shard.version.load(std::memory_order_relaxed);
+    cached.has = !shard.heap.empty();
+    if (cached.has) cached.top = shard.heap.front();
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  if (last_shard_ != kShards && last_shard_ != s) ++steals_;
+  last_shard_ = s;
+  return out;
+}
+
+}  // namespace relm::core

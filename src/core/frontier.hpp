@@ -1,0 +1,91 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/sync.hpp"
+
+namespace relm::core {
+
+// Sharded min-frontier for the shortest-path executor's async pipeline.
+//
+// The frontier's total order is (cost, node_id): node ids are assigned in a
+// deterministic order by the (single) coordinator, so the pop sequence is a
+// pure function of search state — sharding changes which mutex a push takes,
+// never which entry pops next. That is what keeps the pipeline byte-identical
+// across 1/2/4/8 threads (the differential harness' thread-sweep
+// configuration enforces it).
+//
+// Concurrency contract: push() may be called from any thread and locks
+// exactly one shard (node & (kShards-1)); shard ranks are equal, so the rank
+// checker statically forbids holding two shards at once. empty/min/pop/size
+// are single-consumer (the coordinator): they read a private per-shard top
+// cache, re-reading a shard under its lock only when that shard's version
+// counter says it mutated since the last look. tests/test_core.cpp hammers
+// concurrent pushes against a popping coordinator under tsan.
+class ShardedFrontier {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  struct Entry {
+    double cost;
+    std::uint32_t node;
+  };
+
+  // Min order with the deterministic node-id tiebreak.
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.node < b.node;
+  }
+
+  ShardedFrontier();
+  ~ShardedFrontier();
+
+  ShardedFrontier(const ShardedFrontier&) = delete;
+  ShardedFrontier& operator=(const ShardedFrontier&) = delete;
+
+  // Thread-safe.
+  void push(double cost, std::uint32_t node);
+
+  // Coordinator only: true when every shard is empty.
+  bool empty() const;
+
+  // Coordinator only: the global minimum entry. Precondition: !empty().
+  Entry min() const;
+
+  // Coordinator only: removes and returns the global minimum entry.
+  // Precondition: !empty().
+  Entry pop();
+
+  // Total entries across shards (atomic tally; never takes a lock — the
+  // occupancy controller reads this every round).
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Pops served by a different shard than the previous pop (cross-shard
+  // hand-offs; surfaced as the frontier.shard_steals counter).
+  std::size_t shard_steals() const { return steals_; }
+
+ private:
+  struct Shard;
+
+  // Ensures tops_[s] reflects shard s's current minimum.
+  void refresh(std::size_t s) const;
+  std::size_t min_shard() const;
+
+  std::unique_ptr<Shard[]> shards_;
+  // Coordinator-private mirror of each shard's minimum. Lets min()/pop()
+  // scan kShards cached entries instead of taking kShards locks per pop.
+  struct CachedTop {
+    Entry top{0.0, 0};
+    bool has = false;
+    std::uint64_t seen_version = 0;
+  };
+  mutable std::unique_ptr<CachedTop[]> tops_;
+  std::atomic<std::size_t> size_{0};
+  std::size_t last_shard_ = kShards;  // shard that served the previous pop
+  std::size_t steals_ = 0;
+};
+
+}  // namespace relm::core

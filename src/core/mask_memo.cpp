@@ -1,0 +1,46 @@
+#include "core/mask_memo.hpp"
+
+#include <algorithm>
+
+namespace relm::core {
+
+namespace {
+// Bounds total entries across all buckets. Generous: an entry is one suffix
+// (a few tokens) plus one shared mask, so the memo stays a few MiB even at
+// the cap.
+constexpr std::size_t kMaskMemoCap = 8192;
+}  // namespace
+
+bool MaskMemo::bind_tag(std::uint64_t tag) {
+  if (!tag_) {
+    tag_ = tag;
+    return true;
+  }
+  return *tag_ == tag;
+}
+
+MaskMemo::Mask MaskMemo::probe(
+    std::uint64_t hash, std::span<const tokenizer::TokenId> suffix) const {
+  auto it = map_.find(hash);
+  if (it == map_.end()) return nullptr;
+  for (const Entry& entry : it->second) {
+    if (entry.suffix.size() == suffix.size() &&
+        std::equal(entry.suffix.begin(), entry.suffix.end(), suffix.begin())) {
+      return entry.mask;
+    }
+  }
+  return nullptr;
+}
+
+void MaskMemo::insert(std::uint64_t hash,
+                      std::vector<tokenizer::TokenId> suffix, Mask mask) {
+  if (probe(hash, suffix)) return;  // same suffix retired twice in a round
+  if (entries_ >= kMaskMemoCap) {
+    map_.clear();
+    entries_ = 0;
+  }
+  map_[hash].push_back(Entry{std::move(suffix), std::move(mask)});
+  ++entries_;
+}
+
+}  // namespace relm::core

@@ -11,6 +11,8 @@
 
 namespace relm::core {
 
+class MaskMemo;
+
 // The regex portion of a query (Fig 11): the full pattern plus the prefix
 // sub-pattern. The prefix is itself a regular expression; it is "defined to
 // be in the language" (§2.4) — decoding rules never prune it — and the
@@ -77,6 +79,38 @@ struct SimpleSearchQuery {
   // frontier node can beat them, so emission stays exact
   // most-probable-first.
   std::size_t expansion_batch_size = 1;
+
+  // Shortest path: run the asynchronous producer/consumer pipeline instead
+  // of pop-batch-settle lockstep. The coordinator speculatively pops nodes
+  // ahead of settlement (up to `speculation_horizon` beyond the round's
+  // minimum cost), submits their model evaluations as an async batch, and
+  // retires slots in submission order while later slots still evaluate.
+  // Batch size tracks frontier depth via `target_occupancy` (replacing the
+  // fixed expansion_batch_size, which only the lockstep path reads). All
+  // scheduling decisions are pure functions of search state — never thread
+  // count — so outputs are byte-identical to the lockstep path and across
+  // 1/2/4/8 threads (enforced by the differential harness).
+  bool speculative_expansion = true;
+
+  // Pipeline: hard cap on nodes popped per round (bounds wasted speculative
+  // work after the last true match).
+  std::size_t max_in_flight = 64;
+
+  // Pipeline: the controller aims to keep this many evaluations in flight;
+  // per-round batch = min(max_in_flight, max(1, min(frontier, 2*target))).
+  std::size_t target_occupancy = 16;
+
+  // Pipeline: nodes costlier than round_min + horizon are left for a later
+  // round. Speculating past this is nearly always wasted (their children
+  // cannot settle soon); executor.speculative.horizon_clips counts the cut.
+  double speculation_horizon = 8.0;
+
+  // Pipeline + restricted decoding: optional decoding-mask memo shared
+  // across the sequential searches of a run (core/mask_memo.hpp). Suffixes
+  // repeat mostly ACROSS searches, so sharing lifts the memo hit rate to the
+  // logit cache's. Null = the search builds a private memo. The executor
+  // fingerprints rules + vocabulary and ignores a mismatched memo.
+  std::shared_ptr<MaskMemo> mask_memo;
 
   // Random sampling: weigh prefix edges by walk counts (the paper's
   // normalization, Appendix C). Disabled only by the Figure 9 ablation.

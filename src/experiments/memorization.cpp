@@ -77,6 +77,11 @@ MemorizationRun run_relm_url_extraction(const World& world,
   if (options.expansion_batch > 1) {
     query.expansion_batch_size = options.expansion_batch;
   }
+  query.speculative_expansion = options.speculative;
+  if (options.speculative) {
+    query.target_occupancy = options.target_occupancy;
+    query.max_in_flight = options.max_in_flight;
+  }
 
   // Non-owning view of the caller's model; the CachingModel wrapper (when
   // requested) shares it without taking ownership.

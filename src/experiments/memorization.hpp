@@ -47,6 +47,12 @@ struct RelmRunOptions {
   std::string label = "relm";
   std::size_t expansion_batch = 1;
   std::size_t cache_capacity = 0;
+  // Async frontier pipeline (core::SimpleSearchQuery::speculative_expansion).
+  // Off by default so the paper comparison keeps the strict serial Dijkstra;
+  // the engine-optimization rows in fig06 turn it on per thread count.
+  bool speculative = false;
+  std::size_t target_occupancy = 16;
+  std::size_t max_in_flight = 64;
 };
 
 // ReLM: shortest-path over the URL pattern with prefix https://www. and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 
@@ -79,6 +80,42 @@ util::TokenBitset allowed_tokens(std::span<const double> log_probs,
   }
 
   return mask;
+}
+
+void allowed_tokens_into(std::span<const double> log_probs,
+                         const DecodingRules& rules, util::TokenBitset& mask,
+                         std::vector<double>& scratch) {
+  const std::size_t V = log_probs.size();
+  if (!rules.top_k || rules.top_p || rules.temperature != 1.0 ||
+      static_cast<std::size_t>(*rules.top_k) >= V) {
+    mask = allowed_tokens(log_probs, rules);
+    return;
+  }
+  const int k = *rules.top_k;
+  validate_top_k(k);
+  if (mask.size() != V) mask = util::TokenBitset(V, false);
+  else mask.reset_all();
+
+  // Partition copied values to find the k-th largest, then admit everything
+  // strictly above it plus just enough ties in ascending token id — exactly
+  // the first k of the rank_before order allowed_tokens uses.
+  scratch.assign(log_probs.begin(), log_probs.end());
+  std::nth_element(scratch.begin(), scratch.begin() + (k - 1), scratch.end(),
+                   std::greater<double>());
+  const double kth = scratch[static_cast<std::size_t>(k) - 1];
+  std::size_t taken = 0;
+  for (std::size_t t = 0; t < V; ++t) {
+    if (log_probs[t] > kth) {
+      mask.set(t);
+      ++taken;
+    }
+  }
+  for (std::size_t t = 0; t < V && taken < static_cast<std::size_t>(k); ++t) {
+    if (log_probs[t] == kth) {
+      mask.set(t);
+      ++taken;
+    }
+  }
 }
 
 bool token_allowed(std::span<const double> log_probs, const DecodingRules& rules,

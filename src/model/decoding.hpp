@@ -35,6 +35,18 @@ struct DecodingRules {
 util::TokenBitset allowed_tokens(std::span<const double> log_probs,
                                  const DecodingRules& rules);
 
+// Scratch-reusing equivalent of allowed_tokens for hot per-expansion loops
+// (the async pipeline computes one mask per settled node). Produces a mask
+// bit-identical to allowed_tokens — same tie order — but for the common
+// top-k-only / temperature-1 rule it selects on values directly (one
+// nth_element over a reused double buffer plus a threshold scan) instead of
+// permuting an index vector, and it writes into a caller-owned bitset so the
+// O(vocab) allocations amortize away. Falls back to allowed_tokens for any
+// other rule combination.
+void allowed_tokens_into(std::span<const double> log_probs,
+                         const DecodingRules& rules, util::TokenBitset& mask,
+                         std::vector<double>& scratch);
+
 // True iff `token` survives the rules: a single-membership test in O(vocab)
 // time with NO allocation — it never materializes the full mask (the oracle
 // calls this once per token per step; building the mask each time made that

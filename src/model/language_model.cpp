@@ -44,6 +44,11 @@ std::vector<std::vector<double>> LanguageModel::next_log_probs_batch(
   return out;
 }
 
+std::shared_ptr<const std::vector<double>> LanguageModel::next_log_probs_shared(
+    std::span<const TokenId> context) const {
+  return std::make_shared<const std::vector<double>>(next_log_probs(context));
+}
+
 double LanguageModel::sequence_log_prob(std::span<const TokenId> context,
                                         std::span<const TokenId> continuation) const {
   std::vector<TokenId> running(context.begin(), context.end());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -59,6 +60,15 @@ class LanguageModel {
   // rates (distinct traversal paths share suffixes); ShortestPathSearch uses
   // it to avoid rebuilding full root-to-node paths per expansion.
   virtual std::size_t relevant_context_length() const { return kUnboundedContext; }
+
+  // Shared-ownership variant of next_log_probs for callers that only read
+  // the distribution: a memoizing wrapper (CachingModel) serves cache hits
+  // as a pointer to the cached vector itself, eliminating the vocab-sized
+  // copy per call that dominates hit cost. The returned vector is immutable
+  // and safe to hold across further model calls (eviction only drops the
+  // cache's reference). The default wraps next_log_probs.
+  virtual std::shared_ptr<const std::vector<double>> next_log_probs_shared(
+      std::span<const TokenId> context) const;
 
   // Batched evaluation: one distribution per context. The paper's Executor
   // "schedules massive sets of test vectors on accelerators" (§3.3); this is

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <list>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "util/errors.hpp"
@@ -224,6 +225,7 @@ struct CacheMetrics {
   obs::Counter& misses;
   obs::Counter& evictions;
   obs::Counter& batch_dedup;
+  obs::Counter& inflight_dedup;
   obs::Gauge& entries;
 
   static CacheMetrics& get() {
@@ -231,6 +233,7 @@ struct CacheMetrics {
                           obs::Registry::instance().counter("model.cache.misses"),
                           obs::Registry::instance().counter("model.cache.evictions"),
                           obs::Registry::instance().counter("model.cache.batch_dedup"),
+                          obs::Registry::instance().counter("model.cache.inflight_dedup"),
                           obs::Registry::instance().gauge("model.cache.entries")};
     return m;
   }
@@ -242,7 +245,9 @@ struct CachingModel::Shard {
   struct Entry {
     std::uint64_t hash;
     std::vector<TokenId> suffix;  // stored to rule out hash collisions
-    std::vector<double> log_probs;
+    // Shared so hits can hand the vector out without a vocab-sized copy;
+    // eviction merely drops the cache's reference while readers keep theirs.
+    std::shared_ptr<const std::vector<double>> log_probs;
   };
 
   mutable util::Mutex mutex{util::LockRank::kModelCacheShard};
@@ -258,11 +263,10 @@ struct CachingModel::Shard {
   std::size_t misses RELM_GUARDED_BY(mutex) = 0;
   std::size_t evictions RELM_GUARDED_BY(mutex) = 0;
 
-  // Looks up `suffix`, refreshing recency. Returns nullptr on miss. Counts
-  // the hit/miss. The returned pointer aims into the locked shard: callers
-  // must copy it out before releasing `mutex`.
-  const std::vector<double>* find(std::uint64_t hash,
-                                  std::span<const TokenId> suffix)
+  // Looks up `suffix`, refreshing recency. Returns null on miss. Counts the
+  // hit/miss. The returned shared_ptr stays valid after `mutex` is released.
+  std::shared_ptr<const std::vector<double>> find(std::uint64_t hash,
+                                                  std::span<const TokenId> suffix)
       RELM_REQUIRES(mutex) {
     auto bucket = index.find(hash);
     if (bucket != index.end()) {
@@ -271,8 +275,10 @@ struct CachingModel::Shard {
             std::equal(entry_it->suffix.begin(), entry_it->suffix.end(),
                        suffix.begin())) {
           ++hits;
-          lru.splice(lru.begin(), lru, entry_it);
-          return &entry_it->log_probs;
+          // Recency order only matters once eviction is plausible; below half
+          // capacity the splice is pure overhead on the hit path.
+          if (lru.size() * 2 >= capacity) lru.splice(lru.begin(), lru, entry_it);
+          return entry_it->log_probs;
         }
       }
     }
@@ -283,7 +289,8 @@ struct CachingModel::Shard {
   // Inserts unless an equal entry raced in meanwhile; evicts the LRU tail to
   // stay within capacity.
   void insert(std::uint64_t hash, std::span<const TokenId> suffix,
-              const std::vector<double>& log_probs) RELM_REQUIRES(mutex) {
+              std::shared_ptr<const std::vector<double>> log_probs)
+      RELM_REQUIRES(mutex) {
     if (capacity == 0) return;
     auto bucket = index.find(hash);
     if (bucket != index.end()) {
@@ -309,17 +316,32 @@ struct CachingModel::Shard {
     }
     lru.push_front(Entry{hash,
                          std::vector<TokenId>(suffix.begin(), suffix.end()),
-                         log_probs});
+                         std::move(log_probs)});
     index[hash].push_back(lru.begin());
     CacheMetrics::get().entries.add(1.0);
   }
+};
+
+// Dedup table for computations currently in flight: a thread that misses on
+// a suffix another thread is already evaluating waits here instead of
+// evaluating the model a second time. Keyed by suffix hash only — the
+// full-suffix comparison happens at the shard on re-probe, so a hash
+// collision costs a spurious wait, never a wrong result. Ranked BEFORE the
+// cache shards (kModelCacheInflight < kModelCacheShard): the claim/erase
+// sites never hold a shard lock, so the one legal nesting direction is
+// inflight -> shard.
+struct CachingModel::Inflight {
+  mutable util::Mutex mutex{util::LockRank::kModelCacheInflight};
+  util::CondVar done;
+  std::unordered_set<std::uint64_t> pending RELM_GUARDED_BY(mutex);
 };
 
 CachingModel::CachingModel(std::shared_ptr<const LanguageModel> inner,
                            std::size_t capacity)
     : inner_(std::move(inner)),
       capacity_(capacity),
-      shards_(std::make_unique<Shard[]>(kCacheShards)) {
+      shards_(std::make_unique<Shard[]>(kCacheShards)),
+      inflight_(std::make_unique<Inflight>()) {
   // Distribute the entry budget so shard capacities sum exactly to
   // capacity_: the bound counts entries across the whole cache, not keys or
   // shards (a rounded-up per-shard quota would overshoot small capacities).
@@ -350,21 +372,53 @@ CachingModel::Shard& CachingModel::shard_for(std::uint64_t hash) const {
 }
 
 std::vector<double> CachingModel::next_log_probs(std::span<const TokenId> context) const {
+  return *next_log_probs_shared(context);
+}
+
+std::shared_ptr<const std::vector<double>> CachingModel::next_log_probs_shared(
+    std::span<const TokenId> context) const {
   const std::span<const TokenId> suffix = relevant_suffix(*inner_, context);
   const std::uint64_t hash = hash_tokens(suffix);
   Shard& shard = shard_for(hash);
-  {
-    util::ScopedLock lock(shard.mutex);
-    if (const std::vector<double>* cached = shard.find(hash, suffix)) {
-      CacheMetrics::get().hits.add();
-      return *cached;
+  std::size_t waits = 0;
+  for (;;) {
+    {
+      util::ScopedLock lock(shard.mutex);
+      if (std::shared_ptr<const std::vector<double>> cached =
+              shard.find(hash, suffix)) {
+        // Each wait iteration probed once and counted a miss, but the
+        // in-flight computation served this call without a model eval:
+        // reclassify, mirroring the batch-dedup accounting.
+        shard.misses -= waits;
+        CacheMetrics::get().hits.add();
+        return cached;
+      }
     }
+    util::ScopedLock lock(inflight_->mutex);
+    if (inflight_->pending.insert(hash).second) break;  // we own the eval
+    CacheMetrics::get().inflight_dedup.add();
+    ++waits;
+    while (inflight_->pending.count(hash) > 0) inflight_->done.wait(lock);
   }
   CacheMetrics::get().misses.add();
-  std::vector<double> lp = inner_->next_log_probs(suffix);
+  std::shared_ptr<const std::vector<double>> lp;
+  try {
+    lp = std::make_shared<const std::vector<double>>(
+        inner_->next_log_probs(suffix));
+  } catch (...) {
+    util::ScopedLock lock(inflight_->mutex);
+    inflight_->pending.erase(hash);
+    inflight_->done.notify_all();
+    throw;
+  }
   {
     util::ScopedLock lock(shard.mutex);
     shard.insert(hash, suffix, lp);
+  }
+  {
+    util::ScopedLock lock(inflight_->mutex);
+    inflight_->pending.erase(hash);
+    inflight_->done.notify_all();
   }
   return lp;
 }
@@ -388,7 +442,8 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
     Shard& shard = shard_for(hash);
     {
       util::ScopedLock lock(shard.mutex);
-      if (const std::vector<double>* cached = shard.find(hash, suffix)) {
+      if (std::shared_ptr<const std::vector<double>> cached =
+              shard.find(hash, suffix)) {
         CacheMetrics::get().hits.add();
         out[i] = *cached;
         continue;
@@ -433,11 +488,12 @@ std::vector<std::vector<double>> CachingModel::next_log_probs_batch(
   // Insert + scatter in input order.
   for (std::size_t m = 0; m < misses.size(); ++m) {
     Shard& shard = shard_for(misses[m].hash);
+    auto lp = std::make_shared<const std::vector<double>>(std::move(lps[m]));
     {
       util::ScopedLock lock(shard.mutex);
-      shard.insert(misses[m].hash, misses[m].suffix, lps[m]);
+      shard.insert(misses[m].hash, misses[m].suffix, lp);
     }
-    for (std::size_t slot : misses[m].outputs) out[slot] = lps[m];
+    for (std::size_t slot : misses[m].outputs) out[slot] = *lp;
   }
   return out;
 }

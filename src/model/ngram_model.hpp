@@ -174,6 +174,14 @@ class CachingModel : public LanguageModel {
   }
   std::vector<double> next_log_probs(std::span<const TokenId> context) const override;
 
+  // Zero-copy hit path: returns the cached vector itself. Misses are
+  // deduplicated across concurrent callers through an in-flight table — when
+  // two threads miss on the same suffix simultaneously (speculative executor
+  // batches in flight), one computes and the other waits and re-probes
+  // instead of evaluating the model twice (model.cache.inflight_dedup).
+  std::shared_ptr<const std::vector<double>> next_log_probs_shared(
+      std::span<const TokenId> context) const override;
+
   // Probes the cache for every context, batch-evaluates the distinct missing
   // suffixes through the inner model (one parallel batch), and fills results
   // in input order. Duplicate suffixes within a batch are evaluated once.
@@ -190,12 +198,14 @@ class CachingModel : public LanguageModel {
 
  private:
   struct Shard;
+  struct Inflight;
 
   Shard& shard_for(std::uint64_t hash) const;
 
   std::shared_ptr<const LanguageModel> inner_;
   std::size_t capacity_;
   std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<Inflight> inflight_;
 };
 
 }  // namespace relm::model

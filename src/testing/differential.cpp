@@ -7,6 +7,7 @@
 #include "core/pipeline/cache.hpp"
 #include "model/ngram_model.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relm::testing {
 
@@ -36,14 +37,18 @@ ExecutorOutputs run_executors(const LanguageModel& model,
                               std::uint64_t sampler_seed) {
   ExecutorOutputs out;
   {
+    // Pinned to the lockstep path: this is the strict-Dijkstra comparison
+    // target the async pipeline (Configuration F) must reproduce bytewise.
     SimpleSearchQuery q = base;
     q.expansion_batch_size = 1;
+    q.speculative_expansion = false;
     ShortestPathSearch search(model, compiled, q);
     out.shortest1 = search.all();
   }
   {
     SimpleSearchQuery q = base;
     q.expansion_batch_size = 3;
+    q.speculative_expansion = false;
     ShortestPathSearch search(model, compiled, q);
     out.shortest3 = search.all();
   }
@@ -211,6 +216,36 @@ TrialReport run_trial(const TrialCase& trial,
       ExecutorOutputs out =
           run_executors(*base_model, compiled, no_masks, trial.sampler_seed);
       if (!check_config(out, "masks-off")) return report;
+    }
+
+    // Configuration F: the async pipeline (speculative expansion on) across
+    // a shared-pool thread sweep. Pipeline scheduling is defined to be a
+    // pure function of deterministic search state, so its output must be
+    // byte-identical to the strict lockstep run at every thread count.
+    {
+      const std::size_t restore = util::ThreadPool::shared().threads();
+      std::optional<std::string> diff;
+      std::size_t bad_threads = 0;
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+        util::ThreadPool::set_shared_threads(threads);
+        SimpleSearchQuery spec = query;
+        spec.expansion_batch_size = 1;
+        spec.speculative_expansion = true;
+        ShortestPathSearch search(*base_model, compiled, spec);
+        std::vector<SearchResult> got = search.all();
+        diff = diff_exact(got, plain.shortest1, "pipeline");
+        if (diff) {
+          bad_threads = threads;
+          break;
+        }
+      }
+      util::ThreadPool::set_shared_threads(restore);
+      if (diff) {
+        return fail("config:pipeline",
+                    "pipeline threads=" + std::to_string(bad_threads) + ": " +
+                        *diff);
+      }
     }
 
     // Oracle comparison (on the plain configuration, optionally mutated for

@@ -108,14 +108,22 @@ enum class LockRank : int {
   kPoolShared = 10,  // shared-pool singleton pointer
   kPoolCaller = 11,  // serializes concurrent parallel_for callers
   kPoolState = 12,   // worker wake state: current job + stop flag
-  kPoolJob = 13,     // per-job error slot + completion condvar
+  kPoolJob = 13,     // per-job/batch error slot + completion condvar
+
+  // core (executor sharded frontier). Between the pool (whose workers run
+  // expansion tasks that never touch the frontier) and the caches (which a
+  // frontier holder must never need): pushes/pops take exactly one shard.
+  kFrontierShard = 15,
 
   // core/pipeline/cache (compiled-artifact cache).
   kCompileCacheConfig = 20,  // global cache singleton pointer
   kCompileCacheShard = 21,   // the 8 LRU shards
 
-  // model (CachingModel logit cache).
-  kModelCacheShard = 30,  // the 16 suffix-keyed LRU shards
+  // model (CachingModel logit cache). The in-flight table ranks BEFORE the
+  // shards: a dedup waiter re-probes its shard while still registered, so
+  // inflight -> shard nesting must be legal (never the reverse).
+  kModelCacheInflight = 29,  // pending-computation dedup table + condvar
+  kModelCacheShard = 30,     // the 16 suffix-keyed LRU shards
 
   // obs/trace.
   kTraceSink = 40,    // buffer registry + atexit output paths
@@ -136,8 +144,10 @@ inline const char* lock_rank_name(LockRank rank) {
     case LockRank::kPoolCaller: return "pool.caller";
     case LockRank::kPoolState: return "pool.state";
     case LockRank::kPoolJob: return "pool.job";
+    case LockRank::kFrontierShard: return "frontier.shard";
     case LockRank::kCompileCacheConfig: return "compile_cache.config";
     case LockRank::kCompileCacheShard: return "compile_cache.shard";
+    case LockRank::kModelCacheInflight: return "model_cache.inflight";
     case LockRank::kModelCacheShard: return "model_cache.shard";
     case LockRank::kTraceSink: return "trace.sink";
     case LockRank::kTraceBuffer: return "trace.buffer";

@@ -1,9 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -26,6 +28,9 @@ struct PoolMetrics {
   obs::Counter& tasks;
   obs::Counter& serial;
   obs::Histogram& job_tasks;
+  obs::Counter& async_batches;
+  obs::Counter& async_tasks;
+  obs::Counter& steals;
 
   static PoolMetrics& get() {
     static PoolMetrics m{
@@ -33,12 +38,121 @@ struct PoolMetrics {
         obs::Registry::instance().counter("pool.tasks"),
         obs::Registry::instance().counter("pool.serial_dispatches"),
         obs::Registry::instance().histogram(
-            "pool.job.tasks", obs::Histogram::default_size_bounds())};
+            "pool.job.tasks", obs::Histogram::default_size_bounds()),
+        obs::Registry::instance().counter("pool.async_batches"),
+        obs::Registry::instance().counter("pool.async_tasks"),
+        obs::Registry::instance().counter("pool.steals")};
     return m;
   }
 };
 
+constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+
 }  // namespace
+
+// Shared state of one submit() batch. Task lifecycle is a per-index atomic
+// byte: kTodo -> kClaimed (CAS by exactly one thread) -> kDone. All claiming
+// is lock-free; the mutex guards only the error slot and backs the condvar a
+// waiter sleeps on when every remaining task is claimed elsewhere.
+struct ThreadPool::AsyncBatch::State {
+  static constexpr std::uint8_t kTodo = 0;
+  static constexpr std::uint8_t kClaimed = 1;
+  static constexpr std::uint8_t kDone = 2;
+
+  // fn, n, and lanes are written before the batch is published (through the
+  // pool's state mutex) and read-only afterwards.
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::size_t lanes = 1;  // workers + calling thread; task i's home is i % lanes
+  std::unique_ptr<std::atomic<std::uint8_t>[]> status;
+  std::atomic<std::size_t> unclaimed{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> steals{0};
+  // True while some thread may be sleeping in wait()/wait_all(); gates the
+  // notify in run_one so uncontended completions never touch the mutex.
+  std::atomic<bool> waiter{false};
+  std::atomic<bool> steals_flushed{false};
+  Mutex mutex{LockRank::kPoolJob};
+  CondVar done;
+  std::exception_ptr error RELM_GUARDED_BY(mutex);
+
+  bool try_claim(std::size_t i) {
+    std::uint8_t expected = kTodo;
+    if (!status[i].compare_exchange_strong(expected, kClaimed)) return false;
+    unclaimed.fetch_sub(1);
+    return true;
+  }
+
+  // Claims a task for a pool worker: first a pass over the lane's home
+  // stripe, then a stealing pass over everything else. Both passes walk
+  // BACKWARDS from the last task: the submitter retires in submission order
+  // and claims forward from the retirement head (claim_preferring), so
+  // workers eating the tail keeps the head unclaimed for it. That matters
+  // most on oversubscribed machines — a preempted worker holding a claim on
+  // the next-to-retire task forces the submitter into a futex sleep per
+  // hand-off — and is harmless on idle ones. All status transitions are
+  // one-way, so a task claimable in the second pass is provably from a
+  // foreign stripe.
+  std::size_t claim(std::size_t lane) {
+    if (unclaimed.load(std::memory_order_relaxed) == 0) return kNoTask;
+    const std::size_t home = lane % lanes;
+    if (home < n) {
+      const std::size_t last = home + ((n - 1 - home) / lanes) * lanes;
+      for (std::size_t i = last;; i -= lanes) {
+        if (try_claim(i)) return i;
+        if (i == home) break;
+      }
+    }
+    for (std::size_t i = n; i > 0; --i) {
+      if (try_claim(i - 1)) {
+        steals.fetch_add(1);
+        return i - 1;
+      }
+    }
+    return kNoTask;
+  }
+
+  // Claim order for a thread blocked on task `want`: that task itself, then
+  // the ones needed soonest after it (retirement is in submission order).
+  std::size_t claim_preferring(std::size_t want) {
+    if (unclaimed.load(std::memory_order_relaxed) == 0) return kNoTask;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (want + k) % n;
+      if (try_claim(i)) {
+        if (i % lanes != 0) steals.fetch_add(1);
+        return i;
+      }
+    }
+    return kNoTask;
+  }
+
+  void run_one(std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      ScopedLock lock(mutex);
+      if (!error) error = std::current_exception();
+    }
+    status[i].store(kDone);
+    completed.fetch_add(1);
+    // Seq-cst ordering of (status/completed store, waiter load) against the
+    // waiter's (waiter store, status/completed check under the lock) makes a
+    // lost wakeup impossible: if the waiter missed our completion, we see its
+    // flag and the lock serializes the notify after its check, before its
+    // wait.
+    if (waiter.load()) {
+      ScopedLock lock(mutex);
+      done.notify_all();
+    }
+  }
+
+  void flush_steals() {
+    if (!steals_flushed.exchange(true)) {
+      const std::size_t count = steals.load();
+      if (count > 0) PoolMetrics::get().steals.add(count);
+    }
+  }
+};
 
 struct ThreadPool::Impl {
   // One fork-join dispatch. Heap-allocated and shared so a worker woken late
@@ -61,6 +175,10 @@ struct ThreadPool::Impl {
   Mutex mutex{LockRank::kPoolState};
   CondVar work_cv;
   std::shared_ptr<Job> current RELM_GUARDED_BY(mutex);
+  // Most recent submit() batch. A drained batch is left in place (its
+  // unclaimed count is 0, so the worker predicate ignores it) and replaced
+  // by the next submit; workers never block on a stale pointer.
+  std::shared_ptr<AsyncBatch::State> async RELM_GUARDED_BY(mutex);
   bool stop RELM_GUARDED_BY(mutex) = false;
   // Serializes parallel_for callers; held for the whole loop.
   Mutex caller_mutex{LockRank::kPoolCaller};
@@ -86,26 +204,67 @@ struct ThreadPool::Impl {
     t_in_parallel_region = false;
   }
 
-  void worker_loop() {
+  static void run_async(AsyncBatch::State& batch, std::size_t lane) {
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::size_t i = batch.claim(lane);
+      if (i == kNoTask) break;
+      batch.run_one(i);
+    }
+    t_in_parallel_region = false;
+  }
+
+  void worker_loop(std::size_t lane) {
     std::shared_ptr<Job> last;
     ScopedLock lock(mutex);
     for (;;) {
-      while (!stop && (!current || current == last)) work_cv.wait(lock);
+      while (!stop && (!current || current == last) &&
+             (!async || async->unclaimed.load() == 0)) {
+        work_cv.wait(lock);
+      }
       if (stop) return;
-      std::shared_ptr<Job> job = current;
-      last = job;
-      lock.unlock();
-      run(*job);
-      lock.lock();
+      if (current && current != last) {
+        std::shared_ptr<Job> job = current;
+        last = job;
+        lock.unlock();
+        run(*job);
+        lock.lock();
+      } else {
+        std::shared_ptr<AsyncBatch::State> batch = async;
+        lock.unlock();
+        run_async(*batch, lane);
+        lock.lock();
+      }
     }
   }
 };
+
+namespace {
+
+// Physical cores available beyond the calling thread. Pool size is a
+// *request*; on a machine with fewer cores than requested threads, waking a
+// worker cannot add parallelism — it can only preempt the coordinator (futex
+// wake + context switch per batch, ~10µs each, thousands of batches per
+// search). Dispatch therefore never wakes more workers than spare cores; the
+// caller drains whatever is left inline, which is the exact-serial fast path
+// and produces byte-identical results (scheduling never affects output).
+std::size_t spare_cores() {
+  static const std::size_t spare = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+  }();
+  return spare;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
   const std::size_t workers = threads > 1 ? threads - 1 : 0;
   impl_->workers.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+    // Lane 0 is the calling/submitting thread; workers take 1..N.
+    impl_->workers.emplace_back(
+        [impl = impl_.get(), lane = i + 1] { impl->worker_loop(lane); });
   }
 }
 
@@ -123,9 +282,10 @@ std::size_t ThreadPool::threads() const { return impl_->workers.size() + 1; }
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  // Serial fast paths: no workers, a single index, or a nested call (which
-  // would otherwise self-deadlock on caller_mutex).
-  if (impl_->workers.empty() || n == 1 || t_in_parallel_region) {
+  // Serial fast paths: no workers, no spare core to run one, a single index,
+  // or a nested call (which would otherwise self-deadlock on caller_mutex).
+  if (impl_->workers.empty() || spare_cores() == 0 || n == 1 ||
+      t_in_parallel_region) {
     PoolMetrics::get().serial.add();
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -160,6 +320,133 @@ void ThreadPool::parallel_for(std::size_t n,
     impl_->current.reset();
   }
   if (error) std::rethrow_exception(error);
+}
+
+ThreadPool::AsyncBatch::AsyncBatch(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ThreadPool::AsyncBatch& ThreadPool::AsyncBatch::operator=(
+    AsyncBatch&& other) noexcept {
+  if (this != &other) {
+    if (state_) wait_all();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+ThreadPool::AsyncBatch::~AsyncBatch() {
+  // Drain without rethrowing: the error (if any) was already capturable via
+  // rethrow_if_error, and a throwing destructor is worse than a dropped one.
+  if (state_) wait_all();
+}
+
+void ThreadPool::AsyncBatch::wait(std::size_t i) {
+  State& s = *state_;
+  for (;;) {
+    if (s.status[i].load() == State::kDone) return;
+    const std::size_t j = s.claim_preferring(i);
+    if (j != kNoTask) {
+      s.run_one(j);
+      continue;
+    }
+    // Task i is claimed by another thread and nothing else is claimable.
+    // Yield a few quanta first: on an oversubscribed machine the owner is
+    // likely just preempted, and ceding the CPU lets it finish without the
+    // futex round-trip (the owner also skips its notify when nobody set the
+    // waiter flag). Only then fall back to sleeping on the condvar.
+    bool done = false;
+    for (int spin = 0; spin < 32 && !done; ++spin) {
+      std::this_thread::yield();
+      done = s.status[i].load() == State::kDone;
+    }
+    if (done) return;
+    s.waiter.store(true);
+    {
+      ScopedLock lock(s.mutex);
+      while (s.status[i].load() != State::kDone) s.done.wait(lock);
+    }
+    s.waiter.store(false);
+    return;
+  }
+}
+
+void ThreadPool::AsyncBatch::wait_all() {
+  if (!state_) return;
+  State& s = *state_;
+  for (;;) {
+    const std::size_t j = s.claim_preferring(0);
+    if (j == kNoTask) break;
+    s.run_one(j);
+  }
+  if (s.completed.load() != s.n) {
+    bool done = false;
+    for (int spin = 0; spin < 32 && !done; ++spin) {
+      std::this_thread::yield();
+      done = s.completed.load() == s.n;
+    }
+    if (!done) {
+      s.waiter.store(true);
+      {
+        ScopedLock lock(s.mutex);
+        while (s.completed.load() != s.n) s.done.wait(lock);
+      }
+      s.waiter.store(false);
+    }
+  }
+  s.flush_steals();
+}
+
+void ThreadPool::AsyncBatch::rethrow_if_error() {
+  if (!state_) return;
+  std::exception_ptr error;
+  {
+    ScopedLock lock(state_->mutex);
+    error = state_->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::AsyncBatch::steals() const {
+  return state_ ? state_->steals.load() : 0;
+}
+
+ThreadPool::AsyncBatch ThreadPool::submit(std::size_t n,
+                                          std::function<void(std::size_t)> fn) {
+  auto state = std::make_shared<AsyncBatch::State>();
+  state->fn = std::move(fn);
+  state->n = n;
+  state->lanes = impl_->workers.size() + 1;
+  if (n > 0) {
+    state->status = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      state->status[i].store(AsyncBatch::State::kTodo,
+                             std::memory_order_relaxed);
+    }
+    state->unclaimed.store(n);
+  }
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.async_batches.add();
+  metrics.async_tasks.add(n);
+  // Publish to workers unless there are none, none could run on a spare
+  // core, or we are already inside a parallel region: then the caller drains
+  // everything in wait()/wait_all(), which is the exact-serial fast path.
+  // Wake only as many workers as there are tasks AND spare cores: a surplus
+  // worker would wake, find nothing claimable (or preempt the coordinator),
+  // and sleep again — pure context-switch churn on oversubscribed machines.
+  const std::size_t wake =
+      std::min({n, impl_->workers.size(), spare_cores()});
+  if (wake > 0 && !t_in_parallel_region) {
+    {
+      ScopedLock lock(impl_->mutex);
+      impl_->async = state;
+    }
+    if (wake >= impl_->workers.size()) {
+      impl_->work_cv.notify_all();
+    } else {
+      for (std::size_t w = 0; w < wake; ++w) impl_->work_cv.notify_one();
+    }
+  }
+  return AsyncBatch(std::move(state));
 }
 
 namespace {

@@ -21,6 +21,16 @@ namespace relm::util {
 // pool) degrade to serial execution on the calling thread instead of
 // deadlocking. Concurrent parallel_for calls from distinct threads are
 // serialized.
+//
+// The second primitive is submit(n, fn): an asynchronous task batch with no
+// barrier at submission. Tasks are claimed one at a time by the pool's
+// workers (striped by index, with cross-stripe stealing once a stripe
+// drains) and by any thread blocked in AsyncBatch::wait — the waiter "helps"
+// by running unclaimed tasks itself instead of sleeping, so a pool with no
+// workers degenerates to exact serial execution with no wakeups. This is the
+// executor's pipeline seam: the coordinator submits a round of expansion
+// tasks and retires results in submission order while later tasks are still
+// running (docs/PERFORMANCE.md, "Async frontier pipeline").
 class ThreadPool {
  public:
   // `threads` is the total parallelism including the calling thread:
@@ -39,6 +49,43 @@ class ThreadPool {
   // exception thrown by any fn is rethrown on the calling thread after the
   // loop drains (remaining indices still run).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Handle to an in-flight submit() batch. Movable, not copyable; the
+  // destructor drains the batch (without rethrowing — call wait_all +
+  // rethrow_if_error for errors). fn runs exactly once per index on SOME
+  // thread; which thread is unspecified, so fn must be a pure function of i
+  // writing only to its own output slot — exactly the parallel_for contract.
+  class AsyncBatch {
+   public:
+    AsyncBatch() = default;
+    AsyncBatch(AsyncBatch&&) noexcept = default;
+    AsyncBatch& operator=(AsyncBatch&&) noexcept;
+    AsyncBatch(const AsyncBatch&) = delete;
+    AsyncBatch& operator=(const AsyncBatch&) = delete;
+    ~AsyncBatch();
+
+    // Blocks until task i completed. Prefers claiming task i itself, then
+    // helps with other unclaimed tasks, and only sleeps when every remaining
+    // task is claimed by another thread.
+    void wait(std::size_t i);
+    void wait_all();
+    // Rethrows the first exception any task threw (after wait_all).
+    void rethrow_if_error();
+    // Tasks executed by a lane other than their home stripe (contended
+    // hand-offs; also surfaced process-wide as the pool.steals counter).
+    std::size_t steals() const;
+
+   private:
+    friend class ThreadPool;
+    struct State;
+    explicit AsyncBatch(std::shared_ptr<State> state);
+    std::shared_ptr<State> state_;
+  };
+
+  // Submits n tasks and returns immediately. Workers start claiming right
+  // away (when the pool has any); the caller synchronizes per task with
+  // wait(i) or all at once with wait_all().
+  AsyncBatch submit(std::size_t n, std::function<void(std::size_t)> fn);
 
   // Process-wide pool used by LanguageModel::next_log_probs_batch. Sized on
   // first use from the RELM_THREADS environment variable, falling back to

@@ -851,6 +851,7 @@ TEST(BatchedExpansion, SameResultSetAsStrictDijkstra) {
   SimpleSearchQuery query;
   query.query_string = {"The ((cat)|(dog)|(mat))( (sat|ran))?", "The"};
   query.max_results = 20;
+  query.speculative_expansion = false;  // the lockstep batch path under test
   CompiledQuery compiled = CompiledQuery::compile(query, tok);
 
   auto strict = ShortestPathSearch(*model, compiled, query).all();
@@ -904,6 +905,7 @@ TEST(BatchedExpansion, BatchModelCalledWithMultipleContexts) {
   query.query_string = {"The ((cat)|(dog)|(mat)) ((sat)|(ran))", "The"};
   query.max_results = 6;
   query.expansion_batch_size = 4;
+  query.speculative_expansion = false;  // batching exists only in lockstep mode
   CompiledQuery compiled = CompiledQuery::compile(query, fixture_tokenizer());
   ShortestPathSearch(counting, compiled, query).all();
   EXPECT_GT(counting.max_batch_, 1u);

@@ -16,8 +16,10 @@
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
 #include "model/ngram_model.hpp"
+#include "testing/generators.hpp"
 #include "testing/oracle.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relm::core {
 namespace {
@@ -306,6 +308,210 @@ TEST(ExecutorEdges, SamplerRequireEosPaysTerminationCost) {
   RandomSampler starved(*f.model, compiled_tight, tight, 3);
   EXPECT_TRUE(starved.sample_all().empty());
   EXPECT_GT(starved.stats().sample_dead_ends, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Async-pipeline edges. The pipeline's scheduling (selection horizon,
+// occupancy controller, budget clamp) is a pure function of search state, so
+// its OUTPUT must be byte-identical to lockstep at any thread count; only the
+// speculative-work counters are allowed to differ from zero.
+
+// Like uniform_fixture but with a skewed ngram model so sibling costs differ
+// strictly — uniform models tie at every depth, which hides any scheduling
+// behaviour keyed on cost comparisons (horizon clips, waste accounting).
+Fixture skewed_fixture(std::vector<std::string> vocab, const std::string& body,
+                       SimpleSearchQuery base = {}) {
+  const std::size_t vocab_size = vocab.size();
+  auto tok = std::make_shared<tokenizer::BpeTokenizer>(
+      tokenizer::BpeTokenizer::from_vocab(std::move(vocab)));
+  testing::ModelSpec spec;
+  spec.kind = testing::ModelSpec::Kind::kNgram;
+  spec.vocab_size = vocab_size;
+  spec.eos = 0;
+  spec.max_sequence_length = 24;
+  // Heavily favour token 1 so P(token 1) >> P(token 2) everywhere.
+  for (int i = 0; i < 12; ++i) spec.sequences.push_back({1});
+  spec.sequences.push_back({2});
+  auto model = spec.build();
+  base.query_string = {body, ""};
+  CompiledQuery compiled = CompiledQuery::compile(base, *tok);
+  return {std::move(tok), std::move(model), std::move(base), std::move(compiled)};
+}
+
+void expect_exact_match(const std::vector<SearchResult>& got,
+                        const std::vector<SearchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].text, want[i].text) << "index " << i;
+    EXPECT_EQ(got[i].tokens, want[i].tokens) << "index " << i;
+    EXPECT_EQ(got[i].log_prob, want[i].log_prob) << "index " << i;
+  }
+}
+
+TEST(ExecutorEdges, PipelineMatchesLockstepAcrossThreadCounts) {
+  SimpleSearchQuery base;
+  base.sequence_length = 6;
+  base.max_results = 100;
+  Fixture f = uniform_fixture({"", "a", "b"}, "(a|b)*", base);
+
+  SimpleSearchQuery lockstep = f.query;
+  lockstep.speculative_expansion = false;
+  ShortestPathSearch serial(*f.model, f.compiled, lockstep);
+  const auto want = serial.all();
+  ASSERT_GT(want.size(), 4u);
+
+  const std::size_t restore = util::ThreadPool::shared().threads();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    util::ThreadPool::set_shared_threads(threads);
+    SimpleSearchQuery pipe = f.query;
+    pipe.speculative_expansion = true;
+    ShortestPathSearch search(*f.model, f.compiled, pipe);
+    const auto got = search.all();
+    expect_exact_match(got, want);
+    EXPECT_GT(search.stats().pump_rounds, 0u) << "threads=" << threads;
+  }
+  util::ThreadPool::set_shared_threads(restore);
+}
+
+// The selection horizon must defer nodes costlier than round_min + horizon:
+// with a near-zero horizon and strictly skewed sibling costs, at least one
+// selection round clips — and the output is still exactly the lockstep one,
+// because clipping only DELAYS an expansion, never changes its result.
+TEST(ExecutorEdges, SpeculationHorizonClipsCostlierNodes) {
+  SimpleSearchQuery base;
+  base.sequence_length = 4;
+  base.max_results = 8;
+  Fixture f = skewed_fixture({"", "a", "b"}, "(a|b)a?", base);
+
+  SimpleSearchQuery lockstep = f.query;
+  lockstep.speculative_expansion = false;
+  ShortestPathSearch serial(*f.model, f.compiled, lockstep);
+  const auto want = serial.all();
+  ASSERT_FALSE(want.empty());
+
+  SimpleSearchQuery pipe = f.query;
+  pipe.speculative_expansion = true;
+  pipe.speculation_horizon = 1e-9;
+  pipe.target_occupancy = 8;
+  ShortestPathSearch clipped(*f.model, f.compiled, pipe);
+  const auto got = clipped.all();
+  EXPECT_GE(clipped.stats().horizon_clips, 1u);
+  expect_exact_match(got, want);
+}
+
+// The mid-selection budget clamp: when admitting one more evaluation would
+// overrun max_expansions, the selector cancels the remainder of the round
+// (speculative_cancelled) instead of blowing the budget — and the truncated
+// emission sequence is a prefix of the unconstrained one, exactly as in the
+// lockstep budget test above.
+TEST(ExecutorEdges, BudgetClampCancelsSpeculativeSelection) {
+  SimpleSearchQuery base;
+  base.sequence_length = 6;
+  base.max_results = 100;
+  Fixture f = uniform_fixture({"", "a", "b"}, "(a|b)*", base);
+
+  SimpleSearchQuery full_query = f.query;
+  full_query.speculative_expansion = true;
+  full_query.target_occupancy = 8;
+  ShortestPathSearch full(*f.model, f.compiled, full_query);
+  const auto full_results = full.all();
+  ASSERT_GT(full_results.size(), 4u);
+
+  SimpleSearchQuery starved_query = full_query;
+  starved_query.max_expansions = 2;
+  ShortestPathSearch starved(*f.model, f.compiled, starved_query);
+  const auto starved_results = starved.all();
+  EXPECT_LE(starved.stats().expansions, 2u);
+  EXPECT_GE(starved.stats().speculative_cancelled, 1u);
+  ASSERT_LT(starved_results.size(), full_results.size());
+  for (std::size_t i = 0; i < starved_results.size(); ++i) {
+    EXPECT_EQ(starved_results[i].text, full_results[i].text);
+    EXPECT_EQ(starved_results[i].log_prob, full_results[i].log_prob);
+  }
+}
+
+// Waste accounting, no-emission branch: a search that evaluates nodes but
+// never emits counts EVERY evaluated node as speculative waste — all of that
+// model work bought nothing.
+TEST(ExecutorEdges, SpeculativeWasteCountedWhenNothingEmits) {
+  SimpleSearchQuery base;
+  base.sequence_length = 3;
+  Fixture f = uniform_fixture({"", "a"}, "a{5}", base);
+
+  SimpleSearchQuery pipe = f.query;
+  pipe.speculative_expansion = true;
+  ShortestPathSearch search(*f.model, f.compiled, pipe);
+  EXPECT_TRUE(search.all().empty());
+  EXPECT_GE(search.stats().speculative_wasted, 1u);
+}
+
+// Waste accounting, beyond-last-emission branch: with max_results = 1 and a
+// strictly costlier sibling selected in the same round (large horizon), the
+// sibling's evaluation lands above the last emitted cost and is counted as
+// wasted speculation.
+TEST(ExecutorEdges, SpeculativeWasteCountsEvalsBeyondLastEmission) {
+  SimpleSearchQuery base;
+  base.sequence_length = 4;
+  base.max_results = 1;
+  Fixture f = skewed_fixture({"", "a", "b"}, "(a|b)a?", base);
+
+  SimpleSearchQuery pipe = f.query;
+  pipe.speculative_expansion = true;
+  pipe.target_occupancy = 8;
+  pipe.speculation_horizon = 100.0;  // admit the costlier sibling
+  ShortestPathSearch search(*f.model, f.compiled, pipe);
+  const auto results = search.all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].text, "a");  // the skew makes "a" strictly cheapest
+  EXPECT_GE(search.stats().speculative_expanded, 1u);
+  EXPECT_GE(search.stats().speculative_wasted, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Incremental canonicality: canonical_prefix_advance resumed token-by-token
+// must agree with the from-scratch canonical_prefix_ok at every prefix, and
+// canonical_body from the settled state must agree with re-encode-and-compare
+// on the complete body — for the canonical path and both impostors.
+TEST(ExecutorEdges, CanonicalAdvanceAndBodyMatchFromScratchChecks) {
+  auto tok = tokenizer::BpeTokenizer::from_vocab({"", "a", "b", "c", "ab", "bc"});
+  SimpleSearchQuery query;
+  // Infinite language: canonical encodings cannot be enumerated at compile
+  // time, so the artifact carries dynamic_canonical and the executor prunes
+  // non-greedy paths at traversal time — the machinery under test here.
+  query.query_string = {"[abc]+", ""};
+  query.tokenization_strategy = TokenizationStrategy::kCanonicalTokens;
+  query.sequence_length = 4;
+  const CompiledQuery compiled = CompiledQuery::compile(query, tok);
+  ASSERT_TRUE(compiled.dynamic_canonical());
+
+  const std::vector<std::vector<TokenId>> paths = {
+      {4, 3},     // [ab, c]   — the canonical (greedy) encoding
+      {1, 5},     // [a, bc]   — same text, non-canonical split
+      {1, 2, 3},  // [a, b, c] — fully unmerged
+  };
+  for (const auto& path : paths) {
+    CompiledQuery::CanonState state;
+    std::string text;
+    bool advance_ok = true;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      text += tok.token_string(path[i]);
+      const std::span<const TokenId> prefix(path.data(), i + 1);
+      if (advance_ok) {
+        advance_ok = compiled.canonical_prefix_advance(prefix, text, state);
+      }
+      EXPECT_EQ(advance_ok, compiled.canonical_prefix_ok(prefix, text))
+          << "path[0]=" << path[0] << " prefix_len=" << (i + 1);
+    }
+    if (advance_ok) {
+      const bool canonical = tok.encode(text) == path;
+      EXPECT_EQ(compiled.canonical_body(path, text, state), canonical)
+          << "path[0]=" << path[0];
+      // A default (nothing-settled) state must give the same verdict.
+      EXPECT_EQ(compiled.canonical_body(path, text, {}), canonical)
+          << "path[0]=" << path[0];
+    }
+  }
 }
 
 }  // namespace
