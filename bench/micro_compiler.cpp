@@ -6,8 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "automata/algebra.hpp"
 #include "automata/determinize.hpp"
 #include "automata/levenshtein.hpp"
+#include "automata/regex_parser.hpp"
 #include "automata/regex.hpp"
 #include "automata/walks.hpp"
 #include "core/compiler.hpp"
@@ -26,7 +28,7 @@ const experiments::World& world() {
 }
 
 const char* kUrlPattern =
-    "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+";
+    "https://www.([a-zA-Z0-9]|\\-|_|#|%)+.([a-zA-Z0-9]|\\-|_|#|%|/)+";
 const char* kDatePattern =
     "((January)|(February)|(March)|(April)|(May)|(June)|(July)|(August)|"
     "(September)|(October)|(November)|(December)) [0-9]{1,2}, [0-9]{4}";
@@ -44,6 +46,33 @@ void BM_RegexCompileDate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegexCompileDate);
+
+// Boolean-algebra compilation, lazy (on-the-fly product/subset) vs eager
+// (determinize every leaf, compose DFA ops bottom-up). The pattern is the
+// adversarial case the lazy path exists for: the left operand's subset
+// space is ~2^15 states, but intersecting with a 4-string language makes
+// almost all of it unreachable — lazy explores only the reachable product.
+const char* kAlgebraPattern = "((a|b)*a(a|b){14})&(a{0,3})";
+
+void BM_CompileAlgebraLazy(benchmark::State& state) {
+  automata::RegexPtr ast = automata::parse_regex(kAlgebraPattern);
+  automata::AlgebraOptions options;
+  options.lazy = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::compile_ast(*ast, options));
+  }
+}
+BENCHMARK(BM_CompileAlgebraLazy);
+
+void BM_CompileAlgebraEager(benchmark::State& state) {
+  automata::RegexPtr ast = automata::parse_regex(kAlgebraPattern);
+  automata::AlgebraOptions options;
+  options.lazy = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::compile_ast(*ast, options));
+  }
+}
+BENCHMARK(BM_CompileAlgebraEager);
 
 void BM_TokenAutomatonAllTokensUrl(benchmark::State& state) {
   automata::Dfa chars = automata::compile_regex(kUrlPattern);

@@ -81,3 +81,16 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 mv -f "$TMP_OUT" "$OUT"
 echo "[bench] $OUT"
+
+# Keep exactly one checked-in snapshot: when writing the default repo-root
+# BENCH_<date>.json, prune older-dated siblings (a custom RELM_BENCH_OUT is
+# somebody's scratch file — leave the checked-in snapshot alone then).
+case "$OUT" in
+  BENCH_*.json)
+    for old in BENCH_*.json; do
+      [ "$old" = "$OUT" ] && continue
+      echo "[bench] pruning superseded snapshot $old"
+      rm -f "$old"
+    done
+    ;;
+esac

@@ -42,7 +42,8 @@ fi
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRELM_FUZZERS=ON \
     $SANITIZE_FLAG $GEN >/dev/null
 cmake --build "$BUILD" -j --target \
-    relm_cli fuzz_regex_parser fuzz_dfa_loader fuzz_artifact_loader \
+    relm_cli fuzz_regex_parser fuzz_algebra_compile fuzz_dfa_loader \
+    fuzz_artifact_loader \
     fuzz_repro_json >/dev/null
 
 mkdir -p "$OUT"
@@ -52,8 +53,8 @@ mkdir -p "$OUT"
 # targets and this invocation runs their fixed-input fallback equivalent via
 # -runs; under GCC the plain-loop driver takes the same corpus paths.
 echo "[fuzz] structured targets (runs=$RUNS seed=$SEED)"
-for target in fuzz_regex_parser fuzz_dfa_loader fuzz_artifact_loader \
-              fuzz_repro_json; do
+for target in fuzz_regex_parser fuzz_algebra_compile fuzz_dfa_loader \
+              fuzz_artifact_loader fuzz_repro_json; do
   if [ -n "${RELM_FUZZ_LIBFUZZER:-}" ]; then
     "$BUILD/fuzz/$target" -runs="$RUNS" -seed="$SEED" tests/fuzz_corpus
   else

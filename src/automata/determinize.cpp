@@ -42,7 +42,7 @@ std::vector<StateId> epsilon_closure(const Nfa& nfa, std::vector<StateId> states
 
 }  // namespace
 
-Dfa determinize(const Nfa& nfa) {
+Dfa determinize(const Nfa& nfa, std::size_t max_states) {
   RELM_TRACE_SPAN("automata.determinize");
   static obs::Counter& runs = obs::Registry::instance().counter("automata.determinize.runs");
   runs.add();
@@ -56,6 +56,14 @@ Dfa determinize(const Nfa& nfa) {
   auto intern = [&](std::vector<StateId> subset) -> StateId {
     auto it = subset_ids.find(subset);
     if (it != subset_ids.end()) return it->second;
+    if (max_states != 0 && dfa.num_states() >= max_states) {
+      static obs::Counter& exceeded = obs::Registry::instance().counter(
+          "automata.determinize.budget_exceeded");
+      exceeded.add();
+      throw relm::StateBudgetError(
+          "subset construction exceeded the determinization state budget",
+          max_states);
+    }
     bool is_final = false;
     for (StateId s : subset) {
       if (nfa.is_final(s)) {

@@ -6,8 +6,9 @@ namespace relm::automata {
 
 // Subset construction with epsilon closure. Only reachable subsets are
 // materialized, so the output size tracks the live part of the language
-// rather than the worst-case 2^n.
-Dfa determinize(const Nfa& nfa);
+// rather than the worst-case 2^n. `max_states` caps the number of subsets
+// materialized; exceeding it throws relm::StateBudgetError (0 = unlimited).
+Dfa determinize(const Nfa& nfa, std::size_t max_states = 0);
 
 // Removes states that are unreachable from the start or cannot reach a final
 // state. The result is "trim"; on a trim DFA, a cycle implies an infinite

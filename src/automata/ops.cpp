@@ -163,9 +163,78 @@ bool is_empty_language(const Dfa& a) {
 
 bool contains_epsilon(const Dfa& a) { return a.is_final(a.start()); }
 
-bool equivalent(const Dfa& a, const Dfa& b) {
-  return minimize(a) == minimize(b);
+std::optional<std::vector<Symbol>> dfa_distinguishing_word(const Dfa& a,
+                                                           const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) {
+    throw relm::Error("dfa_distinguishing_word over different alphabets");
+  }
+  // BFS over reachable pairs; kNoState stands in for the implicit dead
+  // state on either side. Breadth-first order makes the witness shortest.
+  struct Visit {
+    StatePair pair;
+    std::size_t parent;  // index into `visits`; npos for the root
+    Symbol via;
+  };
+  constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  auto is_final = [](const Dfa& d, StateId s) {
+    return s != kNoState && d.is_final(s);
+  };
+
+  std::vector<Visit> visits;
+  std::map<StatePair, std::size_t> seen;
+  std::deque<std::size_t> work;
+
+  auto visit = [&](StatePair p, std::size_t parent, Symbol via) {
+    if (seen.contains(p)) return;
+    seen.emplace(p, visits.size());
+    visits.push_back({p, parent, via});
+    work.push_back(visits.size() - 1);
+  };
+  visit({a.start(), b.start()}, kNpos, 0);
+
+  while (!work.empty()) {
+    std::size_t idx = work.front();
+    work.pop_front();
+    StatePair p = visits[idx].pair;
+    if (is_final(a, p.first) != is_final(b, p.second)) {
+      std::vector<Symbol> word;
+      for (std::size_t i = idx; visits[i].parent != kNpos; i = visits[i].parent) {
+        word.push_back(visits[i].via);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    // Merge the two sorted edge lists; a symbol present on either side can
+    // separate the languages (the absent side moves to dead).
+    auto ea = p.first == kNoState ? std::span<const Edge>{} : a.edges(p.first);
+    auto eb = p.second == kNoState ? std::span<const Edge>{} : b.edges(p.second);
+    std::size_t i = 0, j = 0;
+    while (i < ea.size() || j < eb.size()) {
+      Symbol sym;
+      StateId ta = kNoState, tb = kNoState;
+      if (j >= eb.size() || (i < ea.size() && ea[i].symbol < eb[j].symbol)) {
+        sym = ea[i].symbol;
+        ta = ea[i++].to;
+      } else if (i >= ea.size() || eb[j].symbol < ea[i].symbol) {
+        sym = eb[j].symbol;
+        tb = eb[j++].to;
+      } else {
+        sym = ea[i].symbol;
+        ta = ea[i++].to;
+        tb = eb[j++].to;
+      }
+      if (ta == kNoState && tb == kNoState) continue;
+      visit({ta, tb}, idx, sym);
+    }
+  }
+  return std::nullopt;
 }
+
+bool dfa_equivalent(const Dfa& a, const Dfa& b) {
+  return !dfa_distinguishing_word(a, b).has_value();
+}
+
+bool equivalent(const Dfa& a, const Dfa& b) { return dfa_equivalent(a, b); }
 
 bool is_infinite_language(const Dfa& a) {
   Dfa t = trim(a);

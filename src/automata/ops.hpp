@@ -33,7 +33,20 @@ Dfa concat(const Dfa& a, const Dfa& b);
 bool is_empty_language(const Dfa& a);
 bool contains_epsilon(const Dfa& a);
 
-// True iff a and b accept the same language.
+// Decision procedure for language equality: a product walk over reachable
+// state pairs, treating a missing transition as the implicit dead state.
+// Returns a shortest symbol sequence accepted by exactly one of the two
+// automata, or nullopt when the languages are equal. O(|a|·|b|) states, no
+// minimization required.
+std::optional<std::vector<Symbol>> dfa_distinguishing_word(const Dfa& a,
+                                                           const Dfa& b);
+
+// True iff a and b accept the same language (dfa_distinguishing_word finds
+// no witness).
+bool dfa_equivalent(const Dfa& a, const Dfa& b);
+
+// True iff a and b accept the same language. Alias for dfa_equivalent, kept
+// for existing call sites.
 bool equivalent(const Dfa& a, const Dfa& b);
 
 // True iff the language is infinite (trim automaton has a cycle).

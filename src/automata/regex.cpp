@@ -1,5 +1,6 @@
 #include "automata/regex.hpp"
 
+#include "automata/algebra.hpp"
 #include "automata/determinize.hpp"
 #include "automata/regex_parser.hpp"
 #include "automata/thompson.hpp"
@@ -19,12 +20,14 @@ Dfa compile_regex_unminimized(std::string_view pattern) {
     RELM_TRACE_SPAN("regex.parse");
     ast = parse_regex(pattern);
   }
-  Nfa nfa = [&] {
-    RELM_TRACE_SPAN("regex.thompson");
-    return thompson_construct(*ast);
-  }();
+  // Boolean-algebra patterns (and plain ones alike) compile through the
+  // algebra compiler under the environment-configured state budget; for
+  // boolean-free ASTs this is exactly thompson + budgeted determinize.
+  AlgebraOptions options;
+  options.state_budget = determinize_budget_from_env();
+  options.lazy = lazy_determinize_from_env();
   RELM_TRACE_SPAN("regex.determinize");
-  return trim(determinize(nfa));
+  return compile_ast(*ast, options);
 }
 
 }  // namespace relm::automata

@@ -61,6 +61,41 @@ RegexPtr RegexNode::repeat(RegexPtr child, int min, int max) {
   return node;
 }
 
+RegexPtr RegexNode::intersect(std::vector<RegexPtr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexKind::kIntersect;
+  node->children = std::move(children);
+  return node;
+}
+
+RegexPtr RegexNode::complement(RegexPtr child) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexKind::kComplement;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+RegexPtr RegexNode::difference(RegexPtr left, RegexPtr right) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = RegexKind::kDifference;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+bool has_boolean_ops(const RegexNode& node) {
+  if (node.kind == RegexKind::kIntersect ||
+      node.kind == RegexKind::kComplement ||
+      node.kind == RegexKind::kDifference) {
+    return true;
+  }
+  for (const auto& child : node.children) {
+    if (has_boolean_ops(*child)) return true;
+  }
+  return false;
+}
+
 RegexPtr RegexNode::clone() const {
   auto node = std::make_unique<RegexNode>();
   node->kind = kind;

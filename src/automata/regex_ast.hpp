@@ -13,12 +13,18 @@ namespace relm::automata {
 using ByteSet = std::bitset<256>;
 
 enum class RegexKind {
-  kEmptySet,   // ∅ — matches nothing
-  kEpsilon,    // ε — matches the empty string
-  kCharClass,  // one symbol drawn from a ByteSet
-  kConcat,     // r1 r2 ... rn
-  kAlternate,  // r1 | r2 | ... | rn
-  kRepeat,     // r{min,max}; max == kUnbounded means r{min,}
+  kEmptySet,    // ∅ — matches nothing
+  kEpsilon,     // ε — matches the empty string
+  kCharClass,   // one symbol drawn from a ByteSet
+  kConcat,      // r1 r2 ... rn
+  kAlternate,   // r1 | r2 | ... | rn
+  kRepeat,      // r{min,max}; max == kUnbounded means r{min,}
+  // Boolean query algebra (ISSUE 9). These are not regular operators in the
+  // Thompson sense: they compile through the algebra product/subset
+  // construction (automata/algebra.hpp), not thompson_construct.
+  kIntersect,   // r1 & r2 & ... & rn — strings in every child language
+  kComplement,  // ~r — strings over the text universe NOT in L(r)
+  kDifference,  // r1 - r2 — L(r1) \ L(r2)
 };
 
 inline constexpr int kUnbounded = -1;
@@ -41,9 +47,17 @@ struct RegexNode {
   static RegexPtr concat(std::vector<RegexPtr> children);
   static RegexPtr alternate(std::vector<RegexPtr> children);
   static RegexPtr repeat(RegexPtr child, int min, int max);
+  static RegexPtr intersect(std::vector<RegexPtr> children);
+  static RegexPtr complement(RegexPtr child);
+  static RegexPtr difference(RegexPtr left, RegexPtr right);
 
   RegexPtr clone() const;
 };
+
+// True iff the tree contains any boolean-algebra node (kIntersect,
+// kComplement, kDifference). Such trees must compile through
+// automata/algebra.hpp; thompson_construct rejects them.
+bool has_boolean_ops(const RegexNode& node);
 
 // Named byte sets shared by the parser and the Levenshtein preprocessor.
 // The paper's queries operate over ASCII (§B notes Unicode needs byte-level

@@ -25,26 +25,94 @@ class Parser {
     throw relm::RegexError(message, pos_);
   }
 
+  // Diagnostic anchored to an operator's own span rather than the current
+  // cursor (which has usually moved past the operator by the time the
+  // missing operand is discovered).
+  [[noreturn]] void fail_at(const std::string& message, std::size_t position,
+                            std::size_t length = 1) const {
+    throw relm::RegexError(message, position, length);
+  }
+
   bool done() const { return pos_ >= pattern_.size(); }
   char peek() const { return pattern_[pos_]; }
   char take() { return pattern_[pos_++]; }
 
+  // Precedence, loosest to tightest (see docs/cli.md):
+  //   alternation `|` < difference `-` < intersection `&` < concatenation
+  //   < complement `~`/`!` (prefix) < repetition < atoms.
+  // `-` keeps its old literal meaning inside [...] classes; elsewhere the
+  // four algebra characters are metacharacters and must be escaped to match
+  // literally.
   RegexPtr parse_alternation() {
     std::vector<RegexPtr> branches;
-    branches.push_back(parse_concat());
+    branches.push_back(parse_difference());
     while (!done() && peek() == '|') {
       take();
-      branches.push_back(parse_concat());
+      branches.push_back(parse_difference());
     }
     return RegexNode::alternate(std::move(branches));
   }
 
+  RegexPtr parse_difference() {
+    std::size_t left_start = pos_;
+    RegexPtr node = parse_intersection();
+    while (!done() && peek() == '-') {
+      std::size_t op_pos = pos_;
+      if (pos_ == left_start) {
+        fail_at("difference operator '-' missing left-hand operand", op_pos);
+      }
+      take();
+      std::size_t rhs_start = pos_;
+      RegexPtr rhs = parse_intersection();
+      if (pos_ == rhs_start) {
+        fail_at("difference operator '-' missing right-hand operand", op_pos);
+      }
+      node = RegexNode::difference(std::move(node), std::move(rhs));
+    }
+    return node;
+  }
+
+  RegexPtr parse_intersection() {
+    std::size_t left_start = pos_;
+    std::vector<RegexPtr> branches;
+    branches.push_back(parse_concat());
+    while (!done() && peek() == '&') {
+      std::size_t op_pos = pos_;
+      if (pos_ == left_start) {
+        fail_at("intersection operator '&' missing left-hand operand", op_pos);
+      }
+      take();
+      std::size_t rhs_start = pos_;
+      branches.push_back(parse_concat());
+      if (pos_ == rhs_start) {
+        fail_at("intersection operator '&' missing right-hand operand", op_pos);
+      }
+    }
+    return RegexNode::intersect(std::move(branches));
+  }
+
   RegexPtr parse_concat() {
     std::vector<RegexPtr> parts;
-    while (!done() && peek() != '|' && peek() != ')') {
-      parts.push_back(parse_repeat());
+    while (!done() && peek() != '|' && peek() != ')' && peek() != '&' &&
+           peek() != '-') {
+      parts.push_back(parse_complement());
     }
     return RegexNode::concat(std::move(parts));
+  }
+
+  RegexPtr parse_complement() {
+    if (peek() == '~' || peek() == '!') {
+      std::size_t op_pos = pos_;
+      char op = take();
+      if (done() || peek() == '|' || peek() == ')' || peek() == '&' ||
+          peek() == '-') {
+        fail_at(std::string("complement operator '") + op +
+                    "' missing operand",
+                op_pos);
+      }
+      return RegexNode::complement(parse_complement());
+    }
+    return parse_repeat();
   }
 
   RegexPtr parse_repeat() {
@@ -62,15 +130,16 @@ class Parser {
         take();
         atom = RegexNode::repeat(std::move(atom), 0, 1);
       } else if (c == '{') {
+        std::size_t brace_pos = pos_;
         take();
-        atom = parse_counted_repeat(std::move(atom));
+        atom = parse_counted_repeat(std::move(atom), brace_pos);
       } else {
         return atom;
       }
     }
   }
 
-  RegexPtr parse_counted_repeat(RegexPtr atom) {
+  RegexPtr parse_counted_repeat(RegexPtr atom, std::size_t brace_pos) {
     int min = parse_int("repetition lower bound");
     int max = min;
     if (!done() && peek() == ',') {
@@ -79,7 +148,12 @@ class Parser {
         max = kUnbounded;
       } else {
         max = parse_int("repetition upper bound");
-        if (max < min) fail("repetition upper bound below lower bound");
+        if (max < min) {
+          // Anchor to the whole {m,n} construct (closing brace included when
+          // present) — the defect is the bound pair, not the cursor position.
+          std::size_t span = pos_ - brace_pos + (!done() && peek() == '}');
+          fail_at("repetition upper bound below lower bound", brace_pos, span);
+        }
       }
     }
     if (done() || take() != '}') fail("expected '}' to close repetition");

@@ -68,6 +68,14 @@ class Builder {
       }
       case RegexKind::kRepeat:
         return emit_repeat(node);
+      case RegexKind::kIntersect:
+      case RegexKind::kComplement:
+      case RegexKind::kDifference:
+        // Boolean-algebra nodes have no Thompson fragment; they compile
+        // through the product/subset construction in automata/algebra.hpp.
+        throw relm::Error(
+            "thompson_construct: boolean-algebra node requires the algebra "
+            "compiler (automata/algebra.hpp)");
     }
     throw relm::Error("unreachable: unknown regex node kind");
   }

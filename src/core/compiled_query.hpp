@@ -92,6 +92,11 @@ class CompiledQuery {
     return !artifact_->prefix.masks.empty() && !artifact_->body.masks.empty();
   }
 
+  // True when the compiled language is empty (vacuous algebra query like
+  // `a & !a`): no token sequence can ever match. Executors check this first
+  // and return cleanly with zero model calls.
+  bool empty_language() const { return artifact_->empty_language; }
+
   // A match requires the body machine to be in a final state. (A query with
   // an empty body pattern accepts at the hand-off itself.)
   bool is_match(const StateSet& set) const;

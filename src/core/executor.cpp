@@ -699,6 +699,12 @@ void ShortestPathSearch::count_speculative_waste() {
 }
 
 std::optional<SearchResult> ShortestPathSearch::next() {
+  // Empty-language fast path: a vacuous query (`a & !a`) has no frontier
+  // worth expanding — return exhausted with zero model calls.
+  if (compiled_.empty_language()) {
+    stats_.elapsed_seconds = timer_.seconds();
+    return std::nullopt;
+  }
   for (;;) {
     // A pending match is settled once no frontier node could still tie it:
     // every undiscovered path must extend some frontier node, so it can only
@@ -779,6 +785,8 @@ void RandomSampler::refresh_cache_stats() {
 
 std::optional<SearchResult> RandomSampler::sample_once() {
   RELM_TRACE_SPAN("executor.sample");
+  // Empty-language fast path: every attempt would dead-end; skip the model.
+  if (compiled_.empty_language()) return std::nullopt;
   ExecutorMetrics& metrics = ExecutorMetrics::get();
   const std::size_t llm_calls_before = stats_.llm_calls;
   const std::size_t pruned_rules_before = stats_.pruned_by_rules;
@@ -984,6 +992,11 @@ std::optional<SearchResult> RandomSampler::sample_once_impl() {
 
 std::vector<SearchResult> RandomSampler::sample_all() {
   std::vector<SearchResult> out;
+  // Empty-language fast path: nothing to sample, zero model calls.
+  if (compiled_.empty_language()) {
+    stats_.elapsed_seconds = timer_.seconds();
+    return out;
+  }
   const std::size_t max_attempts =
       query_.num_samples * query_.max_sample_attempts_factor;
   std::size_t attempts = 0;
@@ -1012,6 +1025,11 @@ void BeamSearch::refresh_cache_stats() {
 
 std::vector<SearchResult> BeamSearch::run() {
   RELM_TRACE_SPAN("executor.beam");
+  // Empty-language fast path: no beam can ever reach a match.
+  if (compiled_.empty_language()) {
+    stats_.elapsed_seconds = timer_.seconds();
+    return {};
+  }
   ExecutorMetrics& metrics = ExecutorMetrics::get();
   const std::size_t seq_limit = std::min(
       query_.sequence_length.value_or(model_.max_sequence_length()),

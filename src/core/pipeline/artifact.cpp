@@ -5,6 +5,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "automata/ops.hpp"
 #include "automata/serialize.hpp"
 #include "core/token_masks.hpp"
 #include "util/errors.hpp"
@@ -104,6 +105,7 @@ std::optional<ArtifactKey> derive_artifact_key(
     const SimpleSearchQuery& query, const tokenizer::BpeTokenizer& tok) {
   KeyHasher h;
   h.u64(QueryArtifact::kFormatVersion);
+  h.u64(QueryArtifact::kGrammarVersion);
   h.str(query.query_string.prefix_str);
   h.str(query.query_string.body_str());
   h.str(strategy_tag(query.tokenization_strategy));
@@ -392,6 +394,10 @@ QueryArtifact load_artifact(std::istream& in) {
       (artifact.prefix.dynamic_canonical || artifact.body.dynamic_canonical)) {
     corrupt("dynamic_canonical set on an all-tokens artifact");
   }
+  // Derived, never trusted from the file: recompute the empty-language flag
+  // exactly like the assemble pass does.
+  artifact.empty_language = automata::is_empty_language(artifact.body.dfa) ||
+                           automata::is_empty_language(artifact.prefix.dfa);
   return artifact;
 }
 

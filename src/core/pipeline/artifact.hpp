@@ -40,6 +40,13 @@ struct QueryArtifact {
   // every cached key at once; v1 *files* remain loadable (see load_artifact).
   static constexpr std::uint32_t kFormatVersion = 2;
 
+  // Version of the *query grammar*, folded into the artifact key but NOT
+  // into the container format: bumping it retires cached keys for patterns
+  // whose meaning changed without invalidating existing artifact files.
+  // 2 = the boolean query algebra (`&`, `~`/`!`, `-` became metacharacters,
+  // so e.g. "a-b" now names a different language than it did under v1).
+  static constexpr std::uint32_t kGrammarVersion = 2;
+
   ArtifactKey key;                      // zero when the query is unkeyable
   std::uint64_t vocab_fingerprint = 0;  // tokenizer identity at compile time
   TokenizationStrategy strategy = TokenizationStrategy::kCanonicalTokens;
@@ -47,6 +54,10 @@ struct QueryArtifact {
   // until the assemble pass (or the loader) fills these.
   TokenAutomaton prefix{automata::Dfa(1), false, {}};
   TokenAutomaton body{automata::Dfa(1), false, {}};
+  // True when no token sequence can match (vacuous algebra query such as
+  // `a & !a`, or an over-restrictive preprocessor). Derived from the
+  // automata — never serialized; the loader recomputes it.
+  bool empty_language = false;
 };
 
 // Order-sensitive fingerprint of a tokenizer's observable identity: every

@@ -1,10 +1,12 @@
 #include "core/pipeline/pipeline.hpp"
 
+#include "automata/algebra.hpp"
 #include "automata/determinize.hpp"
 #include "automata/ops.hpp"
 #include "automata/regex_parser.hpp"
 #include "automata/thompson.hpp"
 #include "core/token_masks.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
@@ -38,8 +40,12 @@ class ThompsonPass : public Pass {
   void run(CompileState& s) const override {
     RELM_TRACE_SPAN("compile.pass.thompson");
     RELM_TRACE_SPAN("regex.thompson");  // legacy name, kept for trace tooling
-    s.body_nfa = automata::thompson_construct(*s.body_ast);
-    if (s.prefix_ast) {
+    // Boolean-algebra ASTs have no Thompson form; the determinize pass
+    // compiles them whole through the algebra product construction.
+    if (!automata::has_boolean_ops(*s.body_ast)) {
+      s.body_nfa = automata::thompson_construct(*s.body_ast);
+    }
+    if (s.prefix_ast && !automata::has_boolean_ops(*s.prefix_ast)) {
       s.prefix_nfa = automata::thompson_construct(*s.prefix_ast);
     }
   }
@@ -50,9 +56,25 @@ class DeterminizePass : public Pass {
   const char* name() const override { return "determinize"; }
   void run(CompileState& s) const override {
     RELM_TRACE_SPAN("compile.pass.determinize");
-    s.body_chars = automata::trim(automata::determinize(*s.body_nfa));
-    if (s.prefix_nfa) {
-      s.prefix_chars = automata::trim(automata::determinize(*s.prefix_nfa));
+    // One state budget covers the whole pass: subset construction for plain
+    // NFAs, lazy product/subset construction for boolean-algebra ASTs.
+    const std::size_t budget =
+        s.query->determinize_state_budget != 0
+            ? s.query->determinize_state_budget
+            : automata::determinize_budget_from_env();
+    automata::AlgebraOptions options;
+    options.state_budget = budget;
+    options.lazy = automata::lazy_determinize_from_env();
+
+    auto compile_chars =
+        [&](const automata::RegexPtr& ast,
+            const std::optional<automata::Nfa>& nfa) -> automata::Dfa {
+      if (nfa) return automata::trim(automata::determinize(*nfa, budget));
+      return automata::compile_ast(*ast, options);
+    };
+    s.body_chars = compile_chars(s.body_ast, s.body_nfa);
+    if (s.prefix_ast) {
+      s.prefix_chars = compile_chars(s.prefix_ast, s.prefix_nfa);
     }
   }
 };
@@ -84,10 +106,10 @@ class PreprocessPass : public Pass {
         s.prefix_chars = pre->apply(*s.prefix_chars);
       }
     }
-    if (automata::is_empty_language(*s.body_chars)) {
-      throw relm::QueryError(
-          "query body matches no strings after preprocessing");
-    }
+    // An empty body language (a vacuous algebra query like `a & !a`, or a
+    // preprocessor that filtered everything out) is NOT an error: the
+    // assemble pass flags it and executors return zero matches with zero
+    // model calls (the empty-language fast path).
   }
 };
 
@@ -138,6 +160,17 @@ class AssemblePass : public Pass {
     artifact.strategy = s.query->tokenization_strategy;
     artifact.prefix = std::move(*s.prefix_tokens);
     artifact.body = std::move(*s.body_tokens);
+    // Vacuous-query detection (`a & !a`, over-restrictive preprocessors, a
+    // prefix no token sequence can spell): flagged here so executors bail
+    // out before their first model call. Derived from the automata — the
+    // loader recomputes it rather than trusting a file.
+    artifact.empty_language = automata::is_empty_language(artifact.body.dfa) ||
+                              automata::is_empty_language(artifact.prefix.dfa);
+    if (artifact.empty_language) {
+      static obs::Counter& empties =
+          obs::Registry::instance().counter("compile.empty_language");
+      empties.add();
+    }
     s.artifact = std::move(artifact);
   }
 };

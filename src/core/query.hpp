@@ -120,6 +120,14 @@ struct SimpleSearchQuery {
   // enumerated and encoded exactly (§3.2 option 1); larger ones fall back to
   // dynamic canonicality pruning during traversal (option 2).
   std::size_t canonical_enumeration_budget = 50000;
+
+  // Determinize pass: cap on character-DFA states materialized by subset /
+  // boolean-product construction; exceeding it throws relm::StateBudgetError
+  // instead of blowing up compile memory. 0 defers to RELM_DETERMINIZE_BUDGET
+  // (default 2^20). A compile limit, not a language change — deliberately
+  // excluded from the artifact cache key (the minimized result is identical
+  // for any budget large enough to finish).
+  std::size_t determinize_state_budget = 0;
 };
 
 }  // namespace relm::core

@@ -100,7 +100,7 @@ LambadaResult run_lambada(const World& world, const model::NgramModel& model,
     core::SimpleSearchQuery query;
     query.query_string.prefix_str = util::regex_escape(passage.context);
     query.query_string.query_str =
-        query.query_string.prefix_str + " " + word_class + "(\\.|!|\\?)?(\")?";
+        query.query_string.prefix_str + " " + word_class + "(\\.|\\!|\\?)?(\")?";
     query.search_strategy = core::SearchStrategy::kShortestPath;
     query.tokenization_strategy = core::TokenizationStrategy::kCanonicalTokens;
     query.decoding.top_k = settings.top_k;
@@ -117,7 +117,7 @@ LambadaResult run_lambada(const World& world, const model::NgramModel& model,
         stops += "(" + w + ")";
       }
       query.preprocessors.push_back(std::make_shared<core::FilterPreprocessor>(
-          " ((" + stops + "))(\\.|!|\\?)?(\")?", core::Preprocessor::Target::kBody));
+          " ((" + stops + "))(\\.|\\!|\\?)?(\")?", core::Preprocessor::Target::kBody));
     }
 
     core::CompiledQuery compiled =

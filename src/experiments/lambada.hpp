@@ -10,7 +10,7 @@ namespace relm::experiments {
 // The §4.4 language-understanding experiment (Table 1): zero-shot accuracy
 // on the cloze dataset under the four query formulations, in the paper's
 // order of increasing structure:
-//   baseline   — <ctx> ([a-zA-Z]+)(\.|!|\?)?(")?
+//   baseline   — <ctx> ([a-zA-Z]+)(\.|\!|\?)?(")?
 //   words      — the word class restricted to words appearing in the context
 //   terminated — baseline plus an explicit EOS requirement
 //   no_stop    — terminated plus an nltk-style stop-word filter

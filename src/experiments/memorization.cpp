@@ -7,6 +7,7 @@
 #include "core/compiled_query.hpp"
 #include "core/executor.hpp"
 #include "core/relm.hpp"
+#include "util/strings.hpp"
 
 namespace relm::experiments {
 
@@ -62,9 +63,31 @@ MemorizationRun run_relm_url_extraction(const World& world,
                                         std::size_t max_results,
                                         std::size_t max_expansions,
                                         const RelmRunOptions& options) {
+  static constexpr const char* kUrlPrefix = "https://www.";
   core::SimpleSearchQuery query;
-  query.query_string.query_str = url_pattern();
-  query.query_string.prefix_str = "https://www.";
+  query.query_string.prefix_str = kUrlPrefix;
+  if (options.exclude_urls.empty()) {
+    query.query_string.query_str = url_pattern();
+  } else {
+    // One-pass difference mode: subtract the excluded URLs inside the query
+    // language (`A - B`, a single compiled automaton) instead of filtering
+    // the executor's output afterwards. Both operands are expressed on the
+    // pattern *body* (after the literal prefix) so prefix_str stays a
+    // textual prefix of query_str.
+    std::string body_a = std::string(url_pattern()).substr(
+        std::string_view(kUrlPrefix).size());
+    std::string body_b;
+    for (const std::string& url : options.exclude_urls) {
+      if (!url.starts_with(kUrlPrefix)) continue;  // can never match A
+      if (!body_b.empty()) body_b += "|";
+      body_b += "(" + util::regex_escape(url.substr(
+                          std::string_view(kUrlPrefix).size())) + ")";
+    }
+    query.query_string.query_str =
+        body_b.empty() ? std::string(url_pattern())
+                       : std::string(kUrlPrefix) + "((" + body_a + ")-(" +
+                             body_b + "))";
+  }
   query.search_strategy = core::SearchStrategy::kShortestPath;
   // The URL language is infinite; the canonical strategy would fall back to
   // dynamic pruning. The paper uses top-k filtered search over encodings —

@@ -53,6 +53,14 @@ struct RelmRunOptions {
   bool speculative = false;
   std::size_t target_occupancy = 16;
   std::size_t max_in_flight = 64;
+  // One-pass difference-automaton mode: URLs listed here are subtracted from
+  // the query language itself — the pattern becomes `(URL body) - (url_1 |
+  // url_2 | ...)` and the executor never visits an excluded URL at all. This
+  // replaces the two-pass "run, then filter the matches" flow with a single
+  // compiled automaton (the boolean query algebra's `-` operator); the match
+  // set is byte-identical to the two-pass filter. Entries that do not start
+  // with the https://www. prefix are ignored (they can never match anyway).
+  std::vector<std::string> exclude_urls;
 };
 
 // ReLM: shortest-path over the URL pattern with prefix https://www. and

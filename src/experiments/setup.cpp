@@ -81,7 +81,9 @@ World build_world_from_env() {
 }
 
 const char* url_pattern() {
-  return "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+";
+  // `-` is the difference operator under the boolean query algebra, so the
+  // literal hyphen in the paper's URL pattern must be escaped.
+  return "https://www.([a-zA-Z0-9]|\\-|_|#|%)+.([a-zA-Z0-9]|\\-|_|#|%|/)+";
 }
 
 std::string insult_lexicon_pattern() {

@@ -1,8 +1,10 @@
 #include "testing/differential.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "automata/regex.hpp"
 #include "core/executor.hpp"
 #include "core/pipeline/cache.hpp"
 #include "model/ngram_model.hpp"
@@ -245,6 +247,92 @@ TrialReport run_trial(const TrialCase& trial,
         return fail("config:pipeline",
                     "pipeline threads=" + std::to_string(bad_threads) + ": " +
                         *diff);
+      }
+    }
+
+    // Configuration G: one-pass difference automaton. The query becomes
+    // `prefix((body)-(body_b))` — a single compiled product automaton — and
+    // must produce exactly the strings the two-pass flow yields: run the
+    // plain query, then drop every result whose body text body_b accepts.
+    // Deterministic executors are compared result-for-result after a
+    // probability-major sort (the two automata may tie-break equal-probability
+    // strings differently); the sampler, whose draw sequence legitimately
+    // depends on automaton shape, is validated by set membership instead.
+    if (!trial.body_b.empty()) {
+      SimpleSearchQuery one_pass_query = query;
+      one_pass_query.query_string.query_str =
+          trial.prefix + "((" + trial.body + ")-(" + trial.body_b + "))";
+      auto one_artifact =
+          core::pipeline::compile_cached(one_pass_query, tok, nullptr);
+      CompiledQuery one_compiled =
+          CompiledQuery::from_artifact(one_artifact, tok);
+      ExecutorOutputs one_pass = run_executors(
+          *base_model, one_compiled, one_pass_query, trial.sampler_seed);
+
+      automata::Dfa a_chars = automata::compile_regex(trial.body);
+      automata::Dfa b_chars = automata::compile_regex(trial.body_b);
+      auto body_text = [&](const SearchResult& r) {
+        return r.text.substr(trial.prefix.size());
+      };
+      auto two_pass_filter = [&](const std::vector<SearchResult>& in) {
+        std::vector<SearchResult> out;
+        for (const SearchResult& r : in) {
+          if (!b_chars.accepts_bytes(body_text(r))) out.push_back(r);
+        }
+        return out;
+      };
+      auto canonical_order = [](std::vector<SearchResult> results) {
+        std::sort(results.begin(), results.end(),
+                  [](const SearchResult& a, const SearchResult& b) {
+                    if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
+                    if (a.text != b.text) return a.text < b.text;
+                    return a.tokens < b.tokens;
+                  });
+        return results;
+      };
+      for (auto [got, reference, what] :
+           {std::tuple{&one_pass.shortest1, &plain.shortest1, "shortest1"},
+            std::tuple{&one_pass.shortest3, &plain.shortest3, "shortest3"},
+            std::tuple{&one_pass.beam, &plain.beam, "beam"}}) {
+        if (auto diff = diff_exact(canonical_order(*got),
+                                   canonical_order(two_pass_filter(*reference)),
+                                   what)) {
+          return fail(std::string("difference:") + what,
+                      "one-pass vs two-pass: " + *diff);
+        }
+      }
+      for (const SearchResult& sample : one_pass.samples) {
+        const std::string body = body_text(sample);
+        if (!a_chars.accepts_bytes(body) || b_chars.accepts_bytes(body)) {
+          return fail("difference:samples",
+                      "one-pass sample \"" + sample.text +
+                          "\" is outside L(A)-L(B)");
+        }
+      }
+      // Thread sweep with masks on: the async pipeline over the difference
+      // automaton must reproduce its own lockstep run bytewise.
+      const std::size_t restore = util::ThreadPool::shared().threads();
+      std::optional<std::string> diff;
+      std::size_t bad_threads = 0;
+      for (std::size_t threads :
+           {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        util::ThreadPool::set_shared_threads(threads);
+        SimpleSearchQuery spec = one_pass_query;
+        spec.expansion_batch_size = 1;
+        spec.speculative_expansion = true;
+        ShortestPathSearch search(*base_model, one_compiled, spec);
+        std::vector<SearchResult> got = search.all();
+        diff = diff_exact(got, one_pass.shortest1, "difference-pipeline");
+        if (diff) {
+          bad_threads = threads;
+          break;
+        }
+      }
+      util::ThreadPool::set_shared_threads(restore);
+      if (diff) {
+        return fail("difference:pipeline",
+                    "difference pipeline threads=" +
+                        std::to_string(bad_threads) + ": " + *diff);
       }
     }
 

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "analysis/invariants.hpp"
+#include "automata/algebra.hpp"
+#include "automata/ops.hpp"
 #include "automata/regex_parser.hpp"
 #include "automata/serialize.hpp"
 #include "core/pipeline/artifact.hpp"
@@ -81,6 +83,49 @@ int fuzz_artifact_loader(const std::uint8_t* data, std::size_t size) {
   analysis::InvariantReport report;
   analysis::check_query_artifact(artifact, /*tok=*/nullptr, report, "fuzzed");
   if (!report.ok()) die("fuzz_artifact_loader", report.to_string());
+  return 0;
+}
+
+int fuzz_algebra_compile(const std::uint8_t* data, std::size_t size) {
+  // Bound the pattern: compile cost grows with pattern size and the point
+  // here is operator interaction, not giant inputs.
+  if (size > 64) size = 64;
+  std::string pattern(reinterpret_cast<const char*>(data), size);
+  automata::RegexPtr ast;
+  try {
+    ast = automata::parse_regex(pattern);
+  } catch (const relm::Error&) {
+    return 0;
+  }
+  automata::AlgebraOptions lazy;
+  lazy.lazy = true;
+  lazy.state_budget = 4096;  // adversarial complements must terminate
+  automata::Dfa lazy_dfa(1);
+  try {
+    lazy_dfa = automata::compile_ast(*ast, lazy);
+  } catch (const relm::StateBudgetError&) {
+    return 0;  // over budget is an accepted outcome, not a finding
+  } catch (const relm::Error& e) {
+    die("fuzz_algebra_compile",
+        std::string("non-budget compile failure on accepted parse: ") +
+            e.what());
+  }
+  analysis::InvariantReport report;
+  analysis::check_dfa(lazy_dfa, report, "algebra-lazy");
+  if (!report.ok()) die("fuzz_algebra_compile", report.to_string());
+  // Differential check against the eager reference path when it also fits
+  // the budget: same language, or one of the two compilers is wrong.
+  automata::AlgebraOptions eager = lazy;
+  eager.lazy = false;
+  try {
+    automata::Dfa eager_dfa = automata::compile_ast(*ast, eager);
+    if (!automata::dfa_equivalent(lazy_dfa, eager_dfa)) {
+      die("fuzz_algebra_compile",
+          "lazy and eager compiles disagree on \"" + pattern + "\"");
+    }
+  } catch (const relm::StateBudgetError&) {
+    // Eager paying more than lazy is expected (it is why lazy exists).
+  }
   return 0;
 }
 

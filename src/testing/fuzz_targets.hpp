@@ -25,6 +25,12 @@ int fuzz_dfa_loader(const std::uint8_t* data, std::size_t size);
 // cache's disk format). A successful load must satisfy check_query_artifact.
 int fuzz_artifact_loader(const std::uint8_t* data, std::size_t size);
 
+// Boolean-algebra compiler: parse, then compile through the algebra
+// product/subset construction under a small state budget (so adversarial
+// complements terminate). On success with both evaluation modes inside the
+// budget, the lazy and eager DFAs must be language-equivalent.
+int fuzz_algebra_compile(const std::uint8_t* data, std::size_t size);
+
 // Fuzz-repro JSON reader: strict Json::parse, then TrialCase::from_json on
 // schema-tagged documents; a successfully loaded case must survive a
 // serialize/parse round-trip.

@@ -25,15 +25,22 @@ char pick_char(Pcg32& rng, const std::string& alphabet) {
 RegexPtr gen_node(Pcg32& rng, const RegexGenConfig& config, int depth) {
   // Leaves: single char (5), small class (2), epsilon (1).
   // Internal (only when depth budget remains): concat (4), alternate (3),
-  // repeat (2).
+  // repeat (2), then the boolean algebra — intersect / complement /
+  // difference — at algebra_weight each (0 restores the pre-algebra
+  // generator, draw-for-draw).
   const bool leaf_only = depth >= config.max_depth;
-  double weights[6] = {5, 2, 1, 0, 0, 0};
+  double weights[9] = {5, 2, 1, 0, 0, 0, 0, 0, 0};
   if (!leaf_only) {
     weights[3] = 4;
     weights[4] = 3;
     weights[5] = 2;
+    weights[6] = config.algebra_weight;
+    weights[7] = config.algebra_weight;
+    weights[8] = config.algebra_weight;
   }
-  const std::size_t bucket = rng.weighted(std::span<const double>(weights, 6));
+  const std::size_t count = config.algebra_weight > 0 ? 9 : 6;
+  const std::size_t bucket =
+      rng.weighted(std::span<const double>(weights, count));
   switch (bucket) {
     case 0:
       return RegexNode::literal(
@@ -61,7 +68,7 @@ RegexPtr gen_node(Pcg32& rng, const RegexGenConfig& config, int depth) {
       return bucket == 3 ? RegexNode::concat(std::move(children))
                          : RegexNode::alternate(std::move(children));
     }
-    default: {
+    case 5: {
       int min = static_cast<int>(rng.bounded(
           static_cast<std::uint32_t>(config.max_repeat) + 1));
       int max = rng.uniform() < config.unbounded_prob
@@ -70,6 +77,17 @@ RegexPtr gen_node(Pcg32& rng, const RegexGenConfig& config, int depth) {
                           static_cast<std::uint32_t>(config.max_repeat) + 1));
       return RegexNode::repeat(gen_node(rng, config, depth + 1), min, max);
     }
+    case 6: {
+      std::vector<RegexPtr> children;
+      children.push_back(gen_node(rng, config, depth + 1));
+      children.push_back(gen_node(rng, config, depth + 1));
+      return RegexNode::intersect(std::move(children));
+    }
+    case 7:
+      return RegexNode::complement(gen_node(rng, config, depth + 1));
+    default:
+      return RegexNode::difference(gen_node(rng, config, depth + 1),
+                                   gen_node(rng, config, depth + 1));
   }
 }
 
@@ -90,11 +108,12 @@ std::size_t node_count(const RegexNode& node) {
 namespace {
 
 bool plain_literal(unsigned char c) {
+  // `!`, `&`, `~` left this set when they became boolean-algebra operators;
+  // append_literal now emits them escaped, keeping pattern_of round-trippable.
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == ' ' || c == '_' || c == ',' ||
          c == ':' || c == ';' || c == '<' || c == '>' || c == '=' ||
-         c == '!' || c == '@' || c == '&' || c == '~' || c == '"' ||
-         c == '\'' || c == '`';
+         c == '@' || c == '"' || c == '\'' || c == '`';
 }
 
 void append_literal(std::string& out, unsigned char c) {
@@ -139,7 +158,10 @@ void render(const RegexNode& node, std::string& out) {
   auto render_grouped = [&](const RegexNode& child) {
     bool group = child.kind == RegexKind::kAlternate ||
                  child.kind == RegexKind::kConcat ||
-                 child.kind == RegexKind::kRepeat;
+                 child.kind == RegexKind::kRepeat ||
+                 child.kind == RegexKind::kIntersect ||
+                 child.kind == RegexKind::kComplement ||
+                 child.kind == RegexKind::kDifference;
     if (group) out += '(';
     render(child, out);
     if (group) out += ')';
@@ -171,7 +193,11 @@ void render(const RegexNode& node, std::string& out) {
     }
     case RegexKind::kConcat:
       for (const RegexPtr& child : node.children) {
-        if (child->kind == RegexKind::kAlternate) {
+        // Operators looser than concatenation need grouping; a complement
+        // child does not (`a~b` already parses as a·(~b)).
+        if (child->kind == RegexKind::kAlternate ||
+            child->kind == RegexKind::kIntersect ||
+            child->kind == RegexKind::kDifference) {
           out += '(';
           render(*child, out);
           out += ')';
@@ -186,6 +212,51 @@ void render(const RegexNode& node, std::string& out) {
         render(*node.children[i], out);
       }
       return;
+    case RegexKind::kIntersect:
+      // `&` binds tighter than `|` and `-`: group children of those kinds.
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += '&';
+        const RegexNode& child = *node.children[i];
+        bool group = child.kind == RegexKind::kAlternate ||
+                     child.kind == RegexKind::kDifference;
+        if (group) out += '(';
+        render(child, out);
+        if (group) out += ')';
+      }
+      return;
+    case RegexKind::kDifference: {
+      // `-` is left-associative and looser than `&`: the left child only
+      // needs grouping when it is an alternation; the right child also when
+      // it is itself a difference (else `a-b-c` re-associates to the left).
+      const RegexNode& left = *node.children[0];
+      const RegexNode& right = *node.children[1];
+      bool group_left = left.kind == RegexKind::kAlternate;
+      bool group_right = right.kind == RegexKind::kAlternate ||
+                         right.kind == RegexKind::kDifference;
+      if (group_left) out += '(';
+      render(left, out);
+      if (group_left) out += ')';
+      out += '-';
+      if (group_right) out += '(';
+      render(right, out);
+      if (group_right) out += ')';
+      return;
+    }
+    case RegexKind::kComplement: {
+      // `~` binds to the following repeated atom, so a repeat, another
+      // complement, or a leaf may follow bare; anything looser is grouped
+      // (`~ab` would parse as (~a)·b).
+      out += '~';
+      const RegexNode& child = *node.children.front();
+      bool group = child.kind == RegexKind::kConcat ||
+                   child.kind == RegexKind::kAlternate ||
+                   child.kind == RegexKind::kIntersect ||
+                   child.kind == RegexKind::kDifference;
+      if (group) out += '(';
+      render(child, out);
+      if (group) out += ')';
+      return;
+    }
     case RegexKind::kRepeat: {
       render_grouped(*node.children.front());
       int min = node.repeat_min;
@@ -413,6 +484,7 @@ Json TrialCase::to_json() const {
   j.set("model", model.to_json());
   j.set("prefix", Json::string(prefix));
   j.set("body", Json::string(body));
+  if (!body_b.empty()) j.set("body_b", Json::string(body_b));
   j.set("all_tokens", Json::boolean(all_tokens));
   j.set("require_eos", Json::boolean(require_eos));
   j.set("top_k", Json::number(static_cast<std::int64_t>(top_k)));
@@ -441,6 +513,9 @@ TrialCase TrialCase::from_json(const Json& j) {
   c.model = ModelSpec::from_json(j.at("model"));
   c.prefix = j.at("prefix").as_string();
   c.body = j.at("body").as_string();
+  // Optional: repro files written before the difference configuration
+  // existed (and trials without one) simply omit it.
+  if (const Json* v = j.get("body_b")) c.body_b = v->as_string();
   c.all_tokens = j.at("all_tokens").as_bool();
   c.require_eos = j.at("require_eos").as_bool();
   c.top_k = static_cast<std::size_t>(j.at("top_k").as_int());
@@ -464,6 +539,7 @@ TrialCase generate_case(std::uint64_t seed, const GenConfig& config) {
   Pcg32 rng_vocab(seed, 0x564f4341);  // "VOCA"
   Pcg32 rng_model(seed, 0x4d4f4445);  // "MODE"
   Pcg32 rng_param(seed, 0x50415241);  // "PARA"
+  Pcg32 rng_diffb(seed, 0x44494642);  // "DIFB"
 
   TrialCase c;
   c.seed = seed;
@@ -474,7 +550,22 @@ TrialCase generate_case(std::uint64_t seed, const GenConfig& config) {
 
   RegexPtr ast = random_regex(rng_regex, config.regex);
   c.body = pattern_of(*ast);
-  if (ast->kind == RegexKind::kAlternate) c.body = "(" + c.body + ")";
+  // Operators looser than concatenation must stay grouped so prefix + body
+  // concatenation (QueryString's textual-prefix contract) is unambiguous.
+  if (ast->kind == RegexKind::kAlternate ||
+      ast->kind == RegexKind::kIntersect ||
+      ast->kind == RegexKind::kDifference) {
+    c.body = "(" + c.body + ")";
+  }
+  if (rng_diffb.uniform() < config.difference_prob) {
+    // The subtrahend stays shallow and boolean-free: Configuration G's
+    // two-pass reference filters through its character DFA directly, and a
+    // small B keeps the one-pass product automaton oracle-enumerable.
+    RegexGenConfig b_config = config.regex;
+    b_config.max_depth = 2;
+    b_config.algebra_weight = 0;
+    c.body_b = pattern_of(*random_regex(rng_diffb, b_config));
+  }
   if (rng_param.uniform() < config.prefix_prob) {
     std::size_t len = 1 + rng_param.bounded(2);
     for (std::size_t i = 0; i < len; ++i) {

@@ -31,6 +31,10 @@ struct RegexGenConfig {
   int max_repeat = 2;             // repeat bounds stay small: min in [0,2],
                                   // max = min + [0,2] (or unbounded)
   double unbounded_prob = 0.15;   // chance a repeat becomes r{min,}
+  // Weight of each boolean-algebra bucket (intersect / complement /
+  // difference) relative to concat's 4. 0 disables the algebra buckets and
+  // restores the pre-algebra generator draw-for-draw.
+  double algebra_weight = 1.0;
 };
 
 // Draws a valid AST: never kEmptySet, repeat bounds always satisfiable, every
@@ -108,6 +112,10 @@ struct TrialCase {
   ModelSpec model;
   std::string prefix;                // literal prefix pattern (may be empty)
   std::string body;                  // body pattern (dialect syntax)
+  // Non-empty enables the difference configuration (G): the one-pass query
+  // `prefix((body)-(body_b))` is compared against running `prefix(body)` and
+  // filtering the results through body_b's character DFA afterwards.
+  std::string body_b;
   bool all_tokens = false;           // kAllTokens vs kCanonicalTokens
   bool require_eos = false;
   std::size_t top_k = 0;             // 0 = off
@@ -130,6 +138,7 @@ struct TrialCase {
 struct GenConfig {
   RegexGenConfig regex;
   VocabGenConfig vocab;
+  double difference_prob = 0.25;   // chance the trial carries a body_b
   double prefix_prob = 0.35;       // chance the query carries a literal prefix
   double all_tokens_prob = 0.3;
   double require_eos_prob = 0.35;

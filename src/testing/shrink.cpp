@@ -82,15 +82,57 @@ std::vector<RegexPtr> reductions(const RegexNode& node) {
       }
       break;
     }
+    case RegexKind::kIntersect: {
+      // Drop one operand (the factory collapses the singleton to its child),
+      // then reduce one operand in place.
+      for (std::size_t skip = 0; skip < node.children.size(); ++skip) {
+        std::vector<RegexPtr> rest;
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          if (i != skip) rest.push_back(node.children[i]->clone());
+        }
+        out.push_back(RegexNode::intersect(std::move(rest)));
+      }
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        for (RegexPtr& variant : reductions(*node.children[i])) {
+          std::vector<RegexPtr> rebuilt;
+          for (std::size_t j = 0; j < node.children.size(); ++j) {
+            rebuilt.push_back(i == j ? std::move(variant)
+                                     : node.children[j]->clone());
+          }
+          out.push_back(RegexNode::intersect(std::move(rebuilt)));
+        }
+      }
+      break;
+    }
+    case RegexKind::kComplement:
+      // The bare child is already a candidate (pushed above); also try
+      // reducing under the complement.
+      for (RegexPtr& variant : reductions(*node.children.front())) {
+        out.push_back(RegexNode::complement(std::move(variant)));
+      }
+      break;
+    case RegexKind::kDifference:
+      for (std::size_t i = 0; i < 2; ++i) {
+        for (RegexPtr& variant : reductions(*node.children[i])) {
+          out.push_back(RegexNode::difference(
+              i == 0 ? std::move(variant) : node.children[0]->clone(),
+              i == 1 ? std::move(variant) : node.children[1]->clone()));
+        }
+      }
+      break;
   }
   return out;
 }
 
 void set_body(TrialCase& trial, const RegexNode& ast) {
   trial.body = pattern_of(ast);
-  // Top-level alternation must stay grouped so prefix + body concatenation
-  // (and QueryString's textual-prefix contract) is unambiguous.
-  if (ast.kind == RegexKind::kAlternate) trial.body = "(" + trial.body + ")";
+  // Operators looser than concatenation must stay grouped so prefix + body
+  // concatenation (and QueryString's textual-prefix contract) is unambiguous.
+  if (ast.kind == RegexKind::kAlternate ||
+      ast.kind == RegexKind::kIntersect ||
+      ast.kind == RegexKind::kDifference) {
+    trial.body = "(" + trial.body + ")";
+  }
 }
 
 // Removes the multi-char vocab entry at `index`, remapping model token ids
@@ -132,6 +174,7 @@ std::vector<TrialCase> parameter_candidates(const TrialCase& trial) {
     }
   }
   if (!trial.prefix.empty()) push([](TrialCase& c) { c.prefix.clear(); });
+  if (!trial.body_b.empty()) push([](TrialCase& c) { c.body_b.clear(); });
   if (trial.require_eos) push([](TrialCase& c) { c.require_eos = false; });
   if (trial.all_tokens) push([](TrialCase& c) { c.all_tokens = false; });
   if (trial.top_k > 0 || trial.top_p < 1.0 || trial.temperature != 1.0) {

@@ -11,9 +11,14 @@
 //               [--results N] [--samples N] [--require-eos] [--seed N]
 //               [--threads N] [--cache-capacity N] [--batch N]
 //               [--compile-cache [DIR]] [--no-compile-cache]
-//               [--no-token-masks]
+//               [--no-token-masks] [--determinize-budget N]
 //               [--trace-out FILE] [--trace-jsonl FILE] [--metrics]
 //       Run a ReLM query against a saved model and stream the matches.
+//       Patterns may use the boolean query algebra — `A&B` (intersection),
+//       `~A` / `!A` (complement over printable ASCII + whitespace), `A-B`
+//       (difference); see docs/cli.md for the precedence table.
+//       --determinize-budget caps the states the lazy subset construction
+//       may materialize (default: RELM_DETERMINIZE_BUDGET, else 2^20).
 //       (`relm run` is an alias.)
 //       --threads sizes the shared evaluation pool (default: RELM_THREADS or
 //       hardware concurrency); --cache-capacity bounds the suffix-keyed
@@ -54,6 +59,12 @@
 //       every .relmq entry must load, checksum, match its filename key, and
 //       pass the query-artifact invariants.
 //
+//   relm verify --equivalent A.dfa B.dfa
+//       Decide language equivalence of two serialized automata (RELM_DFA
+//       files) by a product walk over reachable state pairs. Exits 0 when
+//       the languages are equal; otherwise prints a shortest distinguishing
+//       word and exits 2. Works without --dir.
+//
 //   relm fuzz   [--trials N] [--seed S] [--out DIR] [--num-samples N]
 //               [--max-failures N] [--no-shrink] [--mutate MODE]
 //               [--replay FILE] [--shrink-trials N]
@@ -71,6 +82,7 @@
 // Exit status: 0 on success, 1 on usage error, 2 on runtime error (including
 // failed verification).
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -83,7 +95,9 @@
 
 #include "analysis/verify.hpp"
 #include "automata/grep.hpp"
+#include "automata/ops.hpp"
 #include "automata/regex.hpp"
+#include "automata/serialize.hpp"
 #include "core/analyzer.hpp"
 #include "core/pipeline/cache.hpp"
 #include "core/relm.hpp"
@@ -173,6 +187,9 @@ class Args {
   }
   bool has(const std::string& name) const { return get(name).has_value(); }
 
+  std::size_t num_positional() const { return positional_.size(); }
+  const std::string& positional(std::size_t i) const { return positional_[i]; }
+
   // Flags that were provided but never consumed by the subcommand.
   std::vector<std::string> unused() const {
     std::vector<std::string> out;
@@ -250,6 +267,15 @@ core::SimpleSearchQuery query_from_flags(const Args& args) {
   // (outputs are identical either way; the flag exists for benchmarking and
   // for bisecting fast-path suspicions in the field).
   if (args.has("no-token-masks")) query.use_token_masks = false;
+  // --determinize-budget caps the states the (lazy) subset construction may
+  // materialize for this query; 0 defers to RELM_DETERMINIZE_BUDGET. The
+  // compile fails with a StateBudgetError instead of consuming unbounded
+  // memory on adversarial algebra queries. Excluded from the artifact key:
+  // any sufficient budget yields the identical minimized automaton.
+  long budget = args.get_long("determinize-budget", 0);
+  if (budget > 0) {
+    query.determinize_state_budget = static_cast<std::size_t>(budget);
+  }
   return query;
 }
 
@@ -455,7 +481,48 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+// `relm verify --equivalent A.dfa B.dfa` — language-equivalence check for
+// two serialized automata (RELM_DFA files), independent of --dir. Prints a
+// shortest distinguishing word when the languages differ. Exit status: 0
+// when equivalent, 2 when not (matching the verify-failure convention).
+int cmd_verify_equivalent(const Args& args, const std::string& first) {
+  if (args.num_positional() != 1) {
+    throw relm::Error(
+        "--equivalent expects exactly two files: "
+        "relm verify --equivalent A.dfa B.dfa");
+  }
+  const std::string& second = args.positional(0);
+  automata::Dfa a = automata::load_dfa_file(first);
+  automata::Dfa b = automata::load_dfa_file(second);
+  std::optional<std::vector<automata::Symbol>> witness =
+      automata::dfa_distinguishing_word(a, b);
+  if (!witness) {
+    std::printf("verify: %s and %s are language-equivalent\n", first.c_str(),
+                second.c_str());
+    return 0;
+  }
+  // Render the witness bytes printably; non-byte (token) alphabets fall back
+  // to the numeric form.
+  std::string rendered;
+  for (automata::Symbol sym : *witness) {
+    if (sym < 256 && std::isprint(static_cast<int>(sym))) {
+      rendered += static_cast<char>(sym);
+    } else {
+      rendered += "\\x{" + std::to_string(sym) + "}";
+    }
+  }
+  std::fprintf(stderr,
+               "verify: %s and %s differ: \"%s\" (%zu symbols) is accepted "
+               "by exactly one of them\n",
+               first.c_str(), second.c_str(), rendered.c_str(),
+               witness->size());
+  return 2;
+}
+
 int cmd_verify(const Args& args) {
+  if (auto equivalent = args.get("equivalent"); equivalent && !equivalent->empty()) {
+    return cmd_verify_equivalent(args, *equivalent);
+  }
   std::string dir = args.require("dir");
   apply_compile_cache_flags(args);
   analysis::VerifyOptions options;

@@ -14,22 +14,43 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-// Malformed regular expression. `position` is a byte offset into the pattern.
+// Malformed regular expression. `position` is a byte offset into the
+// pattern; `length` is the number of bytes the diagnostic refers to (the
+// span of an operator or construct, 1 for single-character errors).
 class RegexError : public Error {
  public:
-  RegexError(const std::string& what, std::size_t position)
-      : Error(what + " (at position " + std::to_string(position) + ")"),
-        position_(position) {}
+  RegexError(const std::string& what, std::size_t position,
+             std::size_t length = 1)
+      : Error(what + " (at position " + std::to_string(position) +
+              (length > 1 ? ", span " + std::to_string(length) : "") + ")"),
+        position_(position),
+        length_(length) {}
   std::size_t position() const { return position_; }
+  std::size_t length() const { return length_; }
 
  private:
   std::size_t position_;
+  std::size_t length_;
 };
 
 // Invalid query construction or execution parameters.
 class QueryError : public Error {
  public:
   explicit QueryError(const std::string& what) : Error(what) {}
+};
+
+// Determinization/product construction exceeded its state budget
+// (RELM_DETERMINIZE_BUDGET). Subclasses QueryError so existing compile-path
+// catch sites treat it like any other compile failure.
+class StateBudgetError : public QueryError {
+ public:
+  StateBudgetError(const std::string& what, std::size_t budget)
+      : QueryError(what + " (state budget " + std::to_string(budget) + ")"),
+        budget_(budget) {}
+  std::size_t budget() const { return budget_; }
+
+ private:
+  std::size_t budget_;
 };
 
 namespace detail {

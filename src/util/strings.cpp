@@ -75,7 +75,9 @@ std::string escape_for_display(std::string_view text) {
 }
 
 std::string regex_escape(std::string_view text) {
-  static constexpr std::string_view kMeta = R"(\.[]{}()*+?|^$-)";
+  // Includes the boolean-algebra operators & ! ~ (and -, also a class
+  // metacharacter) so escaped text stays literal under the extended grammar.
+  static constexpr std::string_view kMeta = R"(\.[]{}()*+?|^$-&!~)";
   std::string out;
   out.reserve(text.size());
   for (char c : text) {

@@ -1,0 +1,381 @@
+// Tests for the boolean query algebra (src/automata/algebra.*): operator
+// semantics, the algebraic laws (decided by dfa_equivalent, not examples),
+// lazy vs eager determinization under a state budget, and the
+// distinguishing-word machinery itself.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/algebra.hpp"
+#include "automata/determinize.hpp"
+#include "automata/ops.hpp"
+#include "automata/regex.hpp"
+#include "automata/regex_ast.hpp"
+#include "automata/regex_parser.hpp"
+#include "automata/thompson.hpp"
+#include "testing/generators.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace relm;
+namespace rt = relm::testing;
+using automata::AlgebraOptions;
+using automata::compile_ast;
+using automata::compile_regex;
+using automata::dfa_equivalent;
+using automata::Dfa;
+using automata::RegexNode;
+using automata::RegexPtr;
+
+Dfa compile(const std::string& pattern, AlgebraOptions options = {}) {
+  return compile_ast(*automata::parse_regex(pattern), options);
+}
+
+// ---------------------------------------------------------------------------
+// Operator semantics
+// ---------------------------------------------------------------------------
+
+TEST(Algebra, IntersectionKeepsOnlyCommonStrings) {
+  Dfa dfa = compile("(ab|cd|ef)&(ab|ef|gh)");
+  EXPECT_TRUE(dfa.accepts_bytes("ab"));
+  EXPECT_TRUE(dfa.accepts_bytes("ef"));
+  EXPECT_FALSE(dfa.accepts_bytes("cd"));
+  EXPECT_FALSE(dfa.accepts_bytes("gh"));
+}
+
+TEST(Algebra, IntersectionIsNAry) {
+  Dfa dfa = compile("[ab]*&[bc]*&[bd]*");
+  EXPECT_TRUE(dfa.accepts_bytes(""));
+  EXPECT_TRUE(dfa.accepts_bytes("bbb"));
+  EXPECT_FALSE(dfa.accepts_bytes("a"));
+  EXPECT_FALSE(dfa.accepts_bytes("c"));
+}
+
+TEST(Algebra, ComplementIsRelativeToPrintableUniverse) {
+  Dfa dfa = compile("~(ab)");
+  EXPECT_FALSE(dfa.accepts_bytes("ab"));
+  EXPECT_TRUE(dfa.accepts_bytes(""));
+  EXPECT_TRUE(dfa.accepts_bytes("a"));
+  EXPECT_TRUE(dfa.accepts_bytes("abc"));
+  EXPECT_TRUE(dfa.accepts_bytes("hello world\n"));
+  // Strings containing non-universe bytes are NOT in the complement: `~r`
+  // means universe^* minus L(r), exactly like [^...] means universe minus
+  // the listed bytes.
+  EXPECT_FALSE(dfa.accepts_bytes(std::string("\x01", 1)));
+}
+
+TEST(Algebra, BangAndTildeAreSynonyms) {
+  EXPECT_TRUE(dfa_equivalent(compile("!(ab)"), compile("~(ab)")));
+}
+
+TEST(Algebra, DifferenceIsExactSetDifference) {
+  Dfa dfa = compile("(ab|cd|ef)-(cd)");
+  EXPECT_TRUE(dfa.accepts_bytes("ab"));
+  EXPECT_TRUE(dfa.accepts_bytes("ef"));
+  EXPECT_FALSE(dfa.accepts_bytes("cd"));
+}
+
+TEST(Algebra, DifferenceKeepsNonUniverseBytesComplementDrops) {
+  // `-` is exact set difference with no universe restriction, so a string
+  // with a control byte survives subtraction; `&~` would lose it because the
+  // complement operand only contains universe strings. This is the deliberate
+  // semantic distinction between the two spellings.
+  Dfa minus = compile("(\\x01|b)-(b)");
+  EXPECT_TRUE(minus.accepts_bytes(std::string("\x01", 1)));
+  EXPECT_FALSE(minus.accepts_bytes("b"));
+  Dfa and_not = compile("(\\x01|b)&~(b)");
+  EXPECT_FALSE(and_not.accepts_bytes(std::string("\x01", 1)));
+}
+
+TEST(Algebra, OperatorsComposeWithRegularOperators) {
+  // Boolean subexpressions nest under concatenation and repetition.
+  Dfa dfa = compile("x((ab|cd)-(cd))y");
+  EXPECT_TRUE(dfa.accepts_bytes("xaby"));
+  EXPECT_FALSE(dfa.accepts_bytes("xcdy"));
+  Dfa rep = compile("((a|b)&(a|c))*");
+  EXPECT_TRUE(rep.accepts_bytes(""));
+  EXPECT_TRUE(rep.accepts_bytes("aaa"));
+  EXPECT_FALSE(rep.accepts_bytes("b"));
+}
+
+TEST(Algebra, PrecedenceMatchesDocumentedTable) {
+  // `|` < `-` < `&` < concat < `~` (see docs/cli.md).
+  EXPECT_TRUE(dfa_equivalent(compile("a|b-c"), compile("a|(b-c)")));
+  EXPECT_TRUE(dfa_equivalent(compile("ab-c&d"), compile("(ab)-((c)&(d))")));
+  EXPECT_TRUE(dfa_equivalent(compile("a&bc"), compile("a&(bc)")));
+  EXPECT_TRUE(dfa_equivalent(compile("~ab"), compile("(~a)b")));
+  EXPECT_TRUE(dfa_equivalent(compile("~a*"), compile("~(a*)")));
+  // `-` is left-associative: a-b-c = (a-b)-c.
+  EXPECT_TRUE(dfa_equivalent(compile("a-b-c"), compile("(a-b)-c")));
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic laws, decided by dfa_equivalent over random ASTs
+// ---------------------------------------------------------------------------
+
+class AlgebraLaws : public ::testing::Test {
+ protected:
+  // Draw boolean-free operand ASTs: the laws quantify over arbitrary regular
+  // operands; the operators under test are applied on top.
+  RegexPtr draw(util::Pcg32& rng) {
+    rt::RegexGenConfig config;
+    config.max_depth = 3;
+    config.algebra_weight = 0;
+    return rt::random_regex(rng, config);
+  }
+};
+
+TEST_F(AlgebraLaws, DoubleComplementIsIdentity) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    util::Pcg32 rng(seed, 0x11);
+    RegexPtr a = draw(rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 rt::pattern_of(*a));
+    Dfa lhs = compile_ast(*RegexNode::complement(
+        RegexNode::complement(a->clone())));
+    // !!A clips A to universe strings: compare against A ∩ universe^*.
+    std::vector<RegexPtr> children;
+    children.push_back(a->clone());
+    children.push_back(RegexNode::repeat(
+        RegexNode::char_class_node(AlgebraOptions::kDefaultUniverse()), 0,
+        automata::kUnbounded));
+    Dfa rhs = compile_ast(*RegexNode::intersect(std::move(children)));
+    EXPECT_TRUE(dfa_equivalent(lhs, rhs));
+  }
+}
+
+TEST_F(AlgebraLaws, DeMorgan) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    util::Pcg32 rng(seed, 0x22);
+    RegexPtr a = draw(rng);
+    RegexPtr b = draw(rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 rt::pattern_of(*a) + " , " + rt::pattern_of(*b));
+    // ~(A|B) == ~A & ~B
+    std::vector<RegexPtr> alt;
+    alt.push_back(a->clone());
+    alt.push_back(b->clone());
+    Dfa lhs = compile_ast(
+        *RegexNode::complement(RegexNode::alternate(std::move(alt))));
+    std::vector<RegexPtr> both;
+    both.push_back(RegexNode::complement(a->clone()));
+    both.push_back(RegexNode::complement(b->clone()));
+    Dfa rhs = compile_ast(*RegexNode::intersect(std::move(both)));
+    EXPECT_TRUE(dfa_equivalent(lhs, rhs));
+    // ~(A&B) == ~A | ~B
+    std::vector<RegexPtr> inter;
+    inter.push_back(a->clone());
+    inter.push_back(b->clone());
+    Dfa lhs2 = compile_ast(
+        *RegexNode::complement(RegexNode::intersect(std::move(inter))));
+    std::vector<RegexPtr> either;
+    either.push_back(RegexNode::complement(a->clone()));
+    either.push_back(RegexNode::complement(b->clone()));
+    Dfa rhs2 = compile_ast(*RegexNode::alternate(std::move(either)));
+    EXPECT_TRUE(dfa_equivalent(lhs2, rhs2));
+  }
+}
+
+TEST_F(AlgebraLaws, DifferenceEqualsIntersectWithComplement) {
+  // Over universe-alphabet operands (the generator draws from "abcd"),
+  // A - B == A & ~B; the exact-difference distinction only shows up for
+  // operands touching non-universe bytes (pinned separately above).
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    util::Pcg32 rng(seed, 0x33);
+    RegexPtr a = draw(rng);
+    RegexPtr b = draw(rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 rt::pattern_of(*a) + " , " + rt::pattern_of(*b));
+    Dfa lhs = compile_ast(*RegexNode::difference(a->clone(), b->clone()));
+    std::vector<RegexPtr> both;
+    both.push_back(a->clone());
+    both.push_back(RegexNode::complement(b->clone()));
+    Dfa rhs = compile_ast(*RegexNode::intersect(std::move(both)));
+    EXPECT_TRUE(dfa_equivalent(lhs, rhs));
+  }
+}
+
+TEST_F(AlgebraLaws, SelfIntersectionWithComplementIsEmpty) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    util::Pcg32 rng(seed, 0x44);
+    RegexPtr a = draw(rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 rt::pattern_of(*a));
+    std::vector<RegexPtr> both;
+    both.push_back(a->clone());
+    both.push_back(RegexNode::complement(a->clone()));
+    Dfa vacuous = compile_ast(*RegexNode::intersect(std::move(both)));
+    EXPECT_TRUE(automata::is_empty_language(vacuous));
+    Dfa self_diff = compile_ast(*RegexNode::difference(a->clone(), a->clone()));
+    EXPECT_TRUE(automata::is_empty_language(self_diff));
+  }
+}
+
+TEST_F(AlgebraLaws, LazyAndEagerAgree) {
+  rt::RegexGenConfig config;
+  config.max_depth = 3;
+  config.algebra_weight = 2;  // force plenty of boolean nodes
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    util::Pcg32 rng(seed, 0x55);
+    RegexPtr ast = rt::random_regex(rng, config);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " +
+                 rt::pattern_of(*ast));
+    AlgebraOptions lazy;
+    lazy.lazy = true;
+    AlgebraOptions eager;
+    eager.lazy = false;
+    EXPECT_TRUE(dfa_equivalent(compile_ast(*ast, lazy),
+                               compile_ast(*ast, eager)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy determinization under a state budget
+// ---------------------------------------------------------------------------
+
+// The adversarial query: the left operand's NFA needs ~2^15 DFA states when
+// determinized in isolation ((a|b)*a(a|b){14} — the classic subset-blowup
+// family), but intersecting with a 4-state language makes almost all of that
+// space unreachable. Lazy evaluation explores only the product states the
+// intersection can visit and stays in the tens of states; eager evaluation
+// determinizes the leaf first and blows the same budget.
+constexpr char kAdversarialPattern[] = "((a|b)*a(a|b){14})&(a{0,3})";
+constexpr std::size_t kAdversarialBudget = 4096;
+
+TEST(AlgebraBudget, LazyCompilesAdversarialQueryWithinBudget) {
+  AlgebraOptions options;
+  options.lazy = true;
+  options.state_budget = kAdversarialBudget;
+  Dfa dfa = compile(kAdversarialPattern, options);
+  // The intersection is empty (the left operand needs length >= 15).
+  EXPECT_TRUE(automata::is_empty_language(dfa));
+}
+
+TEST(AlgebraBudget, EagerExceedsTheSameBudget) {
+  AlgebraOptions options;
+  options.lazy = false;
+  options.state_budget = kAdversarialBudget;
+  try {
+    compile(kAdversarialPattern, options);
+    FAIL() << "expected StateBudgetError";
+  } catch (const relm::StateBudgetError& e) {
+    EXPECT_EQ(e.budget(), kAdversarialBudget);
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+  }
+}
+
+TEST(AlgebraBudget, EagerSucceedsUnbounded) {
+  AlgebraOptions lazy;
+  lazy.lazy = true;
+  AlgebraOptions eager;
+  eager.lazy = false;  // state_budget = 0: unlimited
+  EXPECT_TRUE(dfa_equivalent(compile(kAdversarialPattern, lazy),
+                             compile(kAdversarialPattern, eager)));
+}
+
+TEST(AlgebraBudget, TinyBudgetFailsEvenLazy) {
+  AlgebraOptions options;
+  options.lazy = true;
+  options.state_budget = 2;
+  EXPECT_THROW(compile("(abcdefgh)&(abcdefgh)", options),
+               relm::StateBudgetError);
+}
+
+TEST(AlgebraBudget, PlainDeterminizeHonoursBudget) {
+  automata::Nfa nfa =
+      automata::thompson_construct(*automata::parse_regex("(a|b)*a(a|b){10}"));
+  EXPECT_THROW(automata::determinize(nfa, 16), relm::StateBudgetError);
+  Dfa unbounded = automata::determinize(nfa);
+  EXPECT_TRUE(unbounded.accepts_bytes("babbbbbbbbbb"));
+}
+
+TEST(AlgebraBudget, EnvVariableControlsDefault) {
+  ASSERT_EQ(setenv("RELM_DETERMINIZE_BUDGET", "12345", 1), 0);
+  EXPECT_EQ(automata::determinize_budget_from_env(), 12345u);
+  ASSERT_EQ(setenv("RELM_DETERMINIZE_BUDGET", "0", 1), 0);
+  EXPECT_EQ(automata::determinize_budget_from_env(), 0u);  // unlimited
+  ASSERT_EQ(unsetenv("RELM_DETERMINIZE_BUDGET"), 0);
+  EXPECT_EQ(automata::determinize_budget_from_env(),
+            automata::kDefaultDeterminizeBudget);
+
+  ASSERT_EQ(setenv("RELM_DETERMINIZE_MODE", "eager", 1), 0);
+  EXPECT_FALSE(automata::lazy_determinize_from_env());
+  ASSERT_EQ(unsetenv("RELM_DETERMINIZE_MODE"), 0);
+  EXPECT_TRUE(automata::lazy_determinize_from_env());
+}
+
+// ---------------------------------------------------------------------------
+// dfa_equivalent / dfa_distinguishing_word
+// ---------------------------------------------------------------------------
+
+TEST(DfaEquivalent, AcceptsHandBuiltEquivalentPair) {
+  // Two structurally different machines for "even number of a's".
+  Dfa a(2);
+  auto a0 = a.add_state(true);
+  auto a1 = a.add_state(false);
+  a.add_edge(a0, 0, a1);
+  a.add_edge(a1, 0, a0);
+  a.add_edge(a0, 1, a0);
+  a.add_edge(a1, 1, a1);
+
+  Dfa b(2);  // four states, same language (parity duplicated)
+  auto b0 = b.add_state(true);
+  auto b1 = b.add_state(false);
+  auto b2 = b.add_state(true);
+  auto b3 = b.add_state(false);
+  b.add_edge(b0, 0, b1);
+  b.add_edge(b1, 0, b2);
+  b.add_edge(b2, 0, b3);
+  b.add_edge(b3, 0, b0);
+  b.add_edge(b0, 1, b0);
+  b.add_edge(b1, 1, b3);
+  b.add_edge(b2, 1, b2);
+  b.add_edge(b3, 1, b1);
+  EXPECT_TRUE(dfa_equivalent(a, b));
+  EXPECT_FALSE(automata::dfa_distinguishing_word(a, b).has_value());
+}
+
+TEST(DfaEquivalent, RejectsWithShortestWitness) {
+  Dfa a = compile_regex("ab*");
+  Dfa b = compile_regex("ab*b");
+  auto word = automata::dfa_distinguishing_word(a, b);
+  ASSERT_TRUE(word.has_value());
+  // Shortest distinguishing word is "a" (in L(a), not in L(b)).
+  ASSERT_EQ(word->size(), 1u);
+  EXPECT_EQ((*word)[0], static_cast<automata::Symbol>('a'));
+  EXPECT_FALSE(dfa_equivalent(a, b));
+}
+
+TEST(DfaEquivalent, DistinguishesOnMissingEdges) {
+  // kNoState (missing transition) must behave as an implicit dead state.
+  Dfa a = compile_regex("a");
+  Dfa b = compile_regex("a|b");
+  auto word = automata::dfa_distinguishing_word(a, b);
+  ASSERT_TRUE(word.has_value());
+  ASSERT_EQ(word->size(), 1u);
+  EXPECT_EQ((*word)[0], static_cast<automata::Symbol>('b'));
+}
+
+TEST(DfaEquivalent, EmptyVsEpsilonLanguages) {
+  Dfa empty = compile("a&b");       // empty language
+  Dfa epsilon = compile_regex("()");  // language { "" }
+  auto word = automata::dfa_distinguishing_word(empty, epsilon);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_TRUE(word->empty());  // "" itself is the witness
+  EXPECT_TRUE(dfa_equivalent(empty, compile("c&d")));
+}
+
+TEST(DfaEquivalent, ThrowsOnAlphabetMismatch) {
+  Dfa bytes(256);
+  bytes.add_state(true);
+  Dfa tokens(500);
+  tokens.add_state(true);
+  EXPECT_THROW((void)dfa_equivalent(bytes, tokens), relm::Error);
+}
+
+}  // namespace

@@ -63,17 +63,76 @@ TEST(RegexParser, ErrorCarriesPosition) {
   }
 }
 
+TEST(RegexParser, ErrorCarriesOperatorSpan) {
+  // Counted-repeat bound errors anchor to the whole {m,n} construct.
+  try {
+    parse_regex("a{3,1}b");
+    FAIL() << "expected RegexError";
+  } catch (const relm::RegexError& e) {
+    EXPECT_EQ(e.position(), 1u);
+    EXPECT_EQ(e.length(), 5u);  // "{3,1}"
+    EXPECT_NE(std::string(e.what()).find("span 5"), std::string::npos);
+  }
+}
+
+// Every malformed boolean-algebra form must be rejected with a diagnostic
+// anchored at the operator, not wherever the cursor happened to stop.
+TEST(RegexParser, RejectsUnbalancedAlgebraOperators) {
+  struct Case {
+    const char* pattern;
+    std::size_t position;  // expected error anchor
+  };
+  const Case cases[] = {
+      {"&a", 0},     // missing left operand
+      {"a&", 1},     // missing right operand
+      {"a&&b", 1},   // empty middle operand (right of first '&')
+      {"-a", 0},     // missing left operand
+      {"a-", 1},     // missing right operand
+      {"a--b", 1},   // first '-' finds an empty rhs (second '-' stops it)
+      {"~", 0},      // complement with nothing to negate
+      {"!", 0},
+      {"a~", 1},     // trailing complement inside concat
+      {"(a&)", 2},   // missing right operand before ')'
+      {"(&a)", 1},   // missing left operand after '('
+      {"~|a", 0},    // complement directly against an alternation bar
+      {"a&|b", 1},   // '&' whose operand is an empty branch
+      {"a-&b", 2},   // the '&' inside the rhs has no left operand
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.pattern);
+    try {
+      parse_regex(c.pattern);
+      FAIL() << "expected RegexError for \"" << c.pattern << "\"";
+    } catch (const relm::RegexError& e) {
+      EXPECT_EQ(e.position(), c.position) << e.what();
+    }
+  }
+}
+
+TEST(RegexParser, EscapedAlgebraCharactersAreLiterals) {
+  automata::Dfa dfa = automata::compile_regex("a\\&b\\-c\\~d\\!e");
+  EXPECT_TRUE(dfa.accepts_bytes("a&b-c~d!e"));
+  EXPECT_FALSE(dfa.accepts_bytes("abcde"));
+  // Inside [...] classes, '-' keeps the range meaning and the algebra
+  // characters are plain members.
+  automata::Dfa cls = automata::compile_regex("[&!~]+");
+  EXPECT_TRUE(cls.accepts_bytes("&!~"));
+  EXPECT_FALSE(cls.accepts_bytes("a"));
+}
+
 TEST(RegexParser, AcceptsPaperQueries) {
-  // Queries used verbatim in the paper's evaluation must parse.
+  // Queries from the paper's evaluation must parse. Since grammar v2 made
+  // `-` and `!` boolean-algebra operators, the literal hyphen/bang uses in
+  // the originals are escaped here.
   EXPECT_NO_THROW(parse_regex(
-      "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+"));
+      "https://www.([a-zA-Z0-9]|\\-|_|#|%)+.([a-zA-Z0-9]|\\-|_|#|%|/)+"));
   EXPECT_NO_THROW(parse_regex("My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})"));
   EXPECT_NO_THROW(parse_regex("The ((cat)|(dog))"));
   EXPECT_NO_THROW(parse_regex(
       "George Washington was born on ((January)|(February)|(March)|(April)|(May)|"
       "(June)|(July)|(August)|(September)|(October)|(November)|(December)) "
       "[0-9]{1,2}, [0-9]{4}"));
-  EXPECT_NO_THROW(parse_regex("([a-zA-Z]+)(\\.|!|\\?)?(\")?"));
+  EXPECT_NO_THROW(parse_regex("([a-zA-Z]+)(\\.|\\!|\\?)?(\")?"));
 }
 
 // ---------------------------------------------------------------------------

@@ -231,13 +231,16 @@ TEST(CompiledQuery, PrefixStepsAreMarkedPrefixOnly) {
   }
 }
 
-TEST(CompiledQuery, EmptyBodyThrows) {
+TEST(CompiledQuery, EmptyBodyCompilesToEmptyLanguage) {
+  // A preprocessor that filters out every string used to be a compile error;
+  // under the boolean algebra an empty language is a legitimate query result
+  // (`a & !a` produces one too), flagged so executors skip the model.
   SimpleSearchQuery query;
   query.query_string = {"a", ""};
   query.preprocessors.push_back(
       std::make_shared<FilterPreprocessor>(std::vector<std::string>{"a"}));
-  EXPECT_THROW(CompiledQuery::compile(query, fixture_tokenizer()),
-               relm::QueryError);
+  CompiledQuery compiled = CompiledQuery::compile(query, fixture_tokenizer());
+  EXPECT_TRUE(compiled.empty_language());
 }
 
 // ---------------------------------------------------------------------------
@@ -689,7 +692,7 @@ TEST(Preprocessors, CaseInsensitiveExpandsBothWays) {
 
 TEST(Preprocessors, CaseInsensitiveLeavesNonAlphaAlone) {
   CaseInsensitivePreprocessor pre;
-  automata::Dfa lang = pre.apply(automata::compile_regex("a1!"));
+  automata::Dfa lang = pre.apply(automata::compile_regex("a1\\!"));
   EXPECT_TRUE(lang.accepts_bytes("A1!"));
   EXPECT_FALSE(lang.accepts_bytes("a2!"));
 }

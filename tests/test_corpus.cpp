@@ -65,7 +65,7 @@ TEST(Corpus, MemorizedUrlsAppearRepeatedly) {
 TEST(Corpus, PlantedUrlsMatchThePaperRegex) {
   Corpus corpus = generate_corpus(small_config());
   automata::Dfa url_regex = automata::compile_regex(
-      "https://www.([a-zA-Z0-9]|-|_|#|%)+.([a-zA-Z0-9]|-|_|#|%|/)+");
+      "https://www.([a-zA-Z0-9]|\\-|_|#|%)+.([a-zA-Z0-9]|\\-|_|#|%|/)+");
   for (const auto& url : corpus.url_registry.all()) {
     EXPECT_TRUE(url_regex.accepts_bytes(url)) << url;
   }

@@ -89,6 +89,51 @@ TEST(ExecutorEdges, EmptyIntersectionYieldsNoResults) {
   EXPECT_TRUE(sampler.sample_all().empty());
 }
 
+// Statically empty language (boolean algebra can produce provably-empty
+// queries like `a&!a`): the compile marks the artifact empty_language and
+// every executor must return immediately WITHOUT a single model call — the
+// fast path exists precisely so a vacuous query costs no inference.
+class CallCountingModel : public model::LanguageModel {
+ public:
+  std::size_t vocab_size() const override { return 2; }
+  TokenId eos() const override { return 0; }
+  std::size_t max_sequence_length() const override { return 24; }
+  std::vector<double> next_log_probs(std::span<const TokenId>) const override {
+    ++calls;
+    return {std::log(0.5), std::log(0.5)};
+  }
+  mutable std::size_t calls = 0;
+};
+
+TEST(ExecutorEdges, EmptyLanguageSkipsModelEntirely) {
+  tokenizer::BpeTokenizer tok = tokenizer::BpeTokenizer::from_vocab({"", "a"});
+  CallCountingModel model;
+  SimpleSearchQuery query;
+  query.query_string = {"a&!a", ""};
+  query.sequence_length = 6;
+  query.num_samples = 5;
+  const CompiledQuery compiled = CompiledQuery::compile(query, tok);
+  ASSERT_TRUE(compiled.empty_language());
+
+  ShortestPathSearch shortest(model, compiled, query);
+  EXPECT_TRUE(shortest.all().empty());
+  BeamSearch beam(model, compiled, query);
+  EXPECT_TRUE(beam.run().empty());
+  RandomSampler sampler(model, compiled, query, 7);
+  EXPECT_TRUE(sampler.sample_all().empty());
+  EXPECT_EQ(model.calls, 0u);
+
+  // A non-empty query through the same code path still works (the flag is
+  // per-artifact, not sticky global state).
+  SimpleSearchQuery live = query;
+  live.query_string = {"a", ""};
+  const CompiledQuery live_compiled = CompiledQuery::compile(live, tok);
+  EXPECT_FALSE(live_compiled.empty_language());
+  ShortestPathSearch live_search(model, live_compiled, live);
+  EXPECT_EQ(live_search.all().size(), 1u);
+  EXPECT_GT(model.calls, 0u);
+}
+
 // EOS-only match: the body accepts exactly the empty string and EOS is
 // required, so the sole result is "" with log_prob = log p(EOS | nothing).
 TEST(ExecutorEdges, EosOnlyMatch) {

@@ -81,6 +81,54 @@ TEST(MemorizationExperiment, RelmBeatsBestBaselinePerCall) {
   EXPECT_GT(relm_run.throughput_per_1k_calls(), best);
 }
 
+// One-pass difference-automaton mode (boolean algebra `-`): excluding a set
+// of URLs inside the query must yield byte-identical results to running the
+// plain query and filtering those URLs out of the match list afterwards —
+// and the one-pass run must never even emit an excluded URL.
+TEST(MemorizationExperiment, OnePassExclusionMatchesTwoPassFilter) {
+  const World& world = shared_world();
+  MemorizationRun plain =
+      run_relm_url_extraction(world, *world.xl, 200, 20000);
+  ASSERT_GE(plain.events.size(), 4u);
+
+  // Exclude every other extracted URL (plus one never-matching entry, which
+  // must be harmless) and re-run as a single difference automaton.
+  RelmRunOptions options;
+  options.label = "relm-exclude";
+  for (std::size_t i = 0; i < plain.events.size(); i += 2) {
+    options.exclude_urls.push_back(plain.events[i].url);
+  }
+  options.exclude_urls.push_back("https://www.never-extracted.test/x");
+  options.exclude_urls.push_back("not-a-url");  // ignored: wrong prefix
+  MemorizationRun one_pass =
+      run_relm_url_extraction(world, *world.xl, 200, 20000, options);
+
+  // Two-pass reference: filter the excluded URLs out of the plain run.
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < plain.events.size(); ++i) {
+    if (i % 2 != 0) expected.push_back(plain.events[i].url);
+  }
+  std::vector<std::string> got;
+  for (const ExtractionEvent& event : one_pass.events) {
+    got.push_back(event.url);
+  }
+  // Both runs are budget-truncated (the URL language is infinite), so the
+  // one-pass run may legitimately emit cheaper-than-horizon URLs the plain
+  // run never reached. Over the COMMON horizon, though, shortest-path
+  // emission is cost-sorted in both and subtracting strings never reorders
+  // the survivors: the one-pass emission sequence must start with exactly
+  // the two-pass-filtered sequence.
+  ASSERT_GE(got.size(), expected.size());
+  got.resize(expected.size());
+  EXPECT_EQ(got, expected);
+  // And the excluded URLs must never surface.
+  for (const ExtractionEvent& event : one_pass.events) {
+    for (const std::string& excluded : options.exclude_urls) {
+      EXPECT_NE(event.url, excluded);
+    }
+  }
+}
+
 TEST(MemorizationExperiment, ShortStopLengthsTruncate) {
   // Figure 10's left side: n <= 4 cannot produce a full URL.
   const World& world = shared_world();

@@ -126,7 +126,7 @@ namespace {
 
 TEST(DfaSerialize, RoundTripPreservesLanguage) {
   automata::Dfa dfa = automata::compile_regex(
-      "https://www.([a-zA-Z0-9]|-)+.([a-zA-Z0-9]|/)+");
+      "https://www.([a-zA-Z0-9]|\\-)+.([a-zA-Z0-9]|/)+");
   std::stringstream buffer;
   automata::save_dfa(dfa, buffer);
   automata::Dfa loaded = automata::load_dfa(buffer);

@@ -82,7 +82,7 @@ TEST(EditTransducer, ZeroDistanceIsIdentity) {
 // ---------------------------------------------------------------------------
 
 TEST(CaseFold, MatchesPreprocessor) {
-  Dfa lang = compile_regex("The Cat!");
+  Dfa lang = compile_regex("The Cat\\!");
   Dfa via_transducer = apply(case_fold_transducer(), lang);
   Dfa via_preprocessor = core::CaseInsensitivePreprocessor().apply(lang);
   EXPECT_TRUE(equivalent(via_transducer, via_preprocessor));
