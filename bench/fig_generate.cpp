@@ -1,0 +1,264 @@
+// fig_generate: aggregate throughput of the batched multi-stream generation
+// engine (src/core/generate/) on the paper's URL sampling workload, swept
+// over streams {1, 8, 64} x RELM_BENCH_THREADS. The baseline is serial
+// stream-at-a-time: the same streams run to completion one engine at a time
+// on one thread — what a caller without the engine would do. The engine's
+// determinism invariant is enforced, not just measured: every per-stream
+// output in every batched configuration must be byte-identical to the serial
+// run, or the binary exits non-zero. With RELM_BENCH_JSON=1 a
+// machine-readable BENCH_JSON line is appended for scripts/bench.sh;
+// scripts/bench_compare.py gates streams_64 tokens_per_sec as a
+// higher-is-better metric.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/compiled_query.hpp"
+#include "core/generate/generate_engine.hpp"
+#include "experiments/setup.hpp"
+#include "model/ngram_model.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace relm;
+using core::generate::GenerateEngine;
+using core::generate::StreamSpec;
+
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 1729;
+
+// Thread-count-independent fingerprint of every stream's full output.
+std::string stream_fingerprint(const GenerateEngine& engine,
+                               GenerateEngine::StreamId id) {
+  std::string fp = std::to_string(id);
+  fp += '|';
+  fp += core::generate::to_string(engine.state(id));
+  if (const auto& r = engine.result(id)) {
+    fp += '|';
+    fp += r->text;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "|%.17g|", r->log_prob);
+    fp += buf;
+    for (tokenizer::TokenId t : r->tokens) {
+      fp += std::to_string(t);
+      fp += ',';
+    }
+  }
+  fp += '\n';
+  return fp;
+}
+
+core::SimpleSearchQuery url_sampling_query() {
+  core::SimpleSearchQuery query;
+  query.query_string.prefix_str = "https://www.";
+  query.query_string.query_str = experiments::url_pattern();
+  query.search_strategy = core::SearchStrategy::kRandomSampling;
+  query.tokenization_strategy = core::TokenizationStrategy::kCanonicalTokens;
+  query.decoding.top_k = 40;
+  query.sequence_length = 24;
+  return query;
+}
+
+struct GenRun {
+  std::string fingerprint;  // concatenated per-stream outputs, id order
+  std::size_t tokens = 0;
+  std::size_t llm_calls = 0;
+  std::size_t dedup_hits = 0;
+  double occupancy = 0.0;
+  double wall = 0.0;  // filled by the caller (median over passes)
+};
+
+// All `streams` in ONE engine, one batched model call per tick.
+GenRun run_batched(const model::LanguageModel& model,
+                   const core::CompiledQuery& compiled,
+                   const core::SimpleSearchQuery& query, std::size_t streams,
+                   double* wall_out) {
+  GenerateEngine engine(model, compiled, query, kMasterSeed);
+  for (std::size_t i = 0; i < streams; ++i) engine.add_stream();
+  util::Timer timer;
+  engine.run();
+  *wall_out = timer.seconds();
+  GenRun out;
+  for (GenerateEngine::StreamId id = 0; id < engine.num_streams(); ++id) {
+    out.fingerprint += stream_fingerprint(engine, id);
+  }
+  out.tokens = engine.stats().tokens_emitted;
+  out.llm_calls = engine.stats().llm_calls;
+  out.dedup_hits = engine.stats().batch_dedup_hits;
+  out.occupancy = engine.stats().mean_tick_occupancy();
+  return out;
+}
+
+// Serial stream-at-a-time baseline: the same streams (same rng_stream
+// indices, so byte-identical outputs), each in its own single-stream engine,
+// run to completion one after another. Engine construction stays outside the
+// timer on both sides: the comparison is generation, not setup.
+GenRun run_serial(const model::LanguageModel& model,
+                  const core::CompiledQuery& compiled,
+                  const core::SimpleSearchQuery& query, std::size_t streams,
+                  double* wall_out) {
+  std::deque<GenerateEngine> engines;
+  for (std::size_t i = 0; i < streams; ++i) {
+    GenerateEngine& engine =
+        engines.emplace_back(model, compiled, query, kMasterSeed);
+    StreamSpec spec;
+    spec.rng_stream = i;
+    engine.add_stream(spec);
+  }
+  util::Timer timer;
+  for (GenerateEngine& engine : engines) engine.run();
+  *wall_out = timer.seconds();
+  GenRun out;
+  for (std::size_t i = 0; i < streams; ++i) {
+    // Re-key the solo stream (always id 0) by its rng_stream index so the
+    // fingerprint lines up with the batched run's id order.
+    std::string fp = stream_fingerprint(engines[i], 0);
+    out.fingerprint += std::to_string(i) + fp.substr(1);
+    out.tokens += engines[i].stats().tokens_emitted;
+    out.llm_calls += engines[i].stats().llm_calls;
+  }
+  out.occupancy = 1.0;
+  return out;
+}
+
+constexpr int kPasses = 3;
+
+double median(std::array<double, kPasses>& walls) {
+  std::sort(walls.begin(), walls.end());
+  return walls[kPasses / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "fig_generate — batched multi-stream generation throughput",
+      "engine extension of §3.3 (batched test-vector scheduling), on the "
+      "§4.1 URL workload");
+  experiments::World world = bench::build_bench_world();
+
+  const core::SimpleSearchQuery query = url_sampling_query();
+  const core::CompiledQuery compiled =
+      core::CompiledQuery::compile(query, *world.tokenizer);
+
+  const std::vector<std::size_t> stream_counts{1, 8, 64};
+  const std::vector<std::size_t> threads_list =
+      bench::bench_threads_from_env("1 4 8");
+
+  // Interleaved passes (see fig06): every configuration samples early,
+  // middle, and late epochs of the process, and per-configuration medians
+  // keep the ratios drift-free. Outputs are deterministic across passes;
+  // only the clock varies.
+  struct Config {
+    std::size_t streams;
+    std::size_t threads;  // 0 = serial stream-at-a-time baseline
+    GenRun run;
+    std::array<double, kPasses> walls{};
+  };
+  std::vector<Config> configs;
+  for (std::size_t s : stream_counts) {
+    configs.push_back({s, 0, {}, {}});
+    for (std::size_t t : threads_list) configs.push_back({s, t, {}, {}});
+  }
+
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (Config& c : configs) {
+      // A fresh logit cache per run: no configuration warms another's.
+      model::CachingModel cached(world.xl, /*capacity=*/1 << 16);
+      double wall = 0.0;
+      GenRun run;
+      if (c.threads == 0) {
+        util::ThreadPool::set_shared_threads(1);
+        run = run_serial(cached, compiled, query, c.streams, &wall);
+      } else {
+        util::ThreadPool::set_shared_threads(c.threads);
+        run = run_batched(cached, compiled, query, c.streams, &wall);
+      }
+      c.walls[static_cast<std::size_t>(pass)] = wall;
+      if (pass == kPasses - 1) c.run = std::move(run);
+    }
+  }
+  util::ThreadPool::set_shared_threads(1);
+  for (Config& c : configs) c.run.wall = median(c.walls);
+
+  // Per-stream outputs must be byte-identical across every configuration
+  // with the same stream count — the engine's core invariant, checked here
+  // against the serial baseline's fingerprint.
+  bool deterministic = true;
+  auto serial_of = [&](std::size_t streams) -> const Config& {
+    for (const Config& c : configs) {
+      if (c.streams == streams && c.threads == 0) return c;
+    }
+    std::abort();  // unreachable: a baseline exists per stream count
+  };
+
+  std::printf("%-10s %-10s %10s %12s %12s %12s %14s %10s\n", "streams",
+              "threads", "tokens", "llm_calls", "dedup_hits", "occupancy",
+              "tokens/sec", "speedup");
+  for (const Config& c : configs) {
+    const Config& base = serial_of(c.streams);
+    if (c.threads != 0 && c.run.fingerprint != base.run.fingerprint) {
+      deterministic = false;
+    }
+    const double tps = c.run.wall > 0
+                           ? static_cast<double>(c.run.tokens) / c.run.wall
+                           : 0.0;
+    const double base_tps =
+        base.run.wall > 0
+            ? static_cast<double>(base.run.tokens) / base.run.wall
+            : 0.0;
+    std::printf("%-10zu %-10s %10zu %12zu %12zu %12.1f %14.0f %9.2fx\n",
+                c.streams, c.threads == 0 ? "serial"
+                                          : std::to_string(c.threads).c_str(),
+                c.run.tokens, c.run.llm_calls, c.run.dedup_hits,
+                c.run.occupancy, tps, base_tps > 0 ? tps / base_tps : 0.0);
+  }
+  std::printf("\n[generate] per-stream outputs byte-identical to the serial "
+              "baseline across the sweep: %s\n",
+              deterministic ? "yes" : "NO (BUG)");
+
+  if (bench::bench_json_enabled()) {
+    std::string sections;
+    for (const Config& c : configs) {
+      const Config& base = serial_of(c.streams);
+      const double tps = c.run.wall > 0
+                             ? static_cast<double>(c.run.tokens) / c.run.wall
+                             : 0.0;
+      const double base_tps =
+          base.run.wall > 0
+              ? static_cast<double>(base.run.tokens) / base.run.wall
+              : 0.0;
+      char buf[320];
+      if (c.threads == 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"serial_streams_%zu\":{\"wall_seconds\":%.4f,"
+                      "\"tokens\":%zu,\"tokens_per_sec\":%.1f},",
+                      c.streams, c.run.wall, c.run.tokens, tps);
+      } else {
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"streams_%zu_threads_%zu\":{\"wall_seconds\":%.4f,"
+            "\"tokens\":%zu,\"tokens_per_sec\":%.1f,"
+            "\"batch_dedup_hits\":%zu,\"tick_occupancy_mean\":%.2f,"
+            "\"speedup_vs_serial\":%.3f},",
+            c.streams, c.threads, c.run.wall, c.run.tokens, tps,
+            c.run.dedup_hits, c.run.occupancy,
+            base_tps > 0 ? tps / base_tps : 0.0);
+      }
+      sections += buf;
+    }
+    std::printf("BENCH_JSON {\"bench\":\"fig_generate\",\"scale\":%.3f,"
+                "%s\"deterministic_across_sweep\":%s,\"metrics\":%s}\n",
+                experiments::bench_scale_from_env(), sections.c_str(),
+                deterministic ? "true" : "false",
+                bench::metrics_json().c_str());
+  }
+
+  return deterministic ? 0 : 1;
+}

@@ -1,16 +1,19 @@
 #!/bin/sh
 # Performance snapshot driver: builds Release, runs the executor/compiler
-# microbenchmarks and the fig06 throughput comparison, and writes the
-# results to BENCH_<date>.json at the repo root (wall times, llm_calls,
-# cache hit rates, metrics registry snapshots; see docs/PERFORMANCE.md for
-# how to read it, and scripts/bench_compare.py for diffing two snapshots).
+# microbenchmarks, the fig06 throughput comparison, and the fig_generate
+# multi-stream generation sweep, and writes the results to BENCH_<date>.json
+# at the repo root (wall times, llm_calls, cache hit rates, metrics registry
+# snapshots; see docs/PERFORMANCE.md for how to read it, and
+# scripts/bench_compare.py for diffing two snapshots).
 #   scripts/bench.sh [scale]
 # Environment:
-#   RELM_BENCH_SCALE    workload scale for fig06 (overridden by argv[1])
+#   RELM_BENCH_SCALE    workload scale for fig06/fig_generate (overridden by
+#                       argv[1])
 #   RELM_BENCH_OUT      output path (default BENCH_<date>.json in repo root)
 #   RELM_THREADS        default shared-pool size for the parallel batch API
-#   RELM_BENCH_THREADS  fig06 async-pipeline thread sweep (default "1 2 4 8");
-#                       one pipeline_<t>_thread JSON section per entry
+#   RELM_BENCH_THREADS  fig06 async-pipeline and fig_generate thread sweep
+#                       (default "1 2 4 8"); one pipeline_<t>_thread /
+#                       streams_<s>_threads_<t> JSON section per entry
 set -e
 cd "$(dirname "$0")/.."
 SCALE="${1:-${RELM_BENCH_SCALE:-1.0}}"
@@ -37,7 +40,7 @@ if [ -f "$BUILD/CMakeCache.txt" ]; then
 fi
 # shellcheck disable=SC2086
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release $GEN >/dev/null
-cmake --build "$BUILD" -j --target micro_executor micro_compiler fig06_throughput >/dev/null
+cmake --build "$BUILD" -j --target micro_executor micro_compiler fig06_throughput fig_generate >/dev/null
 
 echo "[bench] micro_executor"
 "$BUILD"/bench/micro_executor \
@@ -58,6 +61,16 @@ cat "$BUILD"/fig06.txt
 grep '^BENCH_JSON ' "$BUILD"/fig06.txt | sed 's/^BENCH_JSON //' \
     > "$BUILD"/fig06.json
 
+echo "[bench] fig_generate (scale=$SCALE)"
+# No pipe: fig_generate exits non-zero when any batched configuration's
+# per-stream outputs diverge from the serial baseline, and set -e must see
+# that status.
+RELM_BENCH_SCALE="$SCALE" RELM_BENCH_JSON=1 \
+    "$BUILD"/bench/fig_generate > "$BUILD"/fig_generate.txt
+cat "$BUILD"/fig_generate.txt
+grep '^BENCH_JSON ' "$BUILD"/fig_generate.txt | sed 's/^BENCH_JSON //' \
+    > "$BUILD"/fig_generate.json
+
 # Assemble the snapshot: fig06's end-to-end numbers plus both raw
 # google-benchmark reports. Written to a temp file and moved into place
 # atomically so a failed run (or a same-day rerun racing a reader) never
@@ -69,6 +82,8 @@ TMP_OUT=$(mktemp "$BUILD/bench_out.XXXXXX")
   printf '"scale": %s,\n' "$SCALE"
   printf '"fig06_throughput": '
   cat "$BUILD"/fig06.json
+  printf ',\n"fig_generate": '
+  cat "$BUILD"/fig_generate.json
   printf ',\n"micro_executor": '
   cat "$BUILD"/micro_executor.json
   printf ',\n"micro_compiler": '

@@ -16,8 +16,11 @@ than the threshold (default 15%, tunable per benchmark with
 pipeline speedups (speedup_<t>_thread) and mean batch occupancy
 (pipeline_<t>_thread.batch_occupancy_mean) are higher-is-better: they
 regress when the candidate falls SHORT of the baseline by more than
---gain-threshold (default 10%). Exit status: 0 when nothing regressed, 1 on
-any regression, 2 on malformed input.
+--gain-threshold (default 10%). fig_generate's aggregate throughput at the
+64-stream operating point (streams_64_threads_<t>.tokens_per_sec, the
+serial_streams_64 baseline, and the achieved tick occupancy) is gated the
+same way. Exit status: 0 when nothing regressed, 1 on any regression, 2 on
+malformed input.
 
 Typical use — local check against the committed baseline:
 
@@ -106,6 +109,37 @@ def fig06_higher_better(snapshot):
     return out
 
 
+def fig_generate_higher_better(snapshot):
+    """Name -> value for fig_generate metrics where LARGER is better.
+
+    The generate engine's acceptance metric is aggregate tokens/sec at the
+    64-stream operating point: every ``streams_64_threads_<t>`` section is
+    gated on its ``tokens_per_sec`` and achieved ``tick_occupancy_mean``,
+    and the ``serial_streams_64`` stream-at-a-time baseline on its own
+    throughput — so a regression in either the engine or the underlying
+    sampling path trips the gate. Smaller stream counts are reported in the
+    snapshot but not gated (their sub-millisecond walls are noise-dominated).
+    """
+    out = {}
+    fig = snapshot.get("fig_generate")
+    if not isinstance(fig, dict):
+        return out
+    for key, value in fig.items():
+        if not isinstance(value, dict):
+            continue
+        if re.fullmatch(r"streams_64_threads_\d+", key):
+            if "tokens_per_sec" in value:
+                out[f"fig_generate.{key}.tokens_per_sec"] = \
+                    float(value["tokens_per_sec"])
+            if "tick_occupancy_mean" in value:
+                out[f"fig_generate.{key}.tick_occupancy_mean"] = \
+                    float(value["tick_occupancy_mean"])
+        elif key == "serial_streams_64" and "tokens_per_sec" in value:
+            out[f"fig_generate.{key}.tokens_per_sec"] = \
+                float(value["tokens_per_sec"])
+    return out
+
+
 def parse_overrides(specs):
     overrides = []
     for spec in specs:
@@ -190,9 +224,19 @@ def main():
                 print(f"note: {name} present in baseline only (removed?)")
         for name in sorted(set(cand_hib) - set(base_hib)):
             print(f"note: {name} is new (no baseline)")
+        base_gen = fig_generate_higher_better(base)
+        cand_gen = fig_generate_higher_better(cand)
+        for name in sorted(base_gen):
+            if name in cand_gen:
+                comparisons.append((name, base_gen[name], cand_gen[name], "",
+                                    True))
+            else:
+                print(f"note: {name} present in baseline only (removed?)")
+        for name in sorted(set(cand_gen) - set(base_gen)):
+            print(f"note: {name} is new (no baseline)")
     else:
         print(f"note: scales differ (baseline {base.get('scale')} vs "
-              f"candidate {cand.get('scale')}); skipping fig06 wall-time "
+              f"candidate {cand.get('scale')}); skipping fig06/fig_generate "
               f"comparison")
 
     if not comparisons:

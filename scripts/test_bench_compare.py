@@ -37,12 +37,13 @@ bench_compare = load_module()
 
 
 def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None,
-                fig06_raw=None):
+                fig06_raw=None, fig_generate=None):
     """Builds a bench.sh-shaped snapshot from {name: real_time_ns}.
 
     fig06 maps run name -> wall seconds; fig06_raw entries are merged into
     the fig06_throughput dict verbatim (for scalar keys like
-    speedup_4_thread or sections with batch_occupancy_mean).
+    speedup_4_thread or sections with batch_occupancy_mean). fig_generate is
+    merged verbatim as the fig_generate section.
     """
     snapshot = {
         suite: {
@@ -58,6 +59,8 @@ def gb_snapshot(times, suite="micro_compiler", scale=None, fig06=None,
             key: {"wall_seconds": value} for key, value in (fig06 or {}).items()
         }
         snapshot["fig06_throughput"].update(fig06_raw or {})
+    if fig_generate is not None:
+        snapshot["fig_generate"] = fig_generate
     return snapshot
 
 
@@ -315,6 +318,105 @@ class Fig06HigherBetterTest(unittest.TestCase):
         base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
                            fig06_raw=self.pipeline_fig06(2.5, 12.0))
         cand = gb_snapshot({"BM_A": 1.0}, scale=1.0, fig06={})
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("present in baseline only", out)
+        code, out = run_compare(cand, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("is new", out)
+
+
+class FigGenerateTest(unittest.TestCase):
+    """Generate-engine gates: tokens_per_sec at the 64-stream operating
+    point (batched per thread count, plus the serial stream-at-a-time
+    baseline) and the achieved tick occupancy are higher-is-better."""
+
+    @staticmethod
+    def generate_section(tps_64_t4, serial_tps=40000.0, occupancy=27.7):
+        return {
+            "serial_streams_64": {"wall_seconds": 0.01, "tokens": 410,
+                                  "tokens_per_sec": serial_tps},
+            "streams_64_threads_4": {"wall_seconds": 0.008, "tokens": 410,
+                                     "tokens_per_sec": tps_64_t4,
+                                     "batch_dedup_hits": 35,
+                                     "tick_occupancy_mean": occupancy,
+                                     "speedup_vs_serial": 1.1},
+            # Small stream counts are reported, never gated.
+            "streams_1_threads_4": {"wall_seconds": 0.0001, "tokens": 7,
+                                    "tokens_per_sec": 99999.0,
+                                    "tick_occupancy_mean": 1.0},
+            "serial_streams_1": {"wall_seconds": 0.0002, "tokens": 7,
+                                 "tokens_per_sec": 30000.0},
+            "deterministic_across_sweep": True,
+        }
+
+    def test_parser_gates_only_the_64_stream_point(self):
+        snap = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        hib = bench_compare.fig_generate_higher_better(snap)
+        self.assertEqual(hib, {
+            "fig_generate.streams_64_threads_4.tokens_per_sec": 50000.0,
+            "fig_generate.streams_64_threads_4.tick_occupancy_mean": 27.7,
+            "fig_generate.serial_streams_64.tokens_per_sec": 40000.0,
+        })
+
+    def test_tokens_per_sec_shortfall_fails(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(40000.0))
+        # -20% against the default 10% gain threshold: regression.
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("streams_64_threads_4.tokens_per_sec", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_occupancy_shortfall_fails(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0,
+                                                              occupancy=27.7))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0,
+                                                              occupancy=14.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 1, out)
+        self.assertIn("tick_occupancy_mean", out)
+
+    def test_small_shortfall_within_gain_threshold_passes(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(46000.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_throughput_gain_is_not_a_regression(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(150000.0,
+                                                              serial_tps=80000.0,
+                                                              occupancy=60.0))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+
+    def test_scale_mismatch_skips_generate_gates(self):
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=0.5,
+                           fig_generate=self.generate_section(1.0,
+                                                              serial_tps=1.0,
+                                                              occupancy=0.1))
+        code, out = run_compare(base, cand)
+        self.assertEqual(code, 0, out)
+        self.assertIn("scales differ", out)
+
+    def test_missing_generate_section_degrades_to_note(self):
+        # A baseline produced before fig_generate existed must not fail the
+        # gate — and a candidate that dropped the section only notes it.
+        base = gb_snapshot({"BM_A": 1.0}, scale=1.0,
+                           fig_generate=self.generate_section(50000.0))
+        cand = gb_snapshot({"BM_A": 1.0}, scale=1.0)
         code, out = run_compare(base, cand)
         self.assertEqual(code, 0, out)
         self.assertIn("present in baseline only", out)

@@ -775,7 +775,11 @@ RandomSampler::RandomSampler(const model::LanguageModel& model,
       prefix_walks_(compiled.prefix_automaton(),
                     std::min(query.sequence_length.value_or(model.max_sequence_length()),
                              model.max_sequence_length())),
-      rng_(seed) {
+      // Stream 0 of the counter-based scheme is Pcg32(seed) exactly, so the
+      // sampler's draw sequence is unchanged by the StreamRng extraction
+      // (pinned bit-for-bit by a regression test). The generate engine seeds
+      // stream i of the same scheme for its i-th concurrent stream.
+      rng_(util::StreamRng::stream(seed, 0)) {
   cache_baseline_ = cache_baseline_of(model_, model_has_cache_);
 }
 

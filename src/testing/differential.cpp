@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "automata/regex.hpp"
 #include "core/executor.hpp"
+#include "core/generate/generate_engine.hpp"
 #include "core/pipeline/cache.hpp"
 #include "model/ngram_model.hpp"
 #include "util/errors.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relm::testing {
@@ -334,6 +337,90 @@ TrialReport run_trial(const TrialCase& trial,
                     "difference pipeline threads=" +
                         std::to_string(bad_threads) + ": " + *diff);
       }
+    }
+
+    // Configuration H: batched multi-stream generation. Every stream of a
+    // K-stream GenerateEngine must emit byte-identically to that stream run
+    // alone in its own single-stream engine — the engine's core invariant:
+    // batch composition, admission order, and thread count cannot leak into
+    // any stream's output. The serial reference runs each stream solo at one
+    // thread; the batched run admits all K in a shuffled order and sweeps
+    // the shared pool across {1, 4, 8} threads.
+    {
+      using core::generate::GenerateEngine;
+      using core::generate::StreamSpec;
+      using core::generate::StreamState;
+
+      constexpr std::size_t kStreams = 5;
+      struct StreamOutput {
+        StreamState state;
+        std::vector<tokenizer::TokenId> tokens;
+        std::string text;
+        double log_prob = 0.0;
+      };
+      auto snapshot = [](const GenerateEngine& engine,
+                         GenerateEngine::StreamId id) {
+        StreamOutput out;
+        out.state = engine.state(id);
+        if (const auto& r = engine.result(id)) {
+          out.tokens = r->tokens;
+          out.text = r->text;
+          out.log_prob = r->log_prob;
+        }
+        return out;
+      };
+
+      const std::size_t restore = util::ThreadPool::shared().threads();
+      util::ThreadPool::set_shared_threads(1);
+      std::vector<StreamOutput> serial;
+      serial.reserve(kStreams);
+      for (std::size_t i = 0; i < kStreams; ++i) {
+        GenerateEngine engine(*base_model, compiled, query,
+                              trial.sampler_seed);
+        StreamSpec spec;
+        spec.rng_stream = i;
+        const GenerateEngine::StreamId id = engine.add_stream(spec);
+        engine.run();
+        serial.push_back(snapshot(engine, id));
+      }
+
+      util::Pcg32 admission_rng(trial.sampler_seed ^ util::StreamRng::kGolden);
+      std::optional<std::string> diff;
+      for (std::size_t threads :
+           {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        util::ThreadPool::set_shared_threads(threads);
+        std::vector<std::size_t> order(kStreams);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        admission_rng.shuffle(order);
+        GenerateEngine engine(*base_model, compiled, query,
+                              trial.sampler_seed);
+        std::vector<GenerateEngine::StreamId> id_of(kStreams);
+        for (std::size_t stream : order) {
+          StreamSpec spec;
+          spec.rng_stream = stream;
+          id_of[stream] = engine.add_stream(spec);
+        }
+        engine.run();
+        for (std::size_t i = 0; i < kStreams; ++i) {
+          const StreamOutput got = snapshot(engine, id_of[i]);
+          const StreamOutput& want = serial[i];
+          if (got.state != want.state || got.tokens != want.tokens ||
+              got.text != want.text || got.log_prob != want.log_prob) {
+            std::ostringstream err;
+            err << "stream " << i << " threads=" << threads
+                << " diverges from its solo run: batched ("
+                << core::generate::to_string(got.state) << ", \"" << got.text
+                << "\", log_prob " << got.log_prob << ") vs solo ("
+                << core::generate::to_string(want.state) << ", \""
+                << want.text << "\", log_prob " << want.log_prob << ")";
+            diff = err.str();
+            break;
+          }
+        }
+        if (diff) break;
+      }
+      util::ThreadPool::set_shared_threads(restore);
+      if (diff) return fail("config:generate", *diff);
     }
 
     // Oracle comparison (on the plain configuration, optionally mutated for

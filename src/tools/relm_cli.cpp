@@ -40,6 +40,21 @@
 //       gauges, per-phase latency histograms) as one JSON line on exit.
 //       See docs/OBSERVABILITY.md.
 //
+//   relm generate --dir DIR --pattern REGEX [--prefix REGEX] [--streams N]
+//               [--seed S] [--max-tokens K] [--model xl|small]
+//               [--top-k K] [--top-p P] [--temperature T] [--require-eos]
+//               [--sequence-length N] [--threads N] [--cache-capacity N]
+//               [--no-token-masks] [--compile-cache [DIR]]
+//               [--no-compile-cache] [--metrics]
+//       Batched multi-stream mask-guided generation: N independent sampling
+//       streams share one batched model evaluation per scheduler tick, each
+//       guided by the compiled query automaton and its own isolated RNG
+//       stream (streams i = 0.. of --seed). Emits one JSONL line per stream
+//       ({"stream":i,"state":...,"tokens":[...],"text":...,"log_prob":...});
+//       per-stream output is byte-identical for any --streams/--threads
+//       combination. --max-tokens caps generated tokens per stream. See
+//       docs/cli.md and docs/PERFORMANCE.md (cross-stream batching).
+//
 //   relm grep   --dir DIR --pattern REGEX [--max N]
 //       Scan the (regenerated) corpus with the DFA grep.
 //
@@ -95,6 +110,7 @@
 
 #include "analysis/verify.hpp"
 #include "automata/grep.hpp"
+#include "core/generate/generate_engine.hpp"
 #include "automata/ops.hpp"
 #include "automata/regex.hpp"
 #include "automata/serialize.hpp"
@@ -457,6 +473,92 @@ int cmd_sample(const Args& args) {
   return 0;
 }
 
+// `relm generate` — batched multi-stream mask-guided generation
+// (core/generate): N independent sampling streams multiplexed through one
+// next_log_probs_batch per tick, one JSONL line per stream on stdout.
+// Determinism: stream i's line is a pure function of (artifacts, query,
+// --seed, i) — independent of --streams, --threads, and co-tenants.
+int cmd_generate(const Args& args) {
+  bool print_metrics = args.has("metrics");
+  std::string dir = args.require("dir");
+  apply_compile_cache_flags(args);
+  Artifacts art = load_artifacts(dir);
+  std::shared_ptr<model::NgramModel> ngram =
+      args.get_or("model", "xl") == "small" ? art.small : art.xl;
+
+  long threads = args.get_long("threads", 0);
+  if (threads > 0) {
+    util::ThreadPool::set_shared_threads(static_cast<std::size_t>(threads));
+  }
+  long cache_capacity = args.get_long("cache-capacity", 1 << 16);
+  std::shared_ptr<const model::LanguageModel> model = ngram;
+  if (cache_capacity > 0) {
+    model = std::make_shared<model::CachingModel>(
+        ngram, static_cast<std::size_t>(cache_capacity));
+  }
+
+  core::SimpleSearchQuery query = query_from_flags(args);
+  query.search_strategy = core::SearchStrategy::kRandomSampling;
+  long top_k = args.get_long("top-k", 0);
+  if (top_k > 0) query.decoding.top_k = static_cast<int>(top_k);
+  if (auto top_p = args.get_double("top-p")) query.decoding.top_p = *top_p;
+  if (auto temperature = args.get_double("temperature")) {
+    query.decoding.temperature = *temperature;
+  }
+  query.require_eos = args.has("require-eos");
+  long seq = args.get_long("sequence-length", 0);
+  if (seq > 0) query.sequence_length = static_cast<std::size_t>(seq);
+
+  const long streams = args.get_long("streams", 4);
+  if (streams <= 0) throw relm::Error("--streams must be positive");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_long("seed", 0));
+  const long max_tokens = args.get_long("max-tokens", 0);
+
+  core::CompiledQuery compiled = core::CompiledQuery::compile(query, art.tokenizer);
+  core::generate::GenerateEngine engine(*model, compiled, query, seed);
+  core::generate::StreamSpec spec;
+  if (max_tokens > 0) spec.max_new_tokens = static_cast<std::size_t>(max_tokens);
+  for (long i = 0; i < streams; ++i) engine.add_stream(spec);
+
+  util::Timer timer;
+  engine.run();
+
+  for (std::size_t id = 0; id < engine.num_streams(); ++id) {
+    testing::Json line = testing::Json::object();
+    line.set("stream", testing::Json::number(static_cast<std::int64_t>(id)));
+    line.set("state", testing::Json::string(
+                          core::generate::to_string(engine.state(id))));
+    const auto& result = engine.result(id);
+    if (result) {
+      testing::Json tokens = testing::Json::array();
+      for (tokenizer::TokenId t : result->tokens) {
+        tokens.push_back(testing::Json::number(static_cast<std::int64_t>(t)));
+      }
+      line.set("tokens", std::move(tokens));
+      line.set("text", testing::Json::string(result->text));
+      line.set("log_prob", testing::Json::number(result->log_prob));
+    }
+    std::printf("%s\n", line.dump().c_str());
+  }
+
+  const core::generate::GenerateStats& stats = engine.stats();
+  std::fprintf(stderr,
+               "[generate: %zu streams (%zu done, %zu dead-end), %zu ticks, "
+               "%zu tokens, %zu llm calls, %zu dedup hits, "
+               "occupancy %.1f streams/tick, %.0f tokens/sec, %.2fs]\n",
+               engine.num_streams(), stats.streams_done, stats.streams_dead_end,
+               stats.ticks, stats.tokens_emitted, stats.llm_calls,
+               stats.batch_dedup_hits, stats.mean_tick_occupancy(),
+               stats.tokens_per_second(), timer.seconds());
+  print_compile_cache_stats(stderr);
+  if (print_metrics) {
+    std::printf("METRICS %s\n",
+                obs::Registry::instance().snapshot().to_json().c_str());
+  }
+  return 0;
+}
+
 int cmd_analyze(const Args& args) {
   std::string dir = args.require("dir");
   Artifacts art = load_artifacts(dir);
@@ -683,7 +785,7 @@ int cmd_fuzz(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: relm <build|query|analyze|grep|sample|info|verify|fuzz> [flags]\n"
+               "usage: relm <build|query|generate|analyze|grep|sample|info|verify|fuzz> [flags]\n"
                "       (`relm run` is an alias for `relm query`)\n"
                "see the header of src/tools/relm_cli.cpp for flag reference\n");
 }
@@ -707,6 +809,8 @@ int main(int argc, char** argv) {
       status = cmd_grep(args);
     } else if (command == "sample") {
       status = cmd_sample(args);
+    } else if (command == "generate") {
+      status = cmd_generate(args);
     } else if (command == "analyze") {
       status = cmd_analyze(args);
     } else if (command == "info") {

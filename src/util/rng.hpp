@@ -70,4 +70,37 @@ class Pcg32 {
   std::uint64_t inc_;
 };
 
+// Counter-based per-stream seeding: StreamRng::stream(master, i) is an
+// independent Pcg32 whose draws are a pure function of (master, i) — never of
+// how many other streams exist, which order they were created in, or what
+// they have drawn. Stream 0 IS Pcg32(master): the sampler seeded with a bare
+// Pcg32 before multi-stream generation existed, and stream 0 reproduces that
+// sequence bit-for-bit (pinned by a regression test), so existing seeds keep
+// their outputs. Streams i > 0 get both a mixed seed (golden-ratio increment,
+// the splitmix64 constant) and a distinct PCG sequence constant — two streams
+// never share a state trajectory even if the seed mix collided.
+class StreamRng {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x853c49e6748fea9bULL;
+  static constexpr std::uint64_t kDefaultSequence = 0xda3e39cb94b95bdbULL;
+  static constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+  static Pcg32 stream(std::uint64_t master_seed, std::uint64_t index) {
+    if (index == 0) return Pcg32(master_seed);
+    return Pcg32(mix(master_seed + index * kGolden),
+                 kDefaultSequence + index);
+  }
+
+ private:
+  // splitmix64 finalizer: full-avalanche, so adjacent indices land far apart.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return z;
+  }
+};
+
 }  // namespace relm::util

@@ -58,6 +58,28 @@ fi
 # Structural verification: fresh artifacts are clean.
 "$RELM" verify --dir "$DIR" | grep -q "ok"
 
+# Batched multi-stream generation: two streams with a fixed seed emit one
+# JSONL line each, identically on every run and at every thread count.
+GEN="$("$RELM" generate --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --streams 2 --seed 7 2>"$DIR/gen.txt")"
+test "$(echo "$GEN" | wc -l)" -eq 2
+echo "$GEN" | grep -q '"stream":0'
+echo "$GEN" | grep -q '"stream":1'
+grep -q "generate: 2 streams" "$DIR/gen.txt"
+
+GEN_T4="$("$RELM" generate --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --streams 2 --seed 7 --threads 4 2>/dev/null)"
+test "$GEN_T4" = "$GEN"
+
+# The token-mask fast path is an optimization, never a semantic change: the
+# same streams with masks disabled emit identical lines.
+GEN_NOMASK="$("$RELM" generate --dir "$DIR" \
+  --pattern 'The ((man)|(woman)) was trained in ((art)|(science))' \
+  --streams 2 --seed 7 --no-token-masks 2>/dev/null)"
+test "$GEN_NOMASK" = "$GEN"
+
 # A corrupted artifact must fail verification with a diagnostic. Bump the
 # first stored n-gram row total (file line 4: "<key> <total> <n> ...") so it
 # no longer matches the sum of the row's counts.
@@ -121,5 +143,16 @@ if "$RELM" query --dir "$DIR" 2>/dev/null; then exit 1; fi
 if "$RELM" query --dir "$DIR" --pattern '(((' 2>/dev/null; then exit 1; fi
 if "$RELM" info --dir /nonexistent 2>/dev/null; then exit 1; fi
 if "$RELM" verify --dir /nonexistent 2>/dev/null; then exit 1; fi
+
+# generate: missing artifacts, a corrupt tokenizer, and a zero stream count
+# all fail with a diagnostic instead of generating garbage.
+if "$RELM" generate --dir /nonexistent --pattern 'a' 2>/dev/null; then exit 1; fi
+TRUNC="$DIR/trunc"
+mkdir -p "$TRUNC"
+cp "$DIR/sim-xl.relm" "$DIR/sim-small.relm" "$DIR/meta.txt" "$TRUNC/"
+head -c 50 "$DIR/tokenizer.relm" > "$TRUNC/tokenizer.relm"
+if "$RELM" generate --dir "$TRUNC" --pattern 'a' 2>/dev/null; then exit 1; fi
+"$RELM" generate --dir "$TRUNC" --pattern 'a' 2>&1 >/dev/null | grep -q "truncated"
+if "$RELM" generate --dir "$DIR" --pattern 'a' --streams 0 2>/dev/null; then exit 1; fi
 
 echo "cli smoke: ok"
